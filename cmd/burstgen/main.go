@@ -1,0 +1,192 @@
+// Command burstgen materializes the synthetic RouteViews-like dataset as
+// MRT files — one BGP4MP update file per requested session plus a
+// TABLE_DUMP_V2 RIB snapshot — so external tooling (or this repo's own
+// readers) can consume the traces exactly like collector archives.
+//
+// Usage:
+//
+//	burstgen -out /tmp/swift-traces -sessions 3 -ases 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"swift/internal/bgp"
+	"swift/internal/bgpsim"
+	"swift/internal/mrt"
+	"swift/internal/netaddr"
+	"swift/internal/trace"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "traces", "output directory")
+		seed     = flag.Int64("seed", 1, "random seed")
+		ases     = flag.Int("ases", 400, "topology size")
+		sessions = flag.Int("sessions", 3, "sessions to materialize as MRT")
+		failures = flag.Int("failures", 60, "failures over the month")
+		maxPfx   = flag.Int("maxprefixes", 10000, "largest origin's prefix count")
+		minBurst = flag.Int("minburst", 1000, "skip bursts smaller than this")
+	)
+	flag.Parse()
+
+	ds := trace.Generate(trace.Config{
+		NumASes:           *ases,
+		AvgDegree:         8.4,
+		Sessions:          *sessions * 4,
+		Days:              30,
+		Failures:          *failures,
+		MaxPrefixes:       *maxPfx,
+		PopularASes:       15,
+		ASFailureFraction: 0.15,
+		Timing:            bgpsim.DefaultTiming(*seed),
+		Seed:              *seed,
+	})
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	epoch := time.Date(2016, 11, 1, 0, 0, 0, 0, time.UTC) // the paper's month
+
+	written := 0
+	for _, s := range ds.Sessions {
+		if written >= *sessions {
+			break
+		}
+		bursts := ds.BurstsAt(s, *minBurst)
+		if len(bursts) == 0 {
+			continue
+		}
+		written++
+		base := fmt.Sprintf("as%d-from-as%d", s.Vantage, s.Neighbor)
+
+		// RIB snapshot.
+		ribPath := filepath.Join(*out, base+".rib.mrt")
+		if err := writeRIB(ribPath, ds, s, epoch); err != nil {
+			log.Fatal(err)
+		}
+
+		// Updates: all bursts, offset by their failure times.
+		updPath := filepath.Join(*out, base+".updates.mrt")
+		n, err := writeUpdates(updPath, ds, s, bursts, epoch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d bursts, %d update records (+ RIB snapshot)\n", base, len(bursts), n)
+	}
+	if written == 0 {
+		fmt.Println("no sessions observed bursts at this scale; try more -failures")
+	}
+}
+
+func writeRIB(path string, ds *trace.Dataset, s trace.Session, epoch time.Time) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := mrt.NewWriter(f)
+	if err := w.WritePeerIndexTable(epoch, s.Vantage, []mrt.PeerEntry{
+		{ID: s.Neighbor, IP: 0x0a000001, AS: s.Neighbor},
+	}); err != nil {
+		return err
+	}
+	seq := uint32(0)
+	for origin, path := range ds.SessionRIB(s) {
+		for i := 0; i < ds.Net.Origins[origin]; i++ {
+			rec := &mrt.RIBRecord{
+				Sequence: seq,
+				Prefix:   netaddr.PrefixFor(origin, i),
+				Entries: []mrt.RIBEntry{{
+					PeerIndex:  0,
+					Originated: epoch.Add(-24 * time.Hour),
+					Attrs: bgp.Attrs{
+						ASPath:     path,
+						HasNextHop: true,
+						NextHop:    0x0a000001,
+					},
+				}},
+			}
+			seq++
+			if err := w.WriteRIBIPv4(epoch, rec); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+func writeUpdates(path string, ds *trace.Dataset, s trace.Session, bursts []*bgpsim.Burst, epoch time.Time) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	w := mrt.NewWriter(f)
+	records := 0
+	burstIdx := 0
+	for i := range ds.Failures {
+		d := ds.Delta(i)
+		wd, _ := ds.Base.BurstSizeAt(d, s.Vantage, s.Neighbor)
+		if wd < 1 || burstIdx >= len(bursts) {
+			continue
+		}
+		b := bursts[burstIdx]
+		if b.Size != wd {
+			continue // this failure's burst was below the threshold
+		}
+		burstIdx++
+		at := epoch.Add(ds.Failures[i].At)
+		// Pack consecutive withdrawals into shared UPDATEs, as a real
+		// speaker would.
+		var wdBatch []netaddr.Prefix
+		var batchAt time.Time
+		flush := func() error {
+			if len(wdBatch) == 0 {
+				return nil
+			}
+			for _, u := range bgp.PackWithdrawals(wdBatch) {
+				if err := w.WriteBGP4MP(batchAt, s.Neighbor, s.Vantage, 0x0a000001, 0x0a000002, u); err != nil {
+					return err
+				}
+				records++
+			}
+			wdBatch = wdBatch[:0]
+			return nil
+		}
+		for _, ev := range b.Events {
+			ts := at.Add(ev.At)
+			if ev.Kind == bgpsim.KindWithdraw {
+				if len(wdBatch) == 0 {
+					batchAt = ts
+				}
+				wdBatch = append(wdBatch, ev.Prefix)
+				if len(wdBatch) >= 500 {
+					if err := flush(); err != nil {
+						return records, err
+					}
+				}
+				continue
+			}
+			if err := flush(); err != nil {
+				return records, err
+			}
+			u := &bgp.Update{
+				Attrs: bgp.Attrs{ASPath: ev.Path, HasNextHop: true, NextHop: 0x0a000001},
+				NLRI:  []netaddr.Prefix{ev.Prefix},
+			}
+			if err := w.WriteBGP4MP(ts, s.Neighbor, s.Vantage, 0x0a000001, 0x0a000002, u); err != nil {
+				return records, err
+			}
+			records++
+		}
+		if err := flush(); err != nil {
+			return records, err
+		}
+	}
+	return records, w.Flush()
+}

@@ -1,0 +1,134 @@
+// Command swift-bench regenerates the paper's tables and figures at
+// configurable scale and prints them in the paper's shape.
+//
+// Usage:
+//
+//	swift-bench -exp all                 # everything, default scale
+//	swift-bench -exp table1              # one experiment
+//	swift-bench -exp fig9 -prefixes 290000
+//	swift-bench -exp fig6 -ases 1000 -sessions 213 -evalsessions 8
+//
+// Experiments: table1, fig2a, fig2b, fig6, sim-localization, table2,
+// fig7, fig8, rules, safety, fig9, ablate-weights, ablate-trigger, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"swift/internal/bgpsim"
+	"swift/internal/experiments"
+	"swift/internal/trace"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment to run (see doc)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		ases      = flag.Int("ases", 600, "topology size for trace experiments")
+		sessions  = flag.Int("sessions", 120, "collector sessions in the dataset")
+		evalSess  = flag.Int("evalsessions", 6, "sessions replayed through the full pipeline")
+		failures  = flag.Int("failures", 150, "failures over the capture month")
+		maxPfx    = flag.Int("maxprefixes", 20000, "largest origin's prefix count")
+		prefixes  = flag.Int("prefixes", 290000, "case-study burst size (fig9)")
+		minBurst  = flag.Int("minburst", 1500, "minimum burst size evaluated")
+		benchmark = flag.Bool("time", true, "print wall-clock time per experiment")
+	)
+	flag.Parse()
+
+	names := strings.Split(*exp, ",")
+	needDataset := false
+	for _, n := range names {
+		switch n {
+		case "table1", "fig9":
+		default:
+			needDataset = true
+		}
+	}
+
+	var ds *trace.Dataset
+	var sess []trace.Session
+	if needDataset {
+		fmt.Fprintf(os.Stderr, "generating dataset: %d ASes, %d sessions, %d failures...\n",
+			*ases, *sessions, *failures)
+		start := time.Now()
+		ds = trace.Generate(trace.Config{
+			NumASes:           *ases,
+			AvgDegree:         8.4,
+			Sessions:          *sessions,
+			Days:              30,
+			Failures:          *failures,
+			MaxPrefixes:       *maxPfx,
+			PopularASes:       15,
+			ASFailureFraction: 0.15,
+			Timing:            bgpsim.DefaultTiming(*seed),
+			Seed:              *seed,
+		})
+		fmt.Fprintf(os.Stderr, "dataset ready in %v (%d prefixes in the table)\n",
+			time.Since(start).Round(time.Millisecond), ds.Net.TotalPrefixes())
+		seen := map[trace.Session]bool{}
+		for _, st := range ds.Census(*minBurst) {
+			if !seen[st.Session] && len(sess) < *evalSess {
+				seen[st.Session] = true
+				sess = append(sess, st.Session)
+			}
+		}
+		if len(sess) == 0 {
+			fmt.Fprintln(os.Stderr, "warning: no sessions observe bursts at this scale")
+		}
+	}
+
+	run := func(name string, fn func() fmt.Stringer) {
+		for _, want := range names {
+			if want == name || want == "all" {
+				start := time.Now()
+				res := fn()
+				fmt.Println(res.String())
+				if *benchmark {
+					fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+				}
+				return
+			}
+		}
+	}
+
+	run("table1", func() fmt.Stringer { return experiments.Table1(nil, *seed) })
+	run("fig2a", func() fmt.Stringer { return experiments.Fig2a(ds, *seed) })
+	run("fig2b", func() fmt.Stringer { return experiments.Fig2b(ds) })
+	run("fig6", func() fmt.Stringer {
+		return twoResults{
+			experiments.Fig6(ds, sess, *minBurst, false),
+			experiments.Fig6(ds, sess, *minBurst, true),
+		}
+	})
+	run("sim-localization", func() fmt.Stringer {
+		return twoResults{
+			prefixed{"clean:\n", experiments.SimLocalization(ds, sess, *minBurst, 200, 0)},
+			prefixed{"with 1000 noise withdrawals:\n", experiments.SimLocalization(ds, sess, *minBurst, 200, 1000)},
+		}
+	})
+	run("table2", func() fmt.Stringer { return experiments.Table2(ds, sess, *minBurst) })
+	run("fig7", func() fmt.Stringer { return experiments.Fig7(ds, sess, *minBurst, nil) })
+	run("fig8", func() fmt.Stringer { return experiments.Fig8(ds, sess, *minBurst) })
+	run("rules", func() fmt.Stringer { return experiments.Rules(ds, sess, *minBurst, 16) })
+	run("safety", func() fmt.Stringer { return experiments.Safety(ds, sess, *minBurst) })
+	run("fig9", func() fmt.Stringer { return experiments.Fig9(*prefixes, *seed) })
+	run("ablate-weights", func() fmt.Stringer { return experiments.AblateWeights(ds, sess, *minBurst) })
+	run("ablate-trigger", func() fmt.Stringer { return experiments.AblateTrigger(ds, sess, *minBurst) })
+}
+
+// twoResults prints two results back to back.
+type twoResults [2]fmt.Stringer
+
+func (t twoResults) String() string { return t[0].String() + "\n" + t[1].String() }
+
+// prefixed prepends a label.
+type prefixed struct {
+	label string
+	inner fmt.Stringer
+}
+
+func (p prefixed) String() string { return p.label + p.inner.String() }

@@ -1,0 +1,182 @@
+// Command swiftd runs a SWIFT controller as a daemon (§7's deployment
+// scheme): it maintains live eBGP sessions over TCP, feeds the primary
+// session's stream into the SWIFT engine, and reports every inference
+// and reroute it performs.
+//
+// Listen for one passive session (the protected router's primary peer
+// dials in):
+//
+//	swiftd -local-as 65001 -router-id 1.1.1.1 -listen :1790 -primary-as 65010
+//
+// Or dial the peer actively:
+//
+//	swiftd -local-as 65001 -router-id 1.1.1.1 -dial 192.0.2.1:179 -primary-as 65010
+//
+// The initial table is learned from the peer's opening announcement
+// flood; alternates can be preloaded from a TABLE_DUMP_V2 MRT snapshot
+// with -alternates-rib.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"swift/internal/bgp"
+	"swift/internal/bgpd"
+	"swift/internal/controller"
+	"swift/internal/inference"
+	"swift/internal/mrt"
+	"swift/internal/netaddr"
+	swiftengine "swift/internal/swift"
+)
+
+func main() {
+	var (
+		localAS   = flag.Uint("local-as", 65001, "local AS number")
+		routerID  = flag.String("router-id", "10.0.0.1", "BGP identifier (IPv4)")
+		listen    = flag.String("listen", "", "listen address for a passive session (e.g. :1790)")
+		dial      = flag.String("dial", "", "peer address to dial actively")
+		primaryAS = flag.Uint("primary-as", 0, "expected peer AS (0 = accept any)")
+		altRIB    = flag.String("alternates-rib", "", "MRT TABLE_DUMP_V2 file with alternate routes")
+		altAS     = flag.Uint("alternate-as", 0, "neighbor AS owning the alternate routes")
+		settle    = flag.Duration("settle", 3*time.Second, "quiet period after table transfer before provisioning")
+	)
+	flag.Parse()
+
+	if (*listen == "") == (*dial == "") {
+		log.Fatal("exactly one of -listen or -dial is required")
+	}
+
+	cfg := swiftengine.Config{
+		LocalAS:         uint32(*localAS),
+		PrimaryNeighbor: uint32(*primaryAS),
+		Logf:            log.Printf,
+	}
+	cfg.Inference = inference.Default()
+	engine := swiftengine.New(cfg)
+	ctrl := controller.New(engine, log.Printf)
+
+	if *altRIB != "" {
+		if *altAS == 0 {
+			log.Fatal("-alternates-rib requires -alternate-as")
+		}
+		n, err := loadAlternates(ctrl, *altRIB, uint32(*altAS))
+		if err != nil {
+			log.Fatalf("loading alternates: %v", err)
+		}
+		log.Printf("loaded %d alternate routes from %s", n, *altRIB)
+	}
+
+	var sess *bgpd.Session
+	var err error
+	bcfg := bgpd.Config{
+		LocalAS:  uint32(*localAS),
+		RouterID: parseID(*routerID),
+		Logf:     log.Printf,
+	}
+	if *listen != "" {
+		l, lerr := net.Listen("tcp", *listen)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		log.Printf("listening on %s", *listen)
+		sess, err = bgpd.Accept(l, bcfg)
+	} else {
+		log.Printf("dialing %s", *dial)
+		sess, err = bgpd.Dial(*dial, bcfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *primaryAS != 0 && sess.PeerAS() != uint32(*primaryAS) {
+		log.Fatalf("peer AS %d, expected %d", sess.PeerAS(), *primaryAS)
+	}
+	log.Printf("session established with AS%d", sess.PeerAS())
+
+	// Table transfer: drain announcements until quiet for -settle.
+	var table []*bgp.Update
+	timer := time.NewTimer(*settle)
+transfer:
+	for {
+		select {
+		case u, ok := <-sess.Updates():
+			if !ok {
+				log.Fatal("session closed during table transfer")
+			}
+			table = append(table, u)
+			timer.Reset(*settle)
+		case <-timer.C:
+			break transfer
+		}
+	}
+	ctrl.LoadTable(table)
+	if err := ctrl.Provision(); err != nil {
+		log.Fatalf("provisioning: %v", err)
+	}
+	log.Printf("provisioned: %s", ctrl.Status())
+
+	ctrl.AttachPrimary(sess)
+	ticker := time.NewTicker(time.Second)
+	go func() {
+		for range ticker.C {
+			ctrl.Tick()
+		}
+	}()
+	statusTicker := time.NewTicker(10 * time.Second)
+	go func() {
+		for range statusTicker.C {
+			log.Printf("status: %s", ctrl.Status())
+		}
+	}()
+	ctrl.Wait()
+	log.Printf("final: %s", ctrl.Status())
+	if err := sess.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func parseID(s string) uint32 {
+	ip := net.ParseIP(s).To4()
+	if ip == nil {
+		log.Fatalf("bad router id %q", s)
+	}
+	return uint32(ip[0])<<24 | uint32(ip[1])<<16 | uint32(ip[2])<<8 | uint32(ip[3])
+}
+
+func loadAlternates(ctrl *controller.Controller, path string, neighbor uint32) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := mrt.NewReader(f)
+	n := 0
+	var updates []*bgp.Update
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			break
+		}
+		if rec.Type != mrt.TypeTableDumpV2 || rec.Subtype != mrt.SubtypeRIBIPv4Unicast {
+			continue
+		}
+		rr, err := mrt.DecodeRIBIPv4(rec.Body)
+		if err != nil {
+			return n, err
+		}
+		for _, e := range rr.Entries {
+			updates = append(updates, &bgp.Update{
+				Attrs: e.Attrs,
+				NLRI:  []netaddr.Prefix{rr.Prefix},
+			})
+		}
+		n++
+	}
+	ctrl.LoadAlternate(neighbor, updates)
+	return n, nil
+}

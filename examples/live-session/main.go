@@ -1,0 +1,139 @@
+// Live-session example: the §7 deployment over a real TCP BGP session
+// on localhost. A "peer" speaker (playing AS 2's router) establishes a
+// session with the SWIFT controller, floods the initial table, then
+// replays the Fig. 1 burst on the wire as packed UPDATE messages. The
+// controller detects the burst, infers the failed link and programs the
+// data plane live.
+//
+// Run: go run ./examples/live-session
+package main
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"swift"
+	"swift/internal/bgp"
+	"swift/internal/bgpd"
+	"swift/internal/bgpsim"
+	"swift/internal/controller"
+	"swift/internal/netaddr"
+	"swift/internal/topology"
+)
+
+func main() {
+	const scale = 2000
+	netw := bgpsim.Fig1Network(scale)
+	sols := netw.Solve(netw.Graph)
+
+	// SWIFT controller for AS 1.
+	cfg := swift.Config{LocalAS: 1, PrimaryNeighbor: 2}
+	cfg.Inference = swift.DefaultInference()
+	cfg.Inference.TriggerEvery = 500
+	cfg.Inference.UseHistory = false
+	cfg.Encoding = swift.DefaultEncoding()
+	cfg.Encoding.MinPrefixes = 200
+	cfg.Burst = swift.BurstConfig{StartThreshold: 200, StopThreshold: 9}
+	ctrl := controller.New(swift.New(cfg), func(f string, a ...any) {
+		fmt.Printf("  | "+f+"\n", a...)
+	})
+
+	// Preload the table and the alternates (in a full deployment these
+	// come from the other peers' sessions).
+	for origin := range netw.Origins {
+		for _, nb := range []uint32{2, 3, 4} {
+			r, ok := sols[origin].ExportTo(netw.Graph, netw.Policy, nb, 1)
+			if !ok {
+				continue
+			}
+			u := &bgp.Update{Attrs: bgp.Attrs{ASPath: r.Path, HasNextHop: true, NextHop: nb}}
+			for i := 0; i < netw.Origins[origin]; i++ {
+				u.NLRI = append(u.NLRI, netaddr.PrefixFor(origin, i))
+			}
+			if nb == 2 {
+				ctrl.LoadTable([]*bgp.Update{u})
+			} else {
+				ctrl.LoadAlternate(nb, []*bgp.Update{u})
+			}
+		}
+	}
+	if err := ctrl.Provision(); err != nil {
+		panic(err)
+	}
+	fmt.Println("controller provisioned:", ctrl.Status())
+
+	// Real TCP session on localhost.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer l.Close()
+	peerReady := make(chan *bgpd.Session, 1)
+	go func() {
+		s, err := bgpd.Dial(l.Addr().String(), bgpd.Config{LocalAS: 2, RouterID: 2})
+		if err != nil {
+			panic(err)
+		}
+		peerReady <- s
+	}()
+	local, err := bgpd.Accept(l, bgpd.Config{LocalAS: 1, RouterID: 1})
+	if err != nil {
+		panic(err)
+	}
+	peer := <-peerReady
+	defer local.Close()
+	defer peer.Close()
+	fmt.Printf("BGP session established over %s (peer AS%d)\n\n", l.Addr(), local.PeerAS())
+
+	ctrl.AttachPrimary(local)
+
+	// AS 2's router replays the (5,6) failure burst on the wire.
+	b, err := netw.ReplayLinkFailure(1, 2, topology.MakeLink(5, 6), bgpsim.TestbedTiming(9))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("peer replays the burst: %d withdrawals, %d updates\n", b.Size, len(b.Events)-b.Size)
+	var batch []netaddr.Prefix
+	flush := func() {
+		for _, m := range bgp.PackWithdrawals(batch) {
+			if err := peer.Send(m); err != nil {
+				panic(err)
+			}
+		}
+		batch = batch[:0]
+	}
+	for _, ev := range b.Events {
+		if ev.Kind == bgpsim.KindWithdraw {
+			batch = append(batch, ev.Prefix)
+			if len(batch) >= 500 {
+				flush()
+			}
+			continue
+		}
+		flush()
+		if err := peer.Send(&bgp.Update{
+			Attrs: bgp.Attrs{ASPath: ev.Path, HasNextHop: true, NextHop: 2},
+			NLRI:  []netaddr.Prefix{ev.Prefix},
+		}); err != nil {
+			panic(err)
+		}
+	}
+	flush()
+
+	// Give the controller a moment to drain the socket.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if ds := ctrl.Decisions(); len(ds) > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	fmt.Println()
+	for _, d := range ctrl.Decisions() {
+		fmt.Printf("live inference: links %v after %d withdrawals, %d rules installed\n",
+			d.Result.Links, d.Result.Received, d.RulesInstalled)
+	}
+	fmt.Println("final:", ctrl.Status())
+}

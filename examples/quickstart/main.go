@@ -1,0 +1,64 @@
+// Quickstart: the smallest complete SWIFT deployment. One engine is
+// provisioned with a primary table (via neighbor AS 2 across the chain
+// 2→5→6) and an alternate (via AS 3), then a burst of withdrawals —
+// the failure of the remote link (5,6) — streams in. The engine infers
+// the failure from the first few hundred messages and reroutes every
+// affected prefix with a handful of tag rules.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"swift"
+)
+
+func main() {
+	cfg := swift.Config{LocalAS: 1, PrimaryNeighbor: 2}
+	cfg.Inference = swift.DefaultInference()
+	cfg.Inference.TriggerEvery = 200 // small demo: infer every 200 withdrawals
+	cfg.Inference.UseHistory = false
+	cfg.Encoding = swift.DefaultEncoding()
+	cfg.Encoding.MinPrefixes = 100 // encode links carrying >= 100 prefixes
+	cfg.Burst = swift.BurstConfig{StartThreshold: 100, StopThreshold: 9}
+	cfg.Logf = func(format string, args ...any) { fmt.Printf("  | "+format+"\n", args...) }
+
+	engine := swift.New(cfg)
+
+	// Table transfer: 1,000 prefixes routed via AS 2 over the remote
+	// chain 2→5→6; AS 3 offers a (5,6)-free alternate for each.
+	fmt.Println("provisioning 1000 prefixes (primary via AS2, alternate via AS3)...")
+	prefixes := make([]swift.Prefix, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		p := swift.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", i/250, i%250))
+		prefixes = append(prefixes, p)
+		engine.LearnPrimary(p, []uint32{2, 5, 6})
+		engine.LearnAlternate(3, p, []uint32{3, 6})
+	}
+	if err := engine.Provision(); err != nil {
+		panic(err)
+	}
+
+	nh, _ := engine.FIB().ForwardPrefix(prefixes[0])
+	fmt.Printf("before the outage: %v forwards via AS%d\n\n", prefixes[0], nh)
+
+	// The remote link (5,6) fails: its withdrawals arrive one by one.
+	fmt.Println("link (5,6) fails — streaming withdrawals...")
+	for i, p := range prefixes[:600] {
+		engine.ObserveWithdraw(time.Duration(i)*2*time.Millisecond, p)
+	}
+
+	fmt.Println()
+	for _, d := range engine.Decisions() {
+		fmt.Printf("inference at %v: links %v, %d prefixes predicted, %d rules in %v\n",
+			d.At, d.Result.Links, len(d.Predicted), d.RulesInstalled, d.DataplaneTime)
+	}
+
+	// Prefixes whose withdrawals have NOT yet arrived are already safe.
+	survivor := prefixes[900]
+	nh, ok := engine.FIB().ForwardPrefix(survivor)
+	fmt.Printf("\nafter the inference: %v forwards via AS%d (ok=%v) — rerouted before its withdrawal arrived\n",
+		survivor, nh, ok)
+}

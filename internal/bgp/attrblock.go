@@ -1,0 +1,21 @@
+package bgp
+
+// AppendAttrs encodes a bare path-attribute block (no message framing).
+// TABLE_DUMP_V2 RIB entries embed attribute blocks in exactly this
+// shape, which is why it is exported alongside the UPDATE codec.
+func AppendAttrs(dst []byte, a *Attrs) ([]byte, error) {
+	return appendAttrs(dst, a)
+}
+
+// DecodeAttrs decodes a bare path-attribute block into a, overwriting
+// its previous contents. Decoded slices are freshly allocated.
+func DecodeAttrs(b []byte, a *Attrs) error {
+	var d UpdateDecoder
+	if err := d.decodeAttrs(b); err != nil {
+		return err
+	}
+	*a = d.Attrs
+	a.ASPath = append([]uint32(nil), d.Attrs.ASPath...)
+	a.Communities = append([]uint32(nil), d.Attrs.Communities...)
+	return nil
+}

@@ -1,0 +1,167 @@
+// Package bgp implements the BGP-4 wire format (RFC 4271) used by the
+// SWIFT reproduction: message framing, OPEN / UPDATE / NOTIFICATION /
+// KEEPALIVE encoding and decoding, and the path attributes SWIFT cares
+// about (AS_PATH above all — it is the input to both the inference and
+// the encoding algorithms).
+//
+// The decoder follows the gopacket idiom of decoding into caller-owned,
+// reusable structures: UpdateDecoder decodes UPDATE messages without
+// allocating per message, which matters when replaying million-message
+// traces through the SWIFT engine.
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message type codes from RFC 4271 §4.1.
+const (
+	TypeOpen         = 1
+	TypeUpdate       = 2
+	TypeNotification = 3
+	TypeKeepalive    = 4
+)
+
+// Protocol limits from RFC 4271.
+const (
+	HeaderLen  = 19
+	MaxMsgLen  = 4096
+	MarkerLen  = 16
+	Version    = 4
+	ASTrans    = 23456 // RFC 6793 2-byte placeholder for 4-byte ASNs
+	minHoldSec = 3
+)
+
+// Wire-format errors. Decoders wrap these with positional context.
+var (
+	ErrShortMessage = errors.New("bgp: message truncated")
+	ErrBadMarker    = errors.New("bgp: bad marker")
+	ErrBadLength    = errors.New("bgp: bad message length")
+	ErrBadType      = errors.New("bgp: unknown message type")
+	ErrBadAttr      = errors.New("bgp: malformed path attribute")
+)
+
+// Header is the fixed 19-byte BGP message header.
+type Header struct {
+	Len  uint16
+	Type uint8
+}
+
+// marshalHeader writes the all-ones marker, length and type into dst,
+// which must have at least HeaderLen bytes.
+func marshalHeader(dst []byte, length int, typ uint8) {
+	for i := 0; i < MarkerLen; i++ {
+		dst[i] = 0xff
+	}
+	binary.BigEndian.PutUint16(dst[16:18], uint16(length))
+	dst[18] = typ
+}
+
+// ParseHeader validates and decodes a message header.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, ErrShortMessage
+	}
+	for i := 0; i < MarkerLen; i++ {
+		if b[i] != 0xff {
+			return Header{}, ErrBadMarker
+		}
+	}
+	h := Header{
+		Len:  binary.BigEndian.Uint16(b[16:18]),
+		Type: b[18],
+	}
+	if h.Len < HeaderLen || h.Len > MaxMsgLen {
+		return h, fmt.Errorf("%w: %d", ErrBadLength, h.Len)
+	}
+	if h.Type < TypeOpen || h.Type > TypeKeepalive {
+		return h, fmt.Errorf("%w: %d", ErrBadType, h.Type)
+	}
+	return h, nil
+}
+
+// ReadMessage reads one complete BGP message from r, returning its header
+// and body (the bytes after the header). The body slice is freshly
+// allocated and owned by the caller.
+func ReadMessage(r io.Reader) (Header, []byte, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Header{}, nil, err
+	}
+	h, err := ParseHeader(hdr[:])
+	if err != nil {
+		return h, nil, err
+	}
+	body := make([]byte, int(h.Len)-HeaderLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return h, nil, fmt.Errorf("bgp: reading body: %w", err)
+	}
+	return h, body, nil
+}
+
+// Message is any encodable BGP message.
+type Message interface {
+	// MsgType returns the RFC 4271 type code.
+	MsgType() uint8
+	// AppendWire appends the complete wire encoding (header included)
+	// to dst and returns the extended slice.
+	AppendWire(dst []byte) ([]byte, error)
+}
+
+// WriteMessage encodes m and writes it to w.
+func WriteMessage(w io.Writer, m Message) error {
+	buf, err := m.AppendWire(nil)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Keepalive is the body-less KEEPALIVE message.
+type Keepalive struct{}
+
+// MsgType implements Message.
+func (Keepalive) MsgType() uint8 { return TypeKeepalive }
+
+// AppendWire implements Message.
+func (Keepalive) AppendWire(dst []byte) ([]byte, error) {
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen)...)
+	marshalHeader(dst[off:], HeaderLen, TypeKeepalive)
+	return dst, nil
+}
+
+// DecodeMessage decodes a full message (header+body) into a typed value.
+// It allocates; hot paths should use UpdateDecoder directly.
+func DecodeMessage(h Header, body []byte) (Message, error) {
+	switch h.Type {
+	case TypeOpen:
+		var o Open
+		if err := o.Decode(body); err != nil {
+			return nil, err
+		}
+		return &o, nil
+	case TypeUpdate:
+		var u Update
+		if err := u.Decode(body); err != nil {
+			return nil, err
+		}
+		return &u, nil
+	case TypeNotification:
+		var n Notification
+		if err := n.Decode(body); err != nil {
+			return nil, err
+		}
+		return &n, nil
+	case TypeKeepalive:
+		if len(body) != 0 {
+			return nil, ErrBadLength
+		}
+		return Keepalive{}, nil
+	}
+	return nil, ErrBadType
+}

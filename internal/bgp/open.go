@@ -1,0 +1,200 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Capability codes (RFC 5492 registry) supported by this implementation.
+const (
+	CapMultiprotocol = 1  // RFC 4760
+	CapRouteRefresh  = 2  // RFC 2918
+	CapFourOctetAS   = 65 // RFC 6793
+)
+
+// Capability is a single capability TLV from an OPEN optional parameter.
+type Capability struct {
+	Code  uint8
+	Value []byte
+}
+
+// Open is the BGP OPEN message (RFC 4271 §4.2).
+type Open struct {
+	Version      uint8
+	AS           uint32 // full 4-byte ASN; wire carries ASTrans when > 65535
+	HoldTime     uint16
+	RouterID     uint32
+	Capabilities []Capability
+}
+
+// MsgType implements Message.
+func (*Open) MsgType() uint8 { return TypeOpen }
+
+// FourOctetAS reports whether the peer advertised RFC 6793 support, and
+// the ASN it carried there.
+func (o *Open) FourOctetAS() (uint32, bool) {
+	for _, c := range o.Capabilities {
+		if c.Code == CapFourOctetAS && len(c.Value) == 4 {
+			return binary.BigEndian.Uint32(c.Value), true
+		}
+	}
+	return 0, false
+}
+
+// AppendWire implements Message. A CapFourOctetAS capability carrying the
+// full ASN is added automatically when none is present.
+func (o *Open) AppendWire(dst []byte) ([]byte, error) {
+	if o.HoldTime != 0 && o.HoldTime < minHoldSec {
+		return nil, fmt.Errorf("bgp: hold time %d below minimum %d", o.HoldTime, minHoldSec)
+	}
+	caps := o.Capabilities
+	if _, ok := o.FourOctetAS(); !ok {
+		var v [4]byte
+		binary.BigEndian.PutUint32(v[:], o.AS)
+		caps = append(append([]Capability(nil), caps...), Capability{Code: CapFourOctetAS, Value: v[:]})
+	}
+
+	var capBuf []byte
+	for _, c := range caps {
+		if len(c.Value) > 255 {
+			return nil, fmt.Errorf("bgp: capability %d value too long", c.Code)
+		}
+		capBuf = append(capBuf, c.Code, byte(len(c.Value)))
+		capBuf = append(capBuf, c.Value...)
+	}
+	// One optional parameter of type 2 (Capabilities) wrapping all TLVs.
+	optLen := 0
+	if len(capBuf) > 0 {
+		optLen = 2 + len(capBuf)
+		if optLen > 255 {
+			return nil, errors.New("bgp: capabilities exceed optional parameter space")
+		}
+	}
+
+	wireAS := o.AS
+	if wireAS > 0xffff {
+		wireAS = ASTrans
+	}
+	version := o.Version
+	if version == 0 {
+		version = Version
+	}
+
+	total := HeaderLen + 10 + optLen
+	off := len(dst)
+	dst = append(dst, make([]byte, total)...)
+	b := dst[off:]
+	marshalHeader(b, total, TypeOpen)
+	b = b[HeaderLen:]
+	b[0] = version
+	binary.BigEndian.PutUint16(b[1:3], uint16(wireAS))
+	binary.BigEndian.PutUint16(b[3:5], o.HoldTime)
+	binary.BigEndian.PutUint32(b[5:9], o.RouterID)
+	b[9] = byte(optLen)
+	if optLen > 0 {
+		b[10] = 2 // parameter type: capabilities
+		b[11] = byte(len(capBuf))
+		copy(b[12:], capBuf)
+	}
+	return dst, nil
+}
+
+// Decode parses an OPEN body. The 4-byte ASN is recovered from the
+// capability when the 2-byte field carries ASTrans.
+func (o *Open) Decode(body []byte) error {
+	if len(body) < 10 {
+		return ErrShortMessage
+	}
+	o.Version = body[0]
+	o.AS = uint32(binary.BigEndian.Uint16(body[1:3]))
+	o.HoldTime = binary.BigEndian.Uint16(body[3:5])
+	o.RouterID = binary.BigEndian.Uint32(body[5:9])
+	optLen := int(body[9])
+	if len(body) != 10+optLen {
+		return fmt.Errorf("%w: optional parameters", ErrBadLength)
+	}
+	o.Capabilities = nil
+	opts := body[10:]
+	for len(opts) > 0 {
+		if len(opts) < 2 {
+			return ErrShortMessage
+		}
+		ptype, plen := opts[0], int(opts[1])
+		if len(opts) < 2+plen {
+			return ErrShortMessage
+		}
+		if ptype == 2 { // capabilities
+			caps := opts[2 : 2+plen]
+			for len(caps) > 0 {
+				if len(caps) < 2 || len(caps) < 2+int(caps[1]) {
+					return ErrShortMessage
+				}
+				clen := int(caps[1])
+				o.Capabilities = append(o.Capabilities, Capability{
+					Code:  caps[0],
+					Value: append([]byte(nil), caps[2:2+clen]...),
+				})
+				caps = caps[2+clen:]
+			}
+		}
+		opts = opts[2+plen:]
+	}
+	if as4, ok := o.FourOctetAS(); ok && o.AS == ASTrans {
+		o.AS = as4
+	}
+	return nil
+}
+
+// Notification is the BGP NOTIFICATION message (RFC 4271 §4.5).
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// NOTIFICATION error codes (RFC 4271 §6).
+const (
+	NotifHeaderError = 1
+	NotifOpenError   = 2
+	NotifUpdateError = 3
+	NotifHoldTimer   = 4
+	NotifFSMError    = 5
+	NotifCease       = 6
+)
+
+// MsgType implements Message.
+func (*Notification) MsgType() uint8 { return TypeNotification }
+
+// AppendWire implements Message.
+func (n *Notification) AppendWire(dst []byte) ([]byte, error) {
+	total := HeaderLen + 2 + len(n.Data)
+	if total > MaxMsgLen {
+		return nil, ErrBadLength
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, total)...)
+	b := dst[off:]
+	marshalHeader(b, total, TypeNotification)
+	b[HeaderLen] = n.Code
+	b[HeaderLen+1] = n.Subcode
+	copy(b[HeaderLen+2:], n.Data)
+	return dst, nil
+}
+
+// Decode parses a NOTIFICATION body.
+func (n *Notification) Decode(body []byte) error {
+	if len(body) < 2 {
+		return ErrShortMessage
+	}
+	n.Code = body[0]
+	n.Subcode = body[1]
+	n.Data = append([]byte(nil), body[2:]...)
+	return nil
+}
+
+// Error renders the notification as a Go error string so that sessions
+// can surface peer-sent errors directly.
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp: notification code %d subcode %d", n.Code, n.Subcode)
+}

@@ -1,0 +1,33 @@
+package bgpd
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Dial connects to addr (host:port) and establishes a BGP session as the
+// active opener.
+func Dial(addr string, cfg Config) (*Session, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("bgpd: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return Establish(conn, cfg)
+}
+
+// Accept waits for one inbound connection on l and establishes a BGP
+// session as the passive opener.
+func Accept(l net.Listener, cfg Config) (*Session, error) {
+	conn, err := l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("bgpd: accept: %w", err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return Establish(conn, cfg)
+}

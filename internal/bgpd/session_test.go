@@ -1,0 +1,301 @@
+package bgpd
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"swift/internal/bgp"
+	"swift/internal/netaddr"
+)
+
+// pair establishes two sessions over an in-memory connection.
+func pair(t *testing.T, a, b Config) (*Session, *Session) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := Establish(c1, a)
+		ch <- res{s, err}
+	}()
+	sb, err := Establish(c2, b)
+	if err != nil {
+		t.Fatalf("passive establish: %v", err)
+	}
+	ra := <-ch
+	if ra.err != nil {
+		t.Fatalf("active establish: %v", ra.err)
+	}
+	t.Cleanup(func() {
+		ra.s.Close()
+		sb.Close()
+	})
+	return ra.s, sb
+}
+
+func TestHandshake(t *testing.T) {
+	a, b := pair(t,
+		Config{LocalAS: 65001, RouterID: 1, HoldTime: 30 * time.Second},
+		Config{LocalAS: 65002, RouterID: 2, HoldTime: 90 * time.Second},
+	)
+	if a.State() != StateEstablished || b.State() != StateEstablished {
+		t.Fatalf("states = %v, %v", a.State(), b.State())
+	}
+	if a.PeerAS() != 65002 || b.PeerAS() != 65001 {
+		t.Errorf("peer AS = %d, %d", a.PeerAS(), b.PeerAS())
+	}
+	if a.PeerID() != 2 || b.PeerID() != 1 {
+		t.Errorf("peer ID = %d, %d", a.PeerID(), b.PeerID())
+	}
+	// Hold time negotiation: minimum of the proposals.
+	if a.HoldTime() != 30*time.Second || b.HoldTime() != 30*time.Second {
+		t.Errorf("hold = %v, %v, want 30s both", a.HoldTime(), b.HoldTime())
+	}
+}
+
+func TestFourByteASNegotiation(t *testing.T) {
+	a, b := pair(t,
+		Config{LocalAS: 400001, RouterID: 1},
+		Config{LocalAS: 65002, RouterID: 2},
+	)
+	if b.PeerAS() != 400001 {
+		t.Errorf("4-byte peer AS = %d, want 400001", b.PeerAS())
+	}
+	if a.PeerAS() != 65002 {
+		t.Errorf("peer AS = %d", a.PeerAS())
+	}
+}
+
+func TestUpdateExchange(t *testing.T) {
+	a, b := pair(t,
+		Config{LocalAS: 65001, RouterID: 1},
+		Config{LocalAS: 65002, RouterID: 2},
+	)
+	sent := &bgp.Update{
+		Attrs: bgp.Attrs{
+			ASPath:     []uint32{65001, 65100},
+			HasNextHop: true,
+			NextHop:    0x0a000001,
+		},
+		NLRI: []netaddr.Prefix{netaddr.MustParsePrefix("192.0.2.0/24")},
+	}
+	if err := a.Send(sent); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-b.Updates():
+		if len(got.NLRI) != 1 || got.NLRI[0] != sent.NLRI[0] {
+			t.Errorf("received NLRI = %v", got.NLRI)
+		}
+		if len(got.Attrs.ASPath) != 2 || got.Attrs.ASPath[0] != 65001 {
+			t.Errorf("received path = %v", got.Attrs.ASPath)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("update not delivered")
+	}
+}
+
+func TestWithdrawalBurstDelivery(t *testing.T) {
+	a, b := pair(t,
+		Config{LocalAS: 65001, RouterID: 1},
+		Config{LocalAS: 65002, RouterID: 2},
+	)
+	var prefixes []netaddr.Prefix
+	for i := 0; i < 2000; i++ {
+		prefixes = append(prefixes, netaddr.BlockFor(uint32(1+i/250), i%250))
+	}
+	msgs := bgp.PackWithdrawals(prefixes)
+	go func() {
+		for _, m := range msgs {
+			if err := a.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	received := 0
+	timeout := time.After(10 * time.Second)
+	for received < 2000 {
+		select {
+		case u := <-b.Updates():
+			received += len(u.Withdrawn)
+		case <-timeout:
+			t.Fatalf("received %d of 2000 withdrawals", received)
+		}
+	}
+}
+
+func TestCleanCloseDeliversCease(t *testing.T) {
+	a, b := pair(t,
+		Config{LocalAS: 65001, RouterID: 1},
+		Config{LocalAS: 65002, RouterID: 2},
+	)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer did not observe close")
+	}
+	if err := b.Err(); err != nil {
+		t.Errorf("clean cease should not be an error, got %v", err)
+	}
+	if err := a.Send(&bgp.Update{}); err != ErrClosed {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestHoldTimerExpiry(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := Establish(c1, Config{LocalAS: 65001, RouterID: 1, HoldTime: 3 * time.Second})
+		ch <- res{s, err}
+	}()
+	// Handshake manually on c2, then go silent: no keepalives.
+	open := &bgp.Open{AS: 65002, HoldTime: 3, RouterID: 2}
+	if err := bgp.WriteMessage(c2, open); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bgp.ReadMessage(c2); err != nil { // their OPEN
+		t.Fatal(err)
+	}
+	if err := bgp.WriteMessage(c2, bgp.Keepalive{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bgp.ReadMessage(c2); err != nil { // their KEEPALIVE
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	defer r.s.Close()
+	// Drain whatever the session writes (keepalives, then the hold-timer
+	// NOTIFICATION) so its writes don't block on the unbuffered pipe.
+	go func() {
+		for {
+			if _, _, err := bgp.ReadMessage(c2); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case <-r.s.Done():
+		if r.s.Err() == nil {
+			t.Error("hold expiry must surface an error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hold timer did not fire")
+	}
+}
+
+func TestDialAccept(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := Accept(l, Config{LocalAS: 65002, RouterID: 2})
+		ch <- res{s, err}
+	}()
+	active, err := Dial(l.Addr().String(), Config{LocalAS: 65001, RouterID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer active.Close()
+	passive := <-ch
+	if passive.err != nil {
+		t.Fatal(passive.err)
+	}
+	defer passive.s.Close()
+	if active.PeerAS() != 65002 || passive.s.PeerAS() != 65001 {
+		t.Errorf("peer AS = %d, %d", active.PeerAS(), passive.s.PeerAS())
+	}
+}
+
+func TestMalformedUpdateKillsSession(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := Establish(c1, Config{LocalAS: 65001, RouterID: 1})
+		ch <- res{s, err}
+	}()
+	open := &bgp.Open{AS: 65002, HoldTime: 90, RouterID: 2}
+	if err := bgp.WriteMessage(c2, open); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bgp.ReadMessage(c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := bgp.WriteMessage(c2, bgp.Keepalive{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bgp.ReadMessage(c2); err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	defer r.s.Close()
+	go func() {
+		for {
+			if _, _, err := bgp.ReadMessage(c2); err != nil {
+				return
+			}
+		}
+	}()
+	// A 6-byte UPDATE body with an impossible withdrawn length.
+	raw := make([]byte, bgp.HeaderLen+6)
+	for i := 0; i < 16; i++ {
+		raw[i] = 0xff
+	}
+	raw[16] = 0
+	raw[17] = byte(bgp.HeaderLen + 6)
+	raw[18] = bgp.TypeUpdate
+	raw[19], raw[20] = 0xff, 0xff
+	if _, err := c2.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-r.s.Done():
+		if r.s.Err() == nil {
+			t.Error("malformed update must surface an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("session did not terminate on malformed update")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{
+		StateIdle: "Idle", StateOpenSent: "OpenSent", StateOpenConfirm: "OpenConfirm",
+		StateEstablished: "Established", StateClosed: "Closed", State(99): "unknown",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package bgpsim
+
+import (
+	"testing"
+
+	"swift/internal/topology"
+)
+
+// BenchmarkSolveOrigin measures one per-origin policy solve on a
+// 1,000-AS topology (the paper's C-BGP setup size).
+func BenchmarkSolveOrigin(b *testing.B) {
+	g := topology.Generate(topology.GenConfig{NumASes: 1000, AvgDegree: 8.4, Seed: 1})
+	pol := &Policy{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveOrigin(g, pol, uint32(i%1000+1))
+	}
+}
+
+// BenchmarkReplayFig1 measures a full failure replay at 10k scale.
+func BenchmarkReplayFig1(b *testing.B) {
+	net := Fig1Network(10000)
+	link := topology.MakeLink(5, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.ReplayLinkFailure(1, 2, link, TestbedTiming(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

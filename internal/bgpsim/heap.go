@@ -1,0 +1,51 @@
+package bgpsim
+
+import "container/heap"
+
+// exportItem is a pending route export in the phase-3 relaxation.
+type exportItem struct {
+	to uint32
+	c  cand
+}
+
+// cand is a route candidate offered to an AS.
+type cand struct {
+	via  uint32
+	path []uint32
+}
+
+// exportHeap orders pending exports by path length, then destination,
+// then next-hop, so the relaxation is both correct (shortest-first) and
+// deterministic.
+type exportHeap struct {
+	items []exportItem
+}
+
+func (h *exportHeap) Len() int { return len(h.items) }
+
+func (h *exportHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if len(a.c.path) != len(b.c.path) {
+		return len(a.c.path) < len(b.c.path)
+	}
+	if a.to != b.to {
+		return a.to < b.to
+	}
+	return a.c.via < b.c.via
+}
+
+func (h *exportHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *exportHeap) Push(x any) { h.items = append(h.items, x.(exportItem)) }
+
+func (h *exportHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+func (h *exportHeap) push(it exportItem) { heap.Push(h, it) }
+
+func (h *exportHeap) pop() exportItem { return heap.Pop(h).(exportItem) }

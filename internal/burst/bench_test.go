@@ -1,0 +1,16 @@
+package burst
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkDetector measures the sliding-window hot path.
+func BenchmarkDetector(b *testing.B) {
+	d := NewDetector(Config{}, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ObserveWithdrawal(time.Duration(i) * 100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,263 @@
+// Package burst implements SWIFT's burst detection (§4.1): a sliding
+// window over the withdrawal stream whose start/stop thresholds come
+// from percentiles of the session's recent history (99.99th and 90th of
+// withdrawals seen over any window-sized period). It provides both a
+// streaming Detector, used by the SWIFT engine, and a batch Segmenter
+// used by the trace analysis of §2.2.
+package burst
+
+import (
+	"sort"
+	"time"
+)
+
+// DefaultWindow is the paper's 10-second sliding window.
+const DefaultWindow = 10 * time.Second
+
+// Default thresholds, the paper's calibration on RouteViews/RIS data:
+// 1,500 withdrawals per window starts a burst (99.99th percentile), 9
+// stops it (90th percentile).
+const (
+	DefaultStartThreshold = 1500
+	DefaultStopThreshold  = 9
+)
+
+// Config parameterizes a Detector or Segmenter.
+type Config struct {
+	// Window is the sliding window size (default 10 s).
+	Window time.Duration
+	// StartThreshold begins a burst when the window holds this many
+	// withdrawals (default 1,500). When a History is attached to a
+	// Detector, its 99.99th percentile takes precedence.
+	StartThreshold int
+	// StopThreshold ends a burst when the window count drops to or
+	// below it (default 9).
+	StopThreshold int
+}
+
+func (c Config) window() time.Duration {
+	if c.Window <= 0 {
+		return DefaultWindow
+	}
+	return c.Window
+}
+
+func (c Config) start() int {
+	if c.StartThreshold <= 0 {
+		return DefaultStartThreshold
+	}
+	return c.StartThreshold
+}
+
+func (c Config) stop() int {
+	if c.StopThreshold <= 0 {
+		return DefaultStopThreshold
+	}
+	return c.StopThreshold
+}
+
+// History tracks per-window withdrawal counts over a long period (the
+// paper uses a month) and derives the adaptive thresholds.
+type History struct {
+	samples []int
+	sorted  []int
+	dirty   bool
+}
+
+// Record adds one observed window count.
+func (h *History) Record(windowCount int) {
+	h.samples = append(h.samples, windowCount)
+	h.dirty = true
+}
+
+// N returns the number of recorded samples.
+func (h *History) N() int { return len(h.samples) }
+
+// Percentile returns the p-th percentile (nearest-rank) of recorded
+// window counts, or 0 with no samples.
+func (h *History) Percentile(p float64) int {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if h.dirty {
+		h.sorted = append(h.sorted[:0], h.samples...)
+		sort.Ints(h.sorted)
+		h.dirty = false
+	}
+	idx := int(p / 100 * float64(len(h.sorted)))
+	if idx >= len(h.sorted) {
+		idx = len(h.sorted) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return h.sorted[idx]
+}
+
+// StartThreshold returns the burst-start threshold implied by history
+// (99.99th percentile, floored at min so a quiet session does not
+// trigger on every withdrawal).
+func (h *History) StartThreshold(min int) int {
+	t := h.Percentile(99.99)
+	if t < min {
+		return min
+	}
+	return t
+}
+
+// State is the detector's current phase.
+type State int
+
+// Detector states.
+const (
+	Quiet State = iota
+	InBurst
+)
+
+// Detector consumes a timestamped withdrawal stream and reports burst
+// boundaries. Time is a monotone offset (the replay and trace formats
+// use offsets from an epoch); feeding non-monotone times is an error
+// tolerated by clamping.
+type Detector struct {
+	cfg     Config
+	hist    *History
+	state   State
+	times   []time.Duration // withdrawal times within the window (ring as slice)
+	head    int
+	started time.Duration
+	count   int // withdrawals in current burst
+}
+
+// NewDetector returns a detector. hist may be nil to use the static
+// thresholds in cfg.
+func NewDetector(cfg Config, hist *History) *Detector {
+	return &Detector{cfg: cfg, hist: hist}
+}
+
+// State returns the current phase.
+func (d *Detector) State() State { return d.state }
+
+// BurstCount returns the number of withdrawals observed in the current
+// burst (0 when quiet).
+func (d *Detector) BurstCount() int {
+	if d.state != InBurst {
+		return 0
+	}
+	return d.count
+}
+
+// BurstStart returns the time the current burst began.
+func (d *Detector) BurstStart() time.Duration { return d.started }
+
+// Transition describes what a call to Observe caused.
+type Transition int
+
+// Observe outcomes.
+const (
+	None Transition = iota
+	Started
+	Ended
+)
+
+// evict drops window entries older than at-window.
+func (d *Detector) evict(at time.Duration) {
+	w := d.cfg.window()
+	for d.head < len(d.times) && d.times[d.head] <= at-w {
+		d.head++
+	}
+	if d.head > 1024 && d.head*2 > len(d.times) {
+		d.times = append([]time.Duration(nil), d.times[d.head:]...)
+		d.head = 0
+	}
+}
+
+func (d *Detector) windowCount() int { return len(d.times) - d.head }
+
+// startThreshold resolves the effective start threshold.
+func (d *Detector) startThreshold() int {
+	if d.hist != nil && d.hist.N() > 0 {
+		return d.hist.StartThreshold(d.cfg.start())
+	}
+	return d.cfg.start()
+}
+
+// ObserveWithdrawal feeds one withdrawal at the given offset.
+func (d *Detector) ObserveWithdrawal(at time.Duration) Transition {
+	if n := len(d.times); n > d.head && at < d.times[n-1] {
+		at = d.times[n-1] // clamp non-monotone input
+	}
+	d.times = append(d.times, at)
+	d.evict(at)
+	if d.hist != nil {
+		d.hist.Record(d.windowCount())
+	}
+	if d.state == Quiet && d.windowCount() >= d.startThreshold() {
+		d.state = InBurst
+		d.started = at
+		d.count = d.windowCount()
+		return Started
+	}
+	if d.state == InBurst {
+		d.count++
+	}
+	return None
+}
+
+// Tick advances time without a withdrawal (announcements and keepalives
+// drive this), possibly ending a burst.
+func (d *Detector) Tick(at time.Duration) Transition {
+	d.evict(at)
+	if d.state == InBurst && d.windowCount() <= d.cfg.stop() {
+		d.state = Quiet
+		return Ended
+	}
+	return None
+}
+
+// Span is one burst found by the batch Segmenter.
+type Span struct {
+	Start, End time.Duration
+	// Withdrawals counts withdrawal messages inside the span.
+	Withdrawals int
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Segment finds bursts in a batch of withdrawal offsets (sorted
+// ascending) the way §2.2.1 does: a burst starts when the window count
+// rises above cfg's start threshold and stops when it falls below the
+// stop threshold.
+func Segment(cfg Config, times []time.Duration) []Span {
+	w, start, stop := cfg.window(), cfg.start(), cfg.stop()
+	var spans []Span
+	var cur *Span
+	head := 0
+	for i, at := range times {
+		for head < i && times[head] <= at-w {
+			head++
+		}
+		count := i - head + 1
+		if cur == nil && count >= start {
+			spans = append(spans, Span{Start: times[head]})
+			cur = &spans[len(spans)-1]
+			cur.Withdrawals = count
+			continue
+		}
+		if cur != nil {
+			if count <= stop {
+				// The window has drained: the burst really ended at the
+				// last withdrawal before this gap, and the current
+				// (post-gap) withdrawal is not part of it.
+				cur.End = times[i-1]
+				cur = nil
+				continue
+			}
+			cur.Withdrawals++
+		}
+	}
+	if cur != nil {
+		cur.End = times[len(times)-1]
+	}
+	return spans
+}

@@ -1,0 +1,70 @@
+package burst
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDetectorSegmenterAgree replays random withdrawal streams through
+// both the streaming Detector and the batch Segmenter and checks they
+// find the same number of bursts — the streaming path is what the
+// engine uses, the batch path what the §2.2 census uses.
+func TestDetectorSegmenterAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		cfg := Config{StartThreshold: 50, StopThreshold: 5}
+		var times []time.Duration
+		clock := time.Duration(0)
+		// Random alternation of dense bursts and quiet gaps.
+		nBursts := 1 + rng.Intn(4)
+		for b := 0; b < nBursts; b++ {
+			clock += time.Duration(30+rng.Intn(60)) * time.Second
+			n := 100 + rng.Intn(400)
+			for i := 0; i < n; i++ {
+				clock += time.Duration(rng.Intn(10)) * time.Millisecond
+				times = append(times, clock)
+			}
+		}
+		spans := Segment(cfg, times)
+		if len(spans) != nBursts {
+			t.Fatalf("trial %d: segmenter found %d bursts, generated %d", trial, len(spans), nBursts)
+		}
+
+		d := NewDetector(cfg, nil)
+		started := 0
+		for _, at := range times {
+			if d.ObserveWithdrawal(at) == Started {
+				started++
+			}
+			// Ticks between messages let the detector close quiet bursts.
+			d.Tick(at + 1)
+		}
+		d.Tick(clock + time.Minute)
+		if started != nBursts {
+			t.Fatalf("trial %d: detector started %d bursts, generated %d", trial, started, nBursts)
+		}
+	}
+}
+
+// TestSegmentWithdrawalConservation: every generated withdrawal inside
+// a dense region is attributed to exactly one burst.
+func TestSegmentWithdrawalConservation(t *testing.T) {
+	cfg := Config{StartThreshold: 100, StopThreshold: 5}
+	var times []time.Duration
+	const perBurst = 1000
+	for b := 0; b < 3; b++ {
+		base := time.Duration(b) * time.Hour
+		for i := 0; i < perBurst; i++ {
+			times = append(times, base+time.Duration(i)*time.Millisecond)
+		}
+	}
+	spans := Segment(cfg, times)
+	total := 0
+	for _, s := range spans {
+		total += s.Withdrawals
+	}
+	if total != 3*perBurst {
+		t.Errorf("attributed %d withdrawals, generated %d", total, 3*perBurst)
+	}
+}

@@ -1,0 +1,174 @@
+package controller
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"swift/internal/bgp"
+	"swift/internal/bgpd"
+	"swift/internal/bgpsim"
+	"swift/internal/inference"
+	"swift/internal/netaddr"
+	swiftengine "swift/internal/swift"
+	"swift/internal/topology"
+)
+
+// livePair returns two established sessions over an in-memory pipe.
+func livePair(t *testing.T) (*bgpd.Session, *bgpd.Session) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	type res struct {
+		s   *bgpd.Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := bgpd.Establish(c1, bgpd.Config{LocalAS: 1, RouterID: 1})
+		ch <- res{s, err}
+	}()
+	peer, err := bgpd.Establish(c2, bgpd.Config{LocalAS: 2, RouterID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := <-ch
+	if local.err != nil {
+		t.Fatal(local.err)
+	}
+	t.Cleanup(func() {
+		local.s.Close()
+		peer.Close()
+	})
+	return local.s, peer
+}
+
+// TestLiveBurstReroute drives the full §7 pipeline over a real BGP
+// session: the peer replays the Fig. 1 burst as wire UPDATEs, the
+// controller's engine detects it, infers (5,6), and programs the data
+// plane while the burst is still arriving.
+func TestLiveBurstReroute(t *testing.T) {
+	scale := 1000
+	netw := bgpsim.Fig1Network(scale)
+	sols := netw.Solve(netw.Graph)
+
+	cfg := swiftengine.Config{LocalAS: 1, PrimaryNeighbor: 2}
+	cfg.Inference = inference.Default()
+	cfg.Inference.TriggerEvery = 250
+	cfg.Inference.UseHistory = false
+	cfg.Encoding.MinPrefixes = 100
+	cfg.Burst.StartThreshold = 100
+	engine := swiftengine.New(cfg)
+	// The controller's session goroutine can outlive the test body by a
+	// beat; logging must not touch testing.T after completion.
+	ctrl := New(engine, nil)
+
+	// Table transfer: primary from AS 2, alternates from AS 3 and 4.
+	for origin := range netw.Origins {
+		for _, nb := range []uint32{2, 3, 4} {
+			r, ok := sols[origin].ExportTo(netw.Graph, netw.Policy, nb, 1)
+			if !ok {
+				continue
+			}
+			var updates []*bgp.Update
+			u := &bgp.Update{Attrs: bgp.Attrs{ASPath: r.Path, HasNextHop: true, NextHop: nb}}
+			for i := 0; i < netw.Origins[origin]; i++ {
+				u.NLRI = append(u.NLRI, netaddr.PrefixFor(origin, i))
+			}
+			updates = append(updates, u)
+			if nb == 2 {
+				ctrl.LoadTable(updates)
+			} else {
+				ctrl.LoadAlternate(nb, updates)
+			}
+		}
+	}
+	if err := ctrl.Provision(); err != nil {
+		t.Fatal(err)
+	}
+
+	local, peer := livePair(t)
+	ctrl.AttachPrimary(local)
+
+	// Pre-failure forwarding sanity.
+	if nh, ok := ctrl.ForwardPrefix(netaddr.PrefixFor(8, 0)); !ok || nh != 2 {
+		t.Fatalf("pre-failure forward = %d %v", nh, ok)
+	}
+
+	// Replay the burst on the wire (squashed in time: the controller
+	// uses arrival wall-clock, and we only need ordering).
+	b, err := netw.ReplayLinkFailure(1, 2, topology.MakeLink(5, 6), bgpsim.DefaultTiming(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wd []netaddr.Prefix
+	sent := 0
+	flushWd := func() {
+		if len(wd) == 0 {
+			return
+		}
+		for _, m := range bgp.PackWithdrawals(wd) {
+			if err := peer.Send(m); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+		wd = wd[:0]
+	}
+	for _, ev := range b.Events {
+		if ev.Kind == bgpsim.KindWithdraw {
+			wd = append(wd, ev.Prefix)
+			if len(wd) >= 400 {
+				flushWd()
+			}
+		} else {
+			flushWd()
+			u := &bgp.Update{
+				Attrs: bgp.Attrs{ASPath: ev.Path, HasNextHop: true, NextHop: 2},
+				NLRI:  []netaddr.Prefix{ev.Prefix},
+			}
+			if err := peer.Send(u); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		sent++
+	}
+	flushWd()
+
+	// Wait until the controller has drained the stream and decided.
+	deadline := time.After(15 * time.Second)
+	for {
+		if ds := ctrl.Decisions(); len(ds) > 0 && ctrl.Engine().RIB().OnLink(topology.MakeLink(5, 6)) == 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("controller did not converge: %s", ctrl.Status())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	ds := ctrl.Decisions()
+	last := ds[len(ds)-1]
+	found := false
+	for _, l := range last.Result.Links {
+		if l == topology.MakeLink(5, 6) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("final live inference = %v, want (5,6)", last.Result.Links)
+	}
+	if ctrl.Status() == "" {
+		t.Error("empty status")
+	}
+}
+
+func TestTickClosesQuietBurst(t *testing.T) {
+	cfg := swiftengine.Config{LocalAS: 1, PrimaryNeighbor: 2}
+	cfg.Burst.StartThreshold = 10
+	engine := swiftengine.New(cfg)
+	ctrl := New(engine, nil)
+	if err := ctrl.Provision(); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Tick() // must not panic on an idle controller
+}

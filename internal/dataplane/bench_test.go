@@ -1,0 +1,28 @@
+package dataplane
+
+import (
+	"testing"
+
+	"swift/internal/encoding"
+	"swift/internal/netaddr"
+)
+
+// BenchmarkForward measures the full two-stage pipeline lookup.
+func BenchmarkForward(b *testing.B) {
+	f := New(Config{})
+	for i := 0; i < 100000; i++ {
+		f.SetTag(netaddr.PrefixFor(uint32(100+i%50), i/50), encoding.Tag(i%64))
+	}
+	for p := 0; p < 8; p++ {
+		f.InstallRule(encoding.Rule{Value: encoding.Tag(p), Mask: 0x3f, NextHop: uint32(p), Priority: p})
+	}
+	addrs := make([]uint32, 1024)
+	for i := range addrs {
+		addrs[i] = netaddr.PrefixFor(uint32(100+i%50), i).Addr()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Forward(addrs[i%len(addrs)])
+	}
+}

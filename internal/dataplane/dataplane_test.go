@@ -1,0 +1,146 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"swift/internal/encoding"
+	"swift/internal/netaddr"
+)
+
+func TestStage1LPM(t *testing.T) {
+	f := New(Config{})
+	f.SetTag(netaddr.MustParsePrefix("10.0.0.0/8"), 1)
+	f.SetTag(netaddr.MustParsePrefix("10.1.0.0/16"), 2)
+	f.SetTag(netaddr.MustParsePrefix("10.1.2.0/24"), 3)
+
+	for _, c := range []struct {
+		addr uint32
+		want encoding.Tag
+	}{
+		{0x0a010203, 3}, // 10.1.2.3 -> /24
+		{0x0a010303, 2}, // 10.1.3.3 -> /16
+		{0x0a020303, 1}, // 10.2.3.3 -> /8
+	} {
+		got, ok := f.TagOf(c.addr)
+		if !ok || got != c.want {
+			t.Errorf("TagOf(%08x) = %d, %v; want %d", c.addr, got, ok, c.want)
+		}
+	}
+	if _, ok := f.TagOf(0x0b000000); ok {
+		t.Error("11.0.0.0 must miss")
+	}
+}
+
+func TestRemoveTag(t *testing.T) {
+	f := New(Config{})
+	p := netaddr.MustParsePrefix("10.0.0.0/8")
+	f.SetTag(p, 1)
+	f.RemoveTag(p)
+	if _, ok := f.TagOf(0x0a000001); ok {
+		t.Error("removed tag still matches")
+	}
+	f.RemoveTag(p) // idempotent
+}
+
+func TestPriorityMatching(t *testing.T) {
+	f := New(Config{})
+	p := netaddr.MustParsePrefix("10.0.0.0/8")
+	f.SetTag(p, 0b1010)
+	f.InstallRule(encoding.Rule{Value: 0b1000, Mask: 0b1000, NextHop: 2, Priority: 0})
+	nh, ok := f.Forward(0x0a000001)
+	if !ok || nh != 2 {
+		t.Fatalf("Forward = %d, %v", nh, ok)
+	}
+	// A higher-priority reroute rule takes over.
+	f.InstallRule(encoding.Rule{Value: 0b0010, Mask: 0b0010, NextHop: 3, Priority: 10})
+	nh, ok = f.Forward(0x0a000001)
+	if !ok || nh != 3 {
+		t.Fatalf("after reroute Forward = %d, %v", nh, ok)
+	}
+	// Fallback: removing the reroute restores the primary.
+	if removed := f.RemoveRulesAt(10); removed != 1 {
+		t.Errorf("removed = %d", removed)
+	}
+	nh, _ = f.Forward(0x0a000001)
+	if nh != 2 {
+		t.Errorf("after fallback Forward = %d", nh)
+	}
+}
+
+func TestForwardDropsUnmatched(t *testing.T) {
+	f := New(Config{})
+	f.SetTag(netaddr.MustParsePrefix("10.0.0.0/8"), 0b0001)
+	f.InstallRule(encoding.Rule{Value: 0b1000, Mask: 0b1000, NextHop: 2})
+	if _, ok := f.Forward(0x0a000001); ok {
+		t.Error("packet with non-matching tag must drop")
+	}
+	if _, ok := f.Forward(0x0b000001); ok {
+		t.Error("packet without tag must drop")
+	}
+}
+
+func TestUpdateAccounting(t *testing.T) {
+	cost := 200 * time.Microsecond
+	f := New(Config{RuleUpdateCost: cost})
+	for i := 0; i < 100; i++ {
+		f.SetTag(netaddr.PrefixFor(5, i), encoding.Tag(i))
+	}
+	f.InstallRules(make([]encoding.Rule, 10))
+	if f.Writes() != 110 {
+		t.Errorf("writes = %d, want 110", f.Writes())
+	}
+	if f.Elapsed() != 110*cost {
+		t.Errorf("elapsed = %v, want %v", f.Elapsed(), 110*cost)
+	}
+	f.ResetAccounting()
+	if f.Writes() != 0 || f.Elapsed() != 0 {
+		t.Error("accounting not reset")
+	}
+}
+
+func TestDefaultCostWithinPaperRange(t *testing.T) {
+	if DefaultRuleUpdate < MinRuleUpdate || DefaultRuleUpdate > MaxRuleUpdate {
+		t.Error("default per-rule cost must sit in the 128-282us range")
+	}
+	f := New(Config{})
+	f.SetTag(netaddr.PrefixFor(5, 0), 0)
+	if f.Elapsed() < MinRuleUpdate || f.Elapsed() > MaxRuleUpdate {
+		t.Errorf("one write cost %v outside the paper's range", f.Elapsed())
+	}
+}
+
+func TestRerouteLatencyIndependentOfPrefixCount(t *testing.T) {
+	// The point of SWIFT's encoding (§3.2): rerouting N prefixes costs
+	// a handful of rule writes, not N. Provision 50k prefixes, then
+	// measure only the reroute.
+	f := New(Config{})
+	for i := 0; i < 50000; i++ {
+		f.SetTag(netaddr.PrefixFor(5, i), 0b0100)
+	}
+	f.InstallRule(encoding.Rule{Value: 0, Mask: 0, NextHop: 2, Priority: 0})
+	f.ResetAccounting()
+	f.InstallRules([]encoding.Rule{
+		{Value: 0b0100, Mask: 0b0100, NextHop: 3, Priority: 10},
+	})
+	if f.Writes() != 1 {
+		t.Fatalf("reroute writes = %d, want 1", f.Writes())
+	}
+	if f.Elapsed() > time.Millisecond {
+		t.Errorf("reroute cost = %v, want sub-millisecond", f.Elapsed())
+	}
+	// And it actually moved all the traffic.
+	nh, ok := f.Forward(netaddr.PrefixFor(5, 12345).Addr())
+	if !ok || nh != 3 {
+		t.Errorf("rerouted Forward = %d, %v", nh, ok)
+	}
+}
+
+func TestNumRules(t *testing.T) {
+	f := New(Config{})
+	f.InstallRule(encoding.Rule{Priority: 1})
+	f.InstallRule(encoding.Rule{Priority: 2})
+	if f.NumRules() != 2 {
+		t.Errorf("rules = %d", f.NumRules())
+	}
+}

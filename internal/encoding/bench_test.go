@@ -1,0 +1,39 @@
+package encoding
+
+import (
+	"testing"
+
+	"swift/internal/netaddr"
+	"swift/internal/rib"
+)
+
+// BenchmarkBuild measures compiling the scheme over a 100k-prefix RIB.
+func BenchmarkBuild(b *testing.B) {
+	table := rib.New(1)
+	for g := uint32(0); g < 20; g++ {
+		for i := 0; i < 5000; i++ {
+			table.Announce(netaddr.PrefixFor(100+g, i), []uint32{2, 500 + g%8, 600 + g%4, 100 + g})
+		}
+	}
+	cfg := Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(cfg, table, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuleMatch measures the stage-2 match predicate.
+func BenchmarkRuleMatch(b *testing.B) {
+	r := Rule{Value: 0b0110_0000, Mask: 0b1111_0000, NextHop: 3}
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Matches(Tag(i)) {
+			hits++
+		}
+	}
+	_ = hits
+}

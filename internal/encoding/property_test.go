@@ -1,0 +1,136 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+
+	"swift/internal/netaddr"
+	"swift/internal/reroute"
+	"swift/internal/rib"
+	"swift/internal/topology"
+)
+
+// TestReroutableMatchesRules verifies the core encoding invariant: a
+// prefix reported Reroutable for a link set is matched by at least one
+// of RerouteRules' rules (and diverted to a non-primary next-hop),
+// while prefixes with no relation to the links match none. Checked over
+// randomized topologies.
+func TestReroutableMatchesRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		// Random 3-4 hop paths over a small AS pool, heavy enough to
+		// clear a low encoding threshold.
+		table := rib.New(1)
+		alt := rib.New(1)
+		pool := []uint32{10, 11, 12, 20, 21, 30, 31}
+		type group struct {
+			path   []uint32
+			origin uint32
+		}
+		var groups []group
+		for g := 0; g < 5; g++ {
+			hops := 2 + rng.Intn(3)
+			path := []uint32{pool[rng.Intn(2)]} // first hop 10 or 11
+			for len(path) < hops {
+				next := pool[rng.Intn(len(pool))]
+				if next != path[len(path)-1] {
+					path = append(path, next)
+				}
+			}
+			origin := uint32(100 + g)
+			path = append(path, origin)
+			groups = append(groups, group{path: path, origin: origin})
+			for i := 0; i < 300; i++ {
+				p := netaddr.PrefixFor(origin, i)
+				table.Announce(p, path)
+				alt.Announce(p, []uint32{99, origin}) // endpoint-free backup
+			}
+		}
+		plan := reroute.Compute(1, table, map[uint32]*rib.Table{99: alt}, nil, 5)
+		cfg := Default()
+		cfg.MinPrefixes = 100
+		s, err := Build(cfg, table, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Pick a random link from a random group's path as "failed".
+		g := groups[rng.Intn(len(groups))]
+		hop := rng.Intn(len(g.path))
+		var failed topology.Link
+		if hop == 0 {
+			failed = topology.MakeLink(1, g.path[0])
+		} else {
+			failed = topology.MakeLink(g.path[hop-1], g.path[hop])
+		}
+		links := []topology.Link{failed}
+		rules := s.RerouteRules(links)
+
+		for _, grp := range groups {
+			p := netaddr.PrefixFor(grp.origin, 0)
+			tag, ok := s.TagFor(p)
+			if !ok {
+				t.Fatalf("trial %d: no tag for %v", trial, p)
+			}
+			matched := false
+			var matchedNH uint32
+			for _, r := range rules {
+				if r.Matches(tag) {
+					matched = true
+					matchedNH = r.NextHop
+					break
+				}
+			}
+			if s.Reroutable(p, links, table) {
+				if !matched {
+					t.Fatalf("trial %d: %v reroutable for %v but no rule matches tag %b",
+						trial, p, failed, tag)
+				}
+				if matchedNH == grp.path[0] {
+					t.Fatalf("trial %d: reroute rule sends %v back to its primary %d",
+						trial, p, matchedNH)
+				}
+			}
+			// A prefix whose path never crosses the link must never be
+			// caught by the rules (tags are exact per position).
+			crosses := false
+			prev := uint32(1)
+			for _, as := range grp.path {
+				if topology.MakeLink(prev, as) == failed {
+					crosses = true
+				}
+				prev = as
+			}
+			if !crosses && matched {
+				t.Fatalf("trial %d: %v (path %v) caught by rules for unrelated %v",
+					trial, p, grp.path, failed)
+			}
+		}
+	}
+}
+
+// TestTagStability verifies that rebuilding a scheme over the same RIB
+// yields identical tags (determinism the FIB provisioning relies on).
+func TestTagStability(t *testing.T) {
+	table := rib.New(1)
+	for g := uint32(0); g < 8; g++ {
+		for i := 0; i < 300; i++ {
+			table.Announce(netaddr.PrefixFor(100+g, i), []uint32{2, 50 + g, 100 + g})
+		}
+	}
+	cfg := Default()
+	cfg.MinPrefixes = 100
+	a, err := Build(cfg, table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(cfg, table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, ta := range a.Tags() {
+		if tb, ok := b.TagFor(p); !ok || tb != ta {
+			t.Fatalf("tag for %v differs across rebuilds: %b vs %b", p, ta, tb)
+		}
+	}
+}

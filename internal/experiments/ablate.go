@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"swift/internal/inference"
+	"swift/internal/stats"
+	"swift/internal/trace"
+)
+
+// AblationRow is one configuration's aggregate accuracy.
+type AblationRow struct {
+	Name      string
+	MedianTPR float64
+	MedianFPR float64
+	TopLeft   float64 // share of bursts in Fig. 6's good quadrant
+	Missed    int
+	N         int
+}
+
+// AblationResult collects rows for one swept knob.
+type AblationResult struct {
+	Knob string
+	Rows []AblationRow
+}
+
+// ablate runs Fig. 6-style evaluation under each configuration.
+func ablate(ds *trace.Dataset, sessions []trace.Session, minBurst int, knob string, cfgs map[string]inference.Config) AblationResult {
+	res := AblationResult{Knob: knob}
+	// Deterministic order: iterate a sorted name list.
+	var names []string
+	for name := range cfgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cfg := cfgs[name]
+		var tprs, fprs []float64
+		missed, total := 0, 0
+		for _, s := range sessions {
+			st := newSessionState(ds, s)
+			for _, b := range ds.BurstsAt(s, minBurst) {
+				total++
+				ev := st.evalBurst(b, cfg, false, false)
+				if ev.Missed {
+					missed++
+					continue
+				}
+				tprs = append(tprs, ev.TPR)
+				fprs = append(fprs, ev.FPR)
+			}
+		}
+		shares := stats.QuadrantShares(tprs, fprs)
+		res.Rows = append(res.Rows, AblationRow{
+			Name:      name,
+			MedianTPR: stats.Percentile(tprs, 50),
+			MedianFPR: stats.Percentile(fprs, 50),
+			TopLeft:   shares[stats.TopLeft],
+			Missed:    missed,
+			N:         total,
+		})
+	}
+	return res
+}
+
+// AblateWeights sweeps the Fit-Score weights (paper default 3:1).
+func AblateWeights(ds *trace.Dataset, sessions []trace.Session, minBurst int) AblationResult {
+	mk := func(wws, wps float64) inference.Config {
+		c := inference.Default()
+		c.WWS, c.WPS = wws, wps
+		c.UseHistory = false
+		return c
+	}
+	return ablate(ds, sessions, minBurst, "fit-score weights wWS:wPS", map[string]inference.Config{
+		"1:3 (PS-heavy)":         mk(1, 3),
+		"1:1 (balanced)":         mk(1, 1),
+		"3:1 (paper default)":    mk(3, 1),
+		"9:1 (WS-heavy extreme)": mk(9, 1),
+	})
+}
+
+// AblateTrigger sweeps the inference trigger threshold (paper 2.5k).
+func AblateTrigger(ds *trace.Dataset, sessions []trace.Session, minBurst int) AblationResult {
+	mk := func(trigger int) inference.Config {
+		c := inference.Default()
+		c.TriggerEvery = trigger
+		c.UseHistory = false
+		return c
+	}
+	return ablate(ds, sessions, minBurst, "trigger threshold", map[string]inference.Config{
+		"trigger 1000":           mk(1000),
+		"trigger 2500 (default)": mk(2500),
+		"trigger 5000":           mk(5000),
+	})
+}
+
+// String renders an ablation table.
+func (r AblationResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: %s\n", r.Knob)
+	sb.WriteString("Config                    TPR-med  FPR-med  top-left  missed/n\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-25s %-8.2f %-8.3f %-9.2f %d/%d\n",
+			row.Name, row.MedianTPR, row.MedianFPR, row.TopLeft, row.Missed, row.N)
+	}
+	return sb.String()
+}

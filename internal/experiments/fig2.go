@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"swift/internal/stats"
+	"swift/internal/trace"
+)
+
+// Fig2aResult reproduces Fig. 2a: the number of bursts per month a
+// router would see as a function of how many peering sessions it
+// maintains, for several minimum burst sizes.
+type Fig2aResult struct {
+	SessionCounts []int
+	MinSizes      []int
+	// Box[i][j] summarizes the burst count over random session subsets
+	// of size SessionCounts[i] at minimum size MinSizes[j].
+	Box [][]stats.Boxplot
+}
+
+// Fig2a samples random session subsets (as the paper does) and counts
+// the month's bursts each subset observes.
+func Fig2a(ds *trace.Dataset, seed int64) Fig2aResult {
+	res := Fig2aResult{
+		SessionCounts: []int{1, 5, 15, 30},
+		MinSizes:      []int{5000, 10000, 25000},
+	}
+	// One census at the smallest threshold; filter per min size.
+	census := ds.Census(1500)
+	perSession := make(map[trace.Session][]int) // session -> burst sizes
+	for _, st := range census {
+		perSession[st.Session] = append(perSession[st.Session], st.Withdrawals)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const trials = 200
+	res.Box = make([][]stats.Boxplot, len(res.SessionCounts))
+	for i, nSess := range res.SessionCounts {
+		res.Box[i] = make([]stats.Boxplot, len(res.MinSizes))
+		for j, minSize := range res.MinSizes {
+			var counts []float64
+			for t := 0; t < trials; t++ {
+				subset := rng.Perm(len(ds.Sessions))
+				n := nSess
+				if n > len(subset) {
+					n = len(subset)
+				}
+				count := 0
+				for _, idx := range subset[:n] {
+					for _, size := range perSession[ds.Sessions[idx]] {
+						if size >= minSize {
+							count++
+						}
+					}
+				}
+				counts = append(counts, float64(count))
+			}
+			res.Box[i][j] = stats.NewBoxplot(counts)
+		}
+	}
+	return res
+}
+
+// String renders the figure as a table of medians and whiskers.
+func (r Fig2aResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 2a: bursts per month vs number of peering sessions\n")
+	sb.WriteString("Sessions  MinSize  P5    Median  P95\n")
+	for i, n := range r.SessionCounts {
+		for j, m := range r.MinSizes {
+			b := r.Box[i][j]
+			fmt.Fprintf(&sb, "%-9d %-8d %-5.0f %-7.0f %.0f\n", n, m, b.P5, b.Median, b.P95)
+		}
+	}
+	return sb.String()
+}
+
+// Fig2bResult reproduces Fig. 2b: burst-duration CDFs split at 10k
+// withdrawals, plus the headline shares (§2.2.1).
+type Fig2bResult struct {
+	SmallCDF, LargeCDF *stats.CDF // durations in seconds
+	// Over10s and Over30s are the fractions of all bursts lasting
+	// longer than 10 s / 30 s (paper: 37% and 9.7%).
+	Over10s, Over30s float64
+	// PopularShare is the fraction of bursts withdrawing prefixes of a
+	// popular origin (paper: 84%).
+	PopularShare float64
+	TotalBursts  int
+}
+
+// Fig2b computes duration CDFs over the census.
+func Fig2b(ds *trace.Dataset) Fig2bResult {
+	census := ds.Census(1500)
+	var small, large, all []float64
+	popular := 0
+	for _, st := range census {
+		secs := st.Duration.Seconds()
+		all = append(all, secs)
+		if st.Withdrawals > 10000 {
+			large = append(large, secs)
+		} else {
+			small = append(small, secs)
+		}
+		if st.Popular {
+			popular++
+		}
+	}
+	res := Fig2bResult{
+		SmallCDF:    stats.NewCDF(small),
+		LargeCDF:    stats.NewCDF(large),
+		TotalBursts: len(census),
+	}
+	if len(all) > 0 {
+		allCDF := stats.NewCDF(all)
+		res.Over10s = 1 - allCDF.At(10)
+		res.Over30s = 1 - allCDF.At(30)
+		res.PopularShare = float64(popular) / float64(len(all))
+	}
+	return res
+}
+
+// String renders the CDF at the paper's reference points.
+func (r Fig2bResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 2b: burst duration CDF (split at 10k withdrawals)\n")
+	sb.WriteString("Duration(s)  CDF<=10k  CDF>10k\n")
+	for _, d := range []float64{5, 10, 20, 30, 40, 60, 80} {
+		fmt.Fprintf(&sb, "%-12.0f %-9.2f %.2f\n", d, r.SmallCDF.At(d), r.LargeCDF.At(d))
+	}
+	fmt.Fprintf(&sb, "bursts: %d total; >10s: %.1f%% (paper 37%%); >30s: %.1f%% (paper 9.7%%)\n",
+		r.TotalBursts, 100*r.Over10s, 100*r.Over30s)
+	fmt.Fprintf(&sb, "bursts touching popular origins: %.0f%% (paper 84%%)\n", 100*r.PopularShare)
+	return sb.String()
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"swift/internal/bgpsim"
+	"swift/internal/inference"
+	"swift/internal/stats"
+	"swift/internal/topology"
+	"swift/internal/trace"
+)
+
+// Fig6Result reproduces one panel of Fig. 6: per-burst (TPR, FPR)
+// points of the first accepted inference, summarized by quadrant.
+type Fig6Result struct {
+	WithHistory bool
+	TPRs, FPRs  []float64
+	// Shares holds the fraction of bursts per quadrant (TopLeft,
+	// TopRight, BottomLeft, BottomRight).
+	Shares [4]float64
+	// Missed counts bursts where the history gate never accepted.
+	Missed int
+	Total  int
+}
+
+// Fig6 replays every burst of at least minBurst withdrawals at the
+// given sessions through the inference pipeline. withHistory selects
+// the 6a (false) or 6b (true) panel.
+func Fig6(ds *trace.Dataset, sessions []trace.Session, minBurst int, withHistory bool) Fig6Result {
+	cfg := inference.Default()
+	cfg.UseHistory = withHistory
+	res := Fig6Result{WithHistory: withHistory}
+	for _, s := range sessions {
+		st := newSessionState(ds, s)
+		for _, b := range ds.BurstsAt(s, minBurst) {
+			res.Total++
+			ev := st.evalBurst(b, cfg, false, false)
+			if ev.Missed {
+				res.Missed++
+				continue
+			}
+			res.TPRs = append(res.TPRs, ev.TPR)
+			res.FPRs = append(res.FPRs, ev.FPR)
+		}
+	}
+	res.Shares = stats.QuadrantShares(res.TPRs, res.FPRs)
+	return res
+}
+
+// String renders the quadrant shares the way Fig. 6 annotates them.
+func (r Fig6Result) String() string {
+	label := "without history (Fig 6a)"
+	paper := [4]float64{0.758, 0.119, 0.123, 0}
+	if r.WithHistory {
+		label = "with history (Fig 6b)"
+		paper = [4]float64{0.851, 0.053, 0.096, 0}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 6 %s: %d bursts evaluated, %d missed by the gate\n", label, len(r.TPRs), r.Missed)
+	sb.WriteString("Quadrant      Paper   Measured\n")
+	names := []string{"top-left  ", "top-right ", "bottom-left", "bottom-right"}
+	for q := 0; q < 4; q++ {
+		fmt.Fprintf(&sb, "%-13s %5.1f%%  %5.1f%%\n", names[q], 100*paper[q], 100*r.Shares[q])
+	}
+	return sb.String()
+}
+
+// SimLocalizationResult reproduces §6.2.2: inference accuracy on
+// simulated bursts with ground truth, at burst end and early (after a
+// fixed withdrawal count), with and without injected noise.
+type SimLocalizationResult struct {
+	Bursts int
+	// At burst end:
+	EndExact, EndSuperset, EndAdjacent, EndWrong int
+	// Early (after earlyCount withdrawals):
+	EarlyExact, EarlySuperset, EarlyAdjacent, EarlyWrong int
+	// SafeBackups counts early inferences whose backup choice (links'
+	// endpoints avoided) bypasses the actually failed link.
+	SafeBackups int
+}
+
+// SimLocalization runs random link failures on a C-BGP-like network
+// (every AS originating prefixesPerAS prefixes) and checks Theorem 4.1
+// at burst end plus the early-inference behavior.
+func SimLocalization(ds *trace.Dataset, sessions []trace.Session, minBurst, earlyCount, noise int) SimLocalizationResult {
+	cfg := inference.Default()
+	cfg.UseHistory = false
+	var res SimLocalizationResult
+	for _, s := range sessions {
+		st := newSessionState(ds, s)
+		for i := range ds.Failures {
+			d := ds.Delta(i)
+			w, _ := ds.Base.BurstSizeAt(d, s.Vantage, s.Neighbor)
+			if w < minBurst {
+				continue
+			}
+			tm := ds.Cfg.Timing
+			tm.Seed = ds.Cfg.Seed ^ int64(i)<<17 ^ int64(s.Vantage)
+			b := ds.Base.BurstAt(d, s.Vantage, s.Neighbor, tm)
+			if noise > 0 {
+				b.InjectNoise(ds.Net, noise, tm.Seed^0x5eed)
+			}
+			res.Bursts++
+
+			failed := make(map[string]bool)
+			endpointSet := make(map[uint32]bool)
+			for _, l := range b.FailedLinks {
+				failed[l.String()] = true
+				endpointSet[l.A] = true
+				endpointSet[l.B] = true
+			}
+
+			// End-of-burst inference.
+			table := st.master.Clone()
+			tr := inference.NewTracker(cfg, table)
+			var early *inference.Result
+			count := 0
+			for _, e := range b.Events {
+				if e.Kind == bgpsim.KindWithdraw {
+					tr.ObserveWithdraw(e.Prefix)
+					count++
+					if early == nil && count == earlyCount {
+						r := tr.Infer()
+						early = &r
+					}
+				} else {
+					tr.ObserveAnnounce(e.Prefix, e.Path)
+				}
+			}
+			end := tr.Infer()
+
+			exact, super, adj, wrong := gradeInference(end.Links, failed, endpointSet)
+			res.EndExact += exact
+			res.EndSuperset += super
+			res.EndAdjacent += adj
+			res.EndWrong += wrong
+
+			if early == nil {
+				early = &end
+			}
+			exact, super, adj, wrong = gradeInference(early.Links, failed, endpointSet)
+			res.EarlyExact += exact
+			res.EarlySuperset += super
+			res.EarlyAdjacent += adj
+			res.EarlyWrong += wrong
+
+			// Safety: avoiding both endpoints of every inferred link
+			// must bypass the actually failed links.
+			safe := true
+			avoided := make(map[uint32]bool)
+			for _, l := range early.Links {
+				avoided[l.A] = true
+				avoided[l.B] = true
+			}
+			for _, l := range b.FailedLinks {
+				if !avoided[l.A] && !avoided[l.B] {
+					safe = false
+				}
+			}
+			if safe {
+				res.SafeBackups++
+			}
+		}
+	}
+	return res
+}
+
+// gradeInference buckets an inference: exact (the failed set, or a
+// subset of it for multi-link ground truth), superset (contains all
+// failed links plus extras), adjacent (touches a failed endpoint), or
+// wrong.
+func gradeInference(links []topology.Link, failed map[string]bool, endpoints map[uint32]bool) (exact, superset, adjacent, wrong int) {
+	if len(links) == 0 {
+		return 0, 0, 0, 1
+	}
+	allFailed := true
+	containsFailed := false
+	touches := false
+	for _, l := range links {
+		if failed[l.String()] {
+			containsFailed = true
+		} else {
+			allFailed = false
+		}
+		if endpoints[l.A] || endpoints[l.B] {
+			touches = true
+		}
+	}
+	switch {
+	case containsFailed && allFailed:
+		return 1, 0, 0, 0
+	case containsFailed:
+		return 0, 1, 0, 0
+	case touches:
+		return 0, 0, 1, 0
+	default:
+		return 0, 0, 0, 1
+	}
+}
+
+// String renders the §6.2.2 summary.
+func (r SimLocalizationResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sec 6.2.2 simulated localization over %d bursts\n", r.Bursts)
+	pct := func(n int) float64 {
+		if r.Bursts == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(r.Bursts)
+	}
+	fmt.Fprintf(&sb, "at burst end : exact %.0f%%  superset %.0f%%  adjacent %.0f%%  wrong %.0f%%\n",
+		pct(r.EndExact), pct(r.EndSuperset), pct(r.EndAdjacent), pct(r.EndWrong))
+	fmt.Fprintf(&sb, "early        : exact %.0f%%  superset %.0f%%  adjacent %.0f%%  wrong %.0f%%\n",
+		pct(r.EarlyExact), pct(r.EarlySuperset), pct(r.EarlyAdjacent), pct(r.EarlyWrong))
+	fmt.Fprintf(&sb, "early backups bypassing the failed link: %.1f%% (paper: all but 1 burst)\n", pct(r.SafeBackups))
+	return sb.String()
+}

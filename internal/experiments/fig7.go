@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"swift/internal/encoding"
+	"swift/internal/inference"
+	"swift/internal/stats"
+	"swift/internal/trace"
+)
+
+// Fig7Result reproduces Fig. 7: encoding performance (fraction of
+// predicted prefixes actually reroutable by tag rules) as a function of
+// the Part-1 bit budget, over all bursts and over bursts of at least
+// 10k withdrawals.
+type Fig7Result struct {
+	Bits     []int
+	All      []stats.Boxplot // per bit budget
+	Large    []stats.Boxplot
+	MinLarge int
+}
+
+// Fig7 evaluates the encoding bit sweep.
+func Fig7(ds *trace.Dataset, sessions []trace.Session, minBurst int, bits []int) Fig7Result {
+	if len(bits) == 0 {
+		bits = []int{13, 18, 23, 28}
+	}
+	cfg := inference.Default()
+	cfg.UseHistory = true
+	res := Fig7Result{Bits: bits, MinLarge: 10000}
+
+	perBitAll := make([][]float64, len(bits))
+	perBitLarge := make([][]float64, len(bits))
+
+	for _, s := range sessions {
+		st := newSessionState(ds, s)
+		plan := st.plan(nil, 5)
+		// Compile one scheme per bit budget against the steady-state
+		// table (tags are provisioned before failures).
+		schemes := make([]*encoding.Scheme, len(bits))
+		for i, b := range bits {
+			ecfg := encoding.Default()
+			ecfg.PathBits = b
+			// Keep the 48-bit budget consistent: wider Part 1 comes at
+			// no cost here because the NH groups fit in 30 bits anyway;
+			// larger budgets model a wider tag carrier.
+			if b+6*5 > ecfg.TagBits {
+				ecfg.TagBits = b + 6*5
+			}
+			sc, err := encoding.Build(ecfg, st.master, plan)
+			if err != nil {
+				continue
+			}
+			schemes[i] = sc
+		}
+		for _, b := range ds.BurstsAt(s, minBurst) {
+			ev := st.evalBurst(b, cfg, true, false)
+			if ev.Missed || len(ev.Predicted) == 0 || ev.RIBAtInference == nil {
+				continue
+			}
+			for i, sc := range schemes {
+				if sc == nil {
+					continue
+				}
+				covered := 0
+				for _, p := range ev.Predicted {
+					if sc.Reroutable(p, ev.Links, ev.RIBAtInference) {
+						covered++
+					}
+				}
+				perf := 100 * float64(covered) / float64(len(ev.Predicted))
+				perBitAll[i] = append(perBitAll[i], perf)
+				if ev.Size >= res.MinLarge {
+					perBitLarge[i] = append(perBitLarge[i], perf)
+				}
+			}
+		}
+	}
+	for i := range bits {
+		res.All = append(res.All, stats.NewBoxplot(perBitAll[i]))
+		res.Large = append(res.Large, stats.NewBoxplot(perBitLarge[i]))
+	}
+	return res
+}
+
+// String renders the sweep.
+func (r Fig7Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 7: encoding performance vs AS-path bits (paper: 18 bits -> 98.7% median)\n")
+	sb.WriteString("Bits  all-median  all-mean  >=10k-median  >=10k-mean   (n)\n")
+	for i, b := range r.Bits {
+		fmt.Fprintf(&sb, "%-5d %-11.1f %-9.1f %-13.1f %-11.1f (%d)\n",
+			b, r.All[i].Median, r.All[i].Mean, r.Large[i].Median, r.Large[i].Mean, r.All[i].N)
+	}
+	return sb.String()
+}

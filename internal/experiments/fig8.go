@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"swift/internal/inference"
+	"swift/internal/stats"
+	"swift/internal/trace"
+)
+
+// Fig8Result reproduces Fig. 8: the CDF of per-withdrawal learning time
+// for SWIFT (prediction time when predicted, arrival otherwise) versus
+// BGP (arrival time), pooled over all bursts.
+type Fig8Result struct {
+	Swift, BGP *stats.CDF // seconds
+}
+
+// Fig8 gathers learning times over the sessions' bursts.
+func Fig8(ds *trace.Dataset, sessions []trace.Session, minBurst int) Fig8Result {
+	cfg := inference.Default()
+	cfg.UseHistory = true
+	var swiftT, bgpT []float64
+	for _, s := range sessions {
+		st := newSessionState(ds, s)
+		for _, b := range ds.BurstsAt(s, minBurst) {
+			ev := st.evalBurst(b, cfg, false, true)
+			for i := range ev.BGPLearn {
+				bgpT = append(bgpT, ev.BGPLearn[i].Seconds())
+				swiftT = append(swiftT, ev.SwiftLearn[i].Seconds())
+			}
+		}
+	}
+	return Fig8Result{Swift: stats.NewCDF(swiftT), BGP: stats.NewCDF(bgpT)}
+}
+
+// String renders the reference quantiles (paper: SWIFT learns 50% in
+// 2 s and 75% in 9 s; BGP needs 13 s and 32 s).
+func (r Fig8Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 8: learning-time CDF (seconds)\n")
+	sb.WriteString("Quantile  SWIFT   BGP     (paper SWIFT / BGP)\n")
+	paper := map[float64][2]string{0.5: {"2", "13"}, 0.75: {"9", "32"}}
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.9, 0.99} {
+		note := ""
+		if p, ok := paper[q]; ok {
+			note = fmt.Sprintf("(%ss / %ss)", p[0], p[1])
+		}
+		fmt.Fprintf(&sb, "%-9.2f %-7.1f %-7.1f %s\n", q, r.Swift.Quantile(q), r.BGP.Quantile(q), note)
+	}
+	fmt.Fprintf(&sb, "samples: %d withdrawals\n", r.BGP.N())
+	return sb.String()
+}

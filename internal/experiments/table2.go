@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"swift/internal/inference"
+	"swift/internal/stats"
+	"swift/internal/trace"
+)
+
+// Table2Result reproduces Table 2: withdrawal-prediction performance
+// (CPR/FPR/CP/FP percentiles) split into small (threshold..15k) and
+// large (>15k) bursts, with the history model on.
+type Table2Result struct {
+	SplitAt      int
+	Percentiles  []float64
+	Small, Large Table2Block
+}
+
+// Table2Block is one half of the table.
+type Table2Block struct {
+	N   int
+	CPR []float64 // per percentile, in %
+	FPR []float64
+	CP  []float64
+	FP  []float64
+}
+
+// Table2 evaluates prediction quality on the sessions' bursts.
+func Table2(ds *trace.Dataset, sessions []trace.Session, minBurst int) Table2Result {
+	cfg := inference.Default()
+	cfg.UseHistory = true
+	res := Table2Result{
+		SplitAt:     15000,
+		Percentiles: []float64{10, 20, 30, 50, 70, 80, 90},
+	}
+	type row struct {
+		cpr, fpr float64
+		cp, fp   int
+		size     int
+	}
+	var rows []row
+	for _, s := range sessions {
+		st := newSessionState(ds, s)
+		for _, b := range ds.BurstsAt(s, minBurst) {
+			ev := st.evalBurst(b, cfg, false, false)
+			if ev.Missed {
+				continue
+			}
+			rows = append(rows, row{cpr: ev.CPR, fpr: ev.FPR, cp: ev.CP, fp: ev.FP, size: ev.Size})
+		}
+	}
+	fill := func(filter func(int) bool) Table2Block {
+		var blk Table2Block
+		var cprs, fprs, cps, fps []float64
+		for _, r := range rows {
+			if !filter(r.size) {
+				continue
+			}
+			blk.N++
+			cprs = append(cprs, 100*r.cpr)
+			fprs = append(fprs, 100*r.fpr)
+			cps = append(cps, float64(r.cp))
+			fps = append(fps, float64(r.fp))
+		}
+		for _, p := range res.Percentiles {
+			blk.CPR = append(blk.CPR, stats.Percentile(cprs, p))
+			blk.FPR = append(blk.FPR, stats.Percentile(fprs, p))
+			blk.CP = append(blk.CP, stats.Percentile(cps, p))
+			blk.FP = append(blk.FP, stats.Percentile(fps, p))
+		}
+		return blk
+	}
+	res.Small = fill(func(n int) bool { return n <= res.SplitAt })
+	res.Large = fill(func(n int) bool { return n > res.SplitAt })
+	return res
+}
+
+// String renders the two blocks like the paper's Table 2.
+func (r Table2Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: withdrawal prediction (history model on)\n")
+	render := func(name string, blk Table2Block) {
+		fmt.Fprintf(&sb, "%s (%d bursts)\n", name, blk.N)
+		sb.WriteString("      ")
+		for _, p := range r.Percentiles {
+			fmt.Fprintf(&sb, "%7.0fth", p)
+		}
+		sb.WriteString("\n")
+		rows := []struct {
+			label string
+			vals  []float64
+			pct   bool
+		}{
+			{"CPR", blk.CPR, true},
+			{"FPR", blk.FPR, true},
+			{"CP ", blk.CP, false},
+			{"FP ", blk.FP, false},
+		}
+		for _, row := range rows {
+			fmt.Fprintf(&sb, "%-6s", row.label)
+			for _, v := range row.vals {
+				if row.pct {
+					fmt.Fprintf(&sb, "%8.2f%%", v)
+				} else {
+					fmt.Fprintf(&sb, "%9.0f", v)
+				}
+			}
+			sb.WriteString("\n")
+		}
+	}
+	render(fmt.Sprintf("burst size <= %d", r.SplitAt), r.Small)
+	render(fmt.Sprintf("burst size  > %d", r.SplitAt), r.Large)
+	return sb.String()
+}

@@ -1,0 +1,57 @@
+package inference
+
+import (
+	"testing"
+
+	"swift/internal/netaddr"
+	"swift/internal/rib"
+)
+
+// BenchmarkObserveWithdraw measures the per-message cost of the hot
+// path: RIB withdrawal plus per-link W accounting.
+func BenchmarkObserveWithdraw(b *testing.B) {
+	cfg := Default()
+	cfg.UseHistory = false
+	table := rib.New(1)
+	n := b.N
+	if n > 1<<20-1 {
+		n = 1<<20 - 1
+	}
+	for i := 0; i < n; i++ {
+		table.Announce(netaddr.PrefixFor(8, i%(1<<20-1)), []uint32{2, 5, 6, 8})
+	}
+	tr := NewTracker(cfg, table)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ObserveWithdraw(netaddr.PrefixFor(8, i%n))
+	}
+}
+
+// BenchmarkInfer measures one inference over a burst state with many
+// charged links.
+func BenchmarkInfer(b *testing.B) {
+	cfg := Default()
+	cfg.UseHistory = false
+	table := rib.New(1)
+	// 50 distinct paths over distinct links, 200 prefixes each.
+	for g := uint32(0); g < 50; g++ {
+		for i := 0; i < 200; i++ {
+			table.Announce(netaddr.PrefixFor(100+g, i), []uint32{2, 500 + g, 600 + g, 100 + g})
+		}
+	}
+	tr := NewTracker(cfg, table)
+	for g := uint32(0); g < 50; g++ {
+		for i := 0; i < 100; i++ {
+			tr.ObserveWithdraw(netaddr.PrefixFor(100+g, i))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := tr.Infer()
+		if len(res.Links) == 0 {
+			b.Fatal("no inference")
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package inference implements the SWIFT inference algorithm of §4:
+// Withdrawal Share and Path Share per AS link, their weighted-geometric-
+// mean Fit Score, greedy aggregation of links sharing an endpoint (for
+// concurrent failures such as router outages), and the adaptive
+// triggering policy that trades speed for plausibility against history.
+package inference
+
+import (
+	"math"
+	"sort"
+
+	"swift/internal/netaddr"
+	"swift/internal/rib"
+	"swift/internal/stats"
+	"swift/internal/topology"
+)
+
+// Config holds the algorithm's tunables with the paper's defaults.
+type Config struct {
+	// WWS and WPS weight Withdrawal Share and Path Share in the Fit
+	// Score. The paper's calibration found WWS = 3·WPS best (§4.2).
+	WWS, WPS float64
+	// TriggerEvery is the number of received withdrawals between
+	// inference attempts (2,500 in the paper).
+	TriggerEvery int
+	// AcceptAlways is the received-withdrawal count past which an
+	// inference is accepted regardless of history (20,000).
+	AcceptAlways int
+	// Plausibility maps received-withdrawal brackets to the maximum
+	// predicted burst size history considers plausible (§4.2). Entries
+	// must be sorted by Received ascending.
+	Plausibility []PlausibilityRule
+	// UseHistory enables the plausibility gate (Fig. 6b vs 6a).
+	UseHistory bool
+	// TieEpsilon treats Fit Scores within this relative distance of the
+	// maximum as tied, returning all of them (the conservative strategy
+	// when the failed link cannot be determined univocally).
+	TieEpsilon float64
+}
+
+// PlausibilityRule is one row of §4.2's table: after Received
+// withdrawals, accept if the predicted total is at most MaxPredicted.
+type PlausibilityRule struct {
+	Received     int
+	MaxPredicted int
+}
+
+// Default returns the paper's configuration.
+func Default() Config {
+	return Config{
+		WWS:          3,
+		WPS:          1,
+		TriggerEvery: 2500,
+		AcceptAlways: 20000,
+		Plausibility: []PlausibilityRule{
+			{Received: 2500, MaxPredicted: 10000},
+			{Received: 5000, MaxPredicted: 20000},
+			{Received: 7500, MaxPredicted: 50000},
+			{Received: 10000, MaxPredicted: 100000},
+		},
+		UseHistory: true,
+		TieEpsilon: 1e-9,
+	}
+}
+
+// LinkScore is one link's metrics at inference time.
+type LinkScore struct {
+	Link topology.Link
+	W    int // withdrawn prefixes whose path crossed the link
+	P    int // prefixes still routed across the link
+	WS   float64
+	PS   float64
+	FS   float64
+}
+
+// Tracker accumulates burst state against a session RIB. Feed every
+// message of the stream through ObserveWithdraw/ObserveAnnounce (they
+// also maintain the RIB), call Reset at burst boundaries, and Infer
+// whenever a decision is wanted.
+type Tracker struct {
+	cfg Config
+	rib *rib.Table
+	// wOn records, per link, the prefixes withdrawn during the burst
+	// whose path crossed the link (append-only: a prefix is withdrawn
+	// at most once per burst while it holds a route). Its lengths are
+	// the W(l, t) counters; set unions over it drive the multi-link
+	// aggregation of §4.2.
+	wOn map[topology.Link][]netaddr.Prefix
+	// totalW counts withdrawals received in the burst, including those
+	// for prefixes the RIB did not know (they contribute to W(t) — the
+	// denominator — as in the paper, where every received withdrawal is
+	// information).
+	totalW int
+}
+
+// NewTracker wraps a session RIB.
+func NewTracker(cfg Config, table *rib.Table) *Tracker {
+	return &Tracker{cfg: cfg, rib: table, wOn: make(map[topology.Link][]netaddr.Prefix)}
+}
+
+// RIB returns the underlying table.
+func (t *Tracker) RIB() *rib.Table { return t.rib }
+
+// Received returns the number of withdrawals observed since Reset.
+func (t *Tracker) Received() int { return t.totalW }
+
+// Reset clears burst state (on burst end, or after rerouting when BGP
+// has reconverged).
+func (t *Tracker) Reset() {
+	t.wOn = make(map[topology.Link][]netaddr.Prefix)
+	t.totalW = 0
+}
+
+// ObserveWithdraw processes one withdrawal: it charges the prefix's
+// current links with the withdrawal and removes the route.
+func (t *Tracker) ObserveWithdraw(p netaddr.Prefix) {
+	t.totalW++
+	old := t.rib.Withdraw(p)
+	if old == nil {
+		return
+	}
+	var buf [16]topology.Link
+	for _, l := range rib.PathLinks(buf[:0], t.rib.LocalAS(), old) {
+		t.wOn[l] = append(t.wOn[l], p)
+	}
+}
+
+// ObserveAnnounce processes one announcement (a new or changed path).
+// Path updates move P(l) — they carry the implicit information that the
+// prefix's old links still work for it, which is exactly what drives
+// PS apart for the failed link versus its neighbors.
+func (t *Tracker) ObserveAnnounce(p netaddr.Prefix, path []uint32) {
+	t.rib.Announce(p, path)
+}
+
+// Scores computes per-link metrics for every link touched by the burst,
+// sorted by Fit Score descending (ties by link order for determinism).
+func (t *Tracker) Scores() []LinkScore {
+	if t.totalW == 0 {
+		return nil
+	}
+	out := make([]LinkScore, 0, len(t.wOn))
+	for l, wps := range t.wOn {
+		w := len(wps)
+		p := t.rib.OnLink(l)
+		ws := float64(w) / float64(t.totalW)
+		ps := float64(w) / float64(w+p)
+		fs := stats.WeightedGeoMean([]float64{ws, ps}, []float64{t.cfg.WWS, t.cfg.WPS})
+		out = append(out, LinkScore{Link: l, W: w, P: p, WS: ws, PS: ps, FS: fs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FS != out[j].FS {
+			return out[i].FS > out[j].FS
+		}
+		if out[i].Link.A != out[j].Link.A {
+			return out[i].Link.A < out[j].Link.A
+		}
+		return out[i].Link.B < out[j].Link.B
+	})
+	return out
+}
+
+// Result is an inference outcome.
+type Result struct {
+	// Links are the inferred failed links. Multiple entries either tie
+	// at the maximum Fit Score or aggregate around a shared endpoint.
+	Links []topology.Link
+	// FS is the score of the returned set.
+	FS float64
+	// Predicted is the number of prefixes still routed over the
+	// inferred links — the set SWIFT would reroute, and its estimate of
+	// the withdrawals still to come.
+	Predicted int
+	// Received is the withdrawal count the inference consumed.
+	Received int
+	// Accepted reports whether the plausibility gate passed.
+	Accepted bool
+}
+
+// PredictedPrefixes returns the prefixes the inference would reroute.
+func (t *Tracker) PredictedPrefixes(r Result) []netaddr.Prefix {
+	return t.rib.PrefixesOnAny(r.Links)
+}
+
+// WithdrawnOn returns the union of prefixes already withdrawn in this
+// burst whose pre-withdrawal path crossed any of the links. Together
+// with PredictedPrefixes it forms the W′ set of §6.2's evaluation: all
+// prefixes whose paths traversed the inferred links.
+func (t *Tracker) WithdrawnOn(links []topology.Link) []netaddr.Prefix {
+	seen := make(map[netaddr.Prefix]struct{})
+	for _, l := range links {
+		for _, p := range t.wOn[l] {
+			seen[p] = struct{}{}
+		}
+	}
+	out := make([]netaddr.Prefix, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	netaddr.Sort(out)
+	return out
+}
+
+// Infer runs the algorithm against the current burst state. With
+// UseHistory set, Accepted applies §4.2's plausibility gate; otherwise
+// every inference is accepted.
+func (t *Tracker) Infer() Result {
+	scores := t.Scores()
+	if len(scores) == 0 {
+		return Result{}
+	}
+	links := t.pickLinks(scores)
+	pred := 0
+	{
+		seen := make(map[netaddr.Prefix]struct{})
+		var buf []netaddr.Prefix
+		for _, l := range links {
+			buf = t.rib.PrefixesOn(buf[:0], l)
+			for _, p := range buf {
+				seen[p] = struct{}{}
+			}
+		}
+		pred = len(seen)
+	}
+	res := Result{
+		Links:     links,
+		FS:        t.setFS(links),
+		Predicted: pred,
+		Received:  t.totalW,
+		Accepted:  true,
+	}
+	if t.cfg.UseHistory {
+		res.Accepted = t.plausible(res)
+	}
+	return res
+}
+
+// plausible applies the history gate: large predictions early in a
+// burst are deferred until enough withdrawals confirm them.
+func (t *Tracker) plausible(r Result) bool {
+	if r.Received >= t.cfg.AcceptAlways {
+		return true
+	}
+	maxPred := -1
+	for _, rule := range t.cfg.Plausibility {
+		if r.Received >= rule.Received {
+			maxPred = rule.MaxPredicted
+		}
+	}
+	if maxPred < 0 {
+		// Below the smallest bracket: accept only tiny predictions.
+		if len(t.cfg.Plausibility) > 0 {
+			return r.Predicted <= t.cfg.Plausibility[0].MaxPredicted
+		}
+		return true
+	}
+	return r.Predicted <= maxPred
+}
+
+// pickLinks returns the maximum-FS links, extended by greedy
+// same-endpoint aggregation when that increases the set score (the
+// concurrent-failure handling of §4.2).
+//
+// Aggregate WS and PS use set unions rather than the paper's printed
+// per-link sums: on a tree of paths seen from a single vantage, the
+// prefixes withdrawn behind a far link also cross every nearer link, so
+// summing W(l) double-counts them and inflates WS(S) past 1 for nested
+// sets. The union form is the de-duplicated equivalent and matches the
+// paper's worked examples (Fig. 4 aggregates nothing; a multi-homed
+// entry to a failed router aggregates its entry links).
+func (t *Tracker) pickLinks(scores []LinkScore) []topology.Link {
+	top := scores[0]
+	links := []topology.Link{top.Link}
+	// Ties at the maximum: conservative multi-link answer.
+	for _, s := range scores[1:] {
+		if top.FS-s.FS <= t.cfg.TieEpsilon*math.Max(1, top.FS) {
+			links = append(links, s.Link)
+		} else {
+			break
+		}
+	}
+
+	// Greedy aggregation around each endpoint of the top link: extend
+	// the current set with incident links in FS-descending order while
+	// the set FS improves.
+	best := links
+	bestFS := t.setFS(links)
+	for _, endpoint := range []uint32{top.Link.A, top.Link.B} {
+		set := append([]topology.Link(nil), links...)
+		shares := true
+		for _, l := range set {
+			if !l.Has(endpoint) {
+				shares = false
+				break
+			}
+		}
+		if !shares {
+			continue
+		}
+		cur := bestFS
+		for _, s := range scores[1:] {
+			if !s.Link.Has(endpoint) || inSet(set, s.Link) {
+				continue
+			}
+			cand := append(append([]topology.Link(nil), set...), s.Link)
+			fs := t.setFS(cand)
+			if fs > cur {
+				set, cur = cand, fs
+			}
+		}
+		if cur > bestFS {
+			best, bestFS = set, cur
+		}
+	}
+	return best
+}
+
+func inSet(set []topology.Link, l topology.Link) bool {
+	for _, x := range set {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// setFS computes the aggregate Fit Score of a link set (§4.2, with set
+// unions in place of sums — see pickLinks):
+// WS(S) = |∪ W(l)| / W(t);  PS(S) = |∪ W(l)| / (|∪ W(l)| + |∪ P(l)|).
+func (t *Tracker) setFS(links []topology.Link) float64 {
+	if t.totalW == 0 {
+		return 0
+	}
+	var w, p int
+	if len(links) == 1 {
+		l := links[0]
+		w = len(t.wOn[l])
+		p = t.rib.OnLink(l)
+	} else {
+		wUnion := make(map[netaddr.Prefix]struct{})
+		for _, l := range links {
+			for _, wp := range t.wOn[l] {
+				wUnion[wp] = struct{}{}
+			}
+		}
+		pUnion := make(map[netaddr.Prefix]struct{})
+		var buf []netaddr.Prefix
+		for _, l := range links {
+			buf = t.rib.PrefixesOn(buf[:0], l)
+			for _, pp := range buf {
+				pUnion[pp] = struct{}{}
+			}
+		}
+		w, p = len(wUnion), len(pUnion)
+	}
+	if w+p == 0 {
+		return 0
+	}
+	ws := float64(w) / float64(t.totalW)
+	ps := float64(w) / float64(w+p)
+	return stats.WeightedGeoMean([]float64{ws, ps}, []float64{t.cfg.WWS, t.cfg.WPS})
+}
+
+// CommonEndpoint returns the endpoint shared by every link in the set,
+// or (0, false) when there is none. The reroute layer avoids paths
+// through this endpoint to stay safe under aggregated inferences (§4.2).
+func CommonEndpoint(links []topology.Link) (uint32, bool) {
+	if len(links) == 0 {
+		return 0, false
+	}
+	if len(links) == 1 {
+		return 0, false // a single link has two candidate endpoints
+	}
+	for _, cand := range []uint32{links[0].A, links[0].B} {
+		all := true
+		for _, l := range links[1:] {
+			if !l.Has(cand) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return cand, true
+		}
+	}
+	return 0, false
+}

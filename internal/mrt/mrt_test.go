@@ -1,0 +1,238 @@
+package mrt
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"swift/internal/bgp"
+	"swift/internal/netaddr"
+)
+
+func TestBGP4MPRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ts := time.Unix(1700000000, 0).UTC()
+	u := &bgp.Update{
+		Attrs: bgp.Attrs{
+			ASPath:     []uint32{65001, 65002},
+			HasNextHop: true,
+			NextHop:    0x0a000001,
+		},
+		NLRI: []netaddr.Prefix{netaddr.MustParsePrefix("192.0.2.0/24")},
+	}
+	if err := w.WriteBGP4MP(ts, 65001, 64512, 0x01020304, 0x05060708, u); err != nil {
+		t.Fatal(err)
+	}
+	wd := &bgp.Update{Withdrawn: []netaddr.Prefix{netaddr.MustParsePrefix("198.51.0.0/16")}}
+	if err := w.WriteBGP4MP(ts.Add(time.Second), 65001, 64512, 0x01020304, 0x05060708, wd); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	m1, err := r.NextBGP4MP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.PeerAS != 65001 || m1.LocalAS != 64512 || !m1.Timestamp.Equal(ts) {
+		t.Errorf("record 1 = %+v", m1)
+	}
+	var got bgp.Update
+	if err := got.Decode(m1.Body); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.NLRI) != 1 || got.NLRI[0] != u.NLRI[0] {
+		t.Errorf("nlri = %v", got.NLRI)
+	}
+	m2, err := r.NextBGP4MP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got2 bgp.Update
+	if err := got2.Decode(m2.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !got2.IsWithdrawalOnly() {
+		t.Error("record 2 should be withdrawal-only")
+	}
+	if _, err := r.NextBGP4MP(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderSkipsUnknownRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.writeRecord(time.Unix(0, 0), 99, 0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	u := &bgp.Update{Withdrawn: []netaddr.Prefix{netaddr.MustParsePrefix("10.0.0.0/8")}}
+	if err := w.WriteBGP4MP(time.Unix(5, 0), 1, 2, 3, 4, u); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	m, err := r.NextBGP4MP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeerAS != 1 {
+		t.Errorf("peer AS = %d", m.PeerAS)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	u := &bgp.Update{Withdrawn: []netaddr.Prefix{netaddr.MustParsePrefix("10.0.0.0/8")}}
+	if err := w.WriteBGP4MP(time.Unix(5, 0), 1, 2, 3, 4, u); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, err := r.NextBGP4MP(); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestTableDumpRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ts := time.Unix(1700000000, 0).UTC()
+	peers := []PeerEntry{
+		{ID: 0x01010101, IP: 0x0a000001, AS: 65001},
+		{ID: 0x02020202, IP: 0x0a000002, AS: 400000},
+	}
+	if err := w.WritePeerIndexTable(ts, 0xc0ffee00, peers); err != nil {
+		t.Fatal(err)
+	}
+	rib := &RIBRecord{
+		Sequence: 7,
+		Prefix:   netaddr.MustParsePrefix("192.0.2.0/24"),
+		Entries: []RIBEntry{
+			{
+				PeerIndex:  0,
+				Originated: ts.Add(-time.Hour),
+				Attrs: bgp.Attrs{
+					ASPath:     []uint32{65001, 65002, 65003},
+					HasNextHop: true,
+					NextHop:    0x0a000001,
+				},
+			},
+			{
+				PeerIndex:  1,
+				Originated: ts.Add(-2 * time.Hour),
+				Attrs: bgp.Attrs{
+					ASPath:     []uint32{400000, 65003},
+					HasNextHop: true,
+					NextHop:    0x0a000002,
+				},
+			},
+		},
+	}
+	if err := w.WriteRIBIPv4(ts, rib); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	rec1, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec1.Type != TypeTableDumpV2 || rec1.Subtype != SubtypePeerIndexTable {
+		t.Fatalf("record 1 = %d/%d", rec1.Type, rec1.Subtype)
+	}
+	cid, gotPeers, err := DecodePeerIndexTable(rec1.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cid != 0xc0ffee00 || len(gotPeers) != 2 || gotPeers[1].AS != 400000 {
+		t.Errorf("peer table = %x %+v", cid, gotPeers)
+	}
+
+	rec2, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRIB, err := DecodeRIBIPv4(rec2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRIB.Sequence != 7 || gotRIB.Prefix != rib.Prefix || len(gotRIB.Entries) != 2 {
+		t.Errorf("rib = %+v", gotRIB)
+	}
+	if got := gotRIB.Entries[1].Attrs.ASPath; len(got) != 2 || got[0] != 400000 {
+		t.Errorf("entry 1 path = %v", got)
+	}
+	if !gotRIB.Entries[0].Originated.Equal(ts.Add(-time.Hour)) {
+		t.Errorf("originated = %v", gotRIB.Entries[0].Originated)
+	}
+}
+
+func TestExtendedTimestampRecord(t *testing.T) {
+	// Hand-build a BGP4MP_ET record: same as BGP4MP but with 4 extra
+	// microsecond bytes at the start of the body.
+	var inner bytes.Buffer
+	w := NewWriter(&inner)
+	u := &bgp.Update{Withdrawn: []netaddr.Prefix{netaddr.MustParsePrefix("10.0.0.0/8")}}
+	if err := w.WriteBGP4MP(time.Unix(100, 0), 1, 2, 3, 4, u); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	raw := inner.Bytes()
+	body := raw[12:]
+
+	var buf bytes.Buffer
+	w2 := NewWriter(&buf)
+	etBody := append([]byte{0x00, 0x07, 0xa1, 0x20}, body...) // 500000 us
+	if err := w2.writeRecord(time.Unix(100, 0), TypeBGP4MPET, SubtypeBGP4MPMessageAS4, etBody); err != nil {
+		t.Fatal(err)
+	}
+	w2.Flush()
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	m, err := r.NextBGP4MP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Unix(100, 0).Add(500 * time.Millisecond).UTC()
+	if !m.Timestamp.Equal(want) {
+		t.Errorf("timestamp = %v, want %v", m.Timestamp, want)
+	}
+}
+
+func TestManyRecordsStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const n = 500
+	for i := 0; i < n; i++ {
+		u := &bgp.Update{Withdrawn: []netaddr.Prefix{netaddr.BlockFor(uint32(i%200+1), i%250)}}
+		if err := w.WriteBGP4MP(time.Unix(int64(i), 0), uint32(i%7+1), 64512, 1, 2, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	count := 0
+	for {
+		_, err := r.NextBGP4MP()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != n {
+		t.Errorf("read %d records, want %d", count, n)
+	}
+}

@@ -1,0 +1,234 @@
+// Package reroute computes SWIFT's backup next-hops (§3.2, §5): for
+// every prefix and every AS link on its primary path, the neighbor to
+// divert traffic to if that link fails. Selection honors the operator's
+// rerouting policies — forbidden next-hops, per-neighbor cost ranking,
+// and capacity ceilings (the 95th-percentile-billing guard) — and the
+// safety rule of §4.2: a backup path must avoid BOTH endpoints of the
+// protected link, so that rerouting stays loop- and blackhole-free even
+// when the inference only localizes the failure to a set of links
+// sharing an endpoint.
+package reroute
+
+import (
+	"sort"
+
+	"swift/internal/netaddr"
+	"swift/internal/rib"
+	"swift/internal/topology"
+)
+
+// Policy is the operator's rerouting preference (§3.2 "SWIFT supports
+// rerouting policies").
+type Policy struct {
+	// Forbid lists neighbors that must never be used as backups (e.g.,
+	// expensive transit, embargoed peers).
+	Forbid map[uint32]bool
+	// Cost ranks neighbors: lower is more preferred. Unlisted neighbors
+	// get cost 0. Model business preference here (customer 0, peer 10,
+	// provider 20, expensive provider 30, ...).
+	Cost map[uint32]int
+	// Capacity caps how many prefixes may be rerouted to a neighbor
+	// (0 = unlimited). This implements the "do not reroute large
+	// amounts of traffic to low-bandwidth paths" guard.
+	Capacity map[uint32]int
+}
+
+func (p *Policy) forbidden(n uint32) bool { return p != nil && p.Forbid[n] }
+
+func (p *Policy) cost(n uint32) int {
+	if p == nil {
+		return 0
+	}
+	return p.Cost[n]
+}
+
+func (p *Policy) capacity(n uint32) int {
+	if p == nil {
+		return 0
+	}
+	return p.Capacity[n]
+}
+
+// MaxDepth is the deepest protected link position: SWIFT pre-computes
+// backups for the first MaxDepth links of each path (§5 encodes up to
+// AS-path position 5, i.e. link depths 1..4 beyond the local hop).
+const MaxDepth = 5
+
+// Plan holds the per-prefix backup table: Backups[p][d-1] is the backup
+// next-hop AS protecting the link at depth d of p's primary path (0 =
+// no viable backup).
+type Plan struct {
+	LocalAS int
+	Depth   int
+	Backups map[netaddr.Prefix][]uint32
+	// Assigned counts prefixes assigned to each backup next-hop at any
+	// depth, for capacity accounting and the load report.
+	Assigned map[uint32]int
+}
+
+// BackupFor returns the backup next-hop protecting depth d (1-based) of
+// p's path, or 0 when none exists.
+func (pl *Plan) BackupFor(p netaddr.Prefix, d int) uint32 {
+	bs := pl.Backups[p]
+	if d < 1 || d > len(bs) {
+		return 0
+	}
+	return bs[d-1]
+}
+
+// Compute builds the plan for the primary session's RIB given the
+// alternative routes offered by every neighbor session.
+//
+// primary is the session whose routes the router currently uses (the
+// paths packets follow). alternates maps each neighbor AS — including
+// remote next-hops learned over iBGP tunnels (§3.2) — to the routes it
+// advertises. depth limits how many links per path are protected.
+func Compute(localAS uint32, primary *rib.Table, alternates map[uint32]*rib.Table, pol *Policy, depth int) *Plan {
+	if depth <= 0 || depth > MaxDepth {
+		depth = MaxDepth
+	}
+	plan := &Plan{
+		LocalAS:  int(localAS),
+		Depth:    depth,
+		Backups:  make(map[netaddr.Prefix][]uint32, primary.Len()),
+		Assigned: make(map[uint32]int),
+	}
+
+	// Deterministic neighbor ordering: by cost, then ASN.
+	neighbors := make([]uint32, 0, len(alternates))
+	for n := range alternates {
+		neighbors = append(neighbors, n)
+	}
+	sort.Slice(neighbors, func(i, j int) bool {
+		ci, cj := pol.cost(neighbors[i]), pol.cost(neighbors[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return neighbors[i] < neighbors[j]
+	})
+
+	// Deterministic prefix ordering so capacity admission is stable.
+	prefixes := make([]netaddr.Prefix, 0, primary.Len())
+	primary.ForEach(func(p netaddr.Prefix, _ []uint32) {
+		prefixes = append(prefixes, p)
+	})
+	netaddr.Sort(prefixes)
+
+	var linkBuf [16]topology.Link
+	for _, p := range prefixes {
+		path := primary.Path(p)
+		links := rib.PathLinks(linkBuf[:0], localAS, path)
+		n := depth
+		if len(links) < n {
+			n = len(links)
+		}
+		backups := make([]uint32, n)
+		primaryNH := uint32(0)
+		if len(path) > 0 {
+			primaryNH = path[0]
+		}
+		for d := 1; d <= n; d++ {
+			backups[d-1] = pickBackup(p, links[d-1], primaryNH, neighbors, alternates, pol, plan, localAS)
+		}
+		plan.Backups[p] = backups
+	}
+	return plan
+}
+
+// pickBackup selects the most preferred viable backup neighbor for one
+// (prefix, protected link) pair. Selection is tiered:
+//
+//  1. paths avoiding BOTH endpoints of the protected link (§4.2's
+//     footnote — safe even when the inference only localized the
+//     failure to a set of links sharing an endpoint), then
+//  2. paths merely avoiding the link itself.
+//
+// The fallback tier is required by the paper's own running example: the
+// backup for (5,6) is AS 3's path (3,6,8), which necessarily crosses
+// endpoint 6 because AS 6 is the only transit towards its customers.
+// Endpoint avoidance is impossible for prefixes whose every path goes
+// through an endpoint, and rerouting onto a link-free path is still no
+// worse than the blackhole it replaces (§3.3, Assumption 2 discussion).
+func pickBackup(p netaddr.Prefix, protected topology.Link, primaryNH uint32, neighbors []uint32, alternates map[uint32]*rib.Table, pol *Policy, plan *Plan, localAS uint32) uint32 {
+	for _, requireEndpointFree := range []bool{true, false} {
+		for _, n := range neighbors {
+			if n == primaryNH || pol.forbidden(n) {
+				continue
+			}
+			if c := pol.capacity(n); c > 0 && plan.Assigned[n] >= c {
+				continue
+			}
+			alt := alternates[n]
+			if alt == nil {
+				continue
+			}
+			path := alt.Path(p)
+			if path == nil {
+				continue
+			}
+			ok := false
+			if requireEndpointFree {
+				ok = pathAvoids(path, protected)
+			} else {
+				ok = pathAvoidsLink(path, localAS, protected)
+			}
+			if ok {
+				plan.Assigned[n]++
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+// pathAvoids reports whether path visits neither endpoint of l (§4.2
+// footnote: avoiding both endpoints keeps the backup safe under
+// aggregated and AS-level inferences).
+func pathAvoids(path []uint32, l topology.Link) bool {
+	for _, as := range path {
+		if as == l.A || as == l.B {
+			return false
+		}
+	}
+	return true
+}
+
+// pathAvoidsLink reports whether the full forwarding path (local AS
+// prepended) never crosses link l itself.
+func pathAvoidsLink(path []uint32, localAS uint32, l topology.Link) bool {
+	prev := localAS
+	for _, as := range path {
+		if as == prev {
+			continue
+		}
+		if topology.MakeLink(prev, as) == l {
+			return false
+		}
+		prev = as
+	}
+	return true
+}
+
+// CoverageReport summarizes how protectable a RIB is: for each depth,
+// the fraction of prefixes with a viable backup. The paper's claim that
+// deeper links matter less (§5) shows up as rising coverage gaps with
+// depth that affect fewer prefixes.
+type CoverageReport struct {
+	Depth     int
+	Protected []int // Protected[d-1] = prefixes with a backup at depth d
+	Total     int
+}
+
+// Coverage computes the report for a plan.
+func (pl *Plan) Coverage() CoverageReport {
+	rep := CoverageReport{Depth: pl.Depth, Protected: make([]int, pl.Depth)}
+	for _, bs := range pl.Backups {
+		rep.Total++
+		for d, b := range bs {
+			if b != 0 {
+				rep.Protected[d]++
+			}
+		}
+	}
+	return rep
+}

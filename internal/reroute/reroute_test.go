@@ -1,0 +1,174 @@
+package reroute
+
+import (
+	"testing"
+
+	"swift/internal/netaddr"
+	"swift/internal/rib"
+	"swift/internal/topology"
+)
+
+// fig1RIBs builds AS 1's primary RIB (session with AS 2) and the
+// alternate tables from AS 3 and AS 4, matching Fig. 1.
+func fig1RIBs(n int) (primary *rib.Table, alternates map[uint32]*rib.Table) {
+	primary = rib.New(1)
+	alt3 := rib.New(1)
+	alt4 := rib.New(1)
+	for i := 0; i < n; i++ {
+		for _, origin := range []uint32{6, 7, 8} {
+			p := netaddr.PrefixFor(origin, i)
+			switch origin {
+			case 6:
+				primary.Announce(p, []uint32{2, 5, 6})
+				alt3.Announce(p, []uint32{3, 6})
+				alt4.Announce(p, []uint32{4, 5, 6})
+			case 7:
+				primary.Announce(p, []uint32{2, 5, 6, 7})
+				alt3.Announce(p, []uint32{3, 6, 7})
+				alt4.Announce(p, []uint32{4, 5, 6, 7})
+			case 8:
+				primary.Announce(p, []uint32{2, 5, 6, 8})
+				alt3.Announce(p, []uint32{3, 6, 8})
+				alt4.Announce(p, []uint32{4, 5, 6, 8})
+			}
+		}
+	}
+	return primary, map[uint32]*rib.Table{3: alt3, 4: alt4}
+}
+
+func TestFig1Backups(t *testing.T) {
+	primary, alternates := fig1RIBs(10)
+	plan := Compute(1, primary, alternates, nil, 5)
+
+	p := netaddr.PrefixFor(8, 0) // path 2 5 6 8: links (1,2)(2,5)(5,6)(6,8)
+	// Failure of (1,2) at depth 1: both 3 and 4 avoid ASes 1 and 2...
+	// 4's path avoids 2 but the link (1,2) endpoint 1 is the local AS,
+	// which every alternate "visits" — except pathAvoids only inspects
+	// the advertised path, which starts at the neighbor. Both 3 and 4
+	// qualify; 3 wins by ASN with equal cost.
+	if nh := plan.BackupFor(p, 1); nh != 3 {
+		t.Errorf("backup for depth 1 = %d, want 3", nh)
+	}
+	// Failure of (2,5) at depth 2: AS 4's path crosses 5, so only 3.
+	if nh := plan.BackupFor(p, 2); nh != 3 {
+		t.Errorf("backup for depth 2 = %d, want 3", nh)
+	}
+	// Failure of (5,6) at depth 3: AS 4 crosses the link itself, so it
+	// is out; AS 3's path (3,6,8) crosses endpoint 6 (unavoidable — 6
+	// is the only transit to 8) but not the link: the fallback tier
+	// selects it, matching the paper's example where AS 3 is the (5,6)
+	// backup.
+	if nh := plan.BackupFor(p, 3); nh != 3 {
+		t.Errorf("backup for depth 3 = %d, want 3 (link-free fallback)", nh)
+	}
+}
+
+func TestFig1BackupsPaperExample(t *testing.T) {
+	// §3: "the AS 1 router chooses AS 3 or AS 4 as backup next-hop for
+	// the 20k prefixes of AS 7 and AS 8 upon the failure of link (1,2).
+	// In contrast, it can only use AS 3 as backup for the failure of
+	// link (2,5), since AS 4 also uses (5,...)". Depth-1 and depth-2
+	// checks above cover this; here we verify AS 4 is used when AS 3 is
+	// forbidden.
+	primary, alternates := fig1RIBs(10)
+	pol := &Policy{Forbid: map[uint32]bool{3: true}}
+	plan := Compute(1, primary, alternates, pol, 5)
+	p := netaddr.PrefixFor(8, 0)
+	if nh := plan.BackupFor(p, 1); nh != 4 {
+		t.Errorf("with 3 forbidden, depth-1 backup = %d, want 4", nh)
+	}
+	// Depth 2 (2,5): AS 4's path crosses endpoint 5 but not the link
+	// (2,5) itself, so the fallback tier admits it.
+	if nh := plan.BackupFor(p, 2); nh != 4 {
+		t.Errorf("with 3 forbidden, depth-2 backup = %d, want 4", nh)
+	}
+}
+
+func TestCostRanking(t *testing.T) {
+	primary, alternates := fig1RIBs(5)
+	// Make 4 cheaper than 3: depth-1 backups should flip to 4.
+	pol := &Policy{Cost: map[uint32]int{3: 20, 4: 10}}
+	plan := Compute(1, primary, alternates, pol, 5)
+	p := netaddr.PrefixFor(7, 0)
+	if nh := plan.BackupFor(p, 1); nh != 4 {
+		t.Errorf("cheapest backup = %d, want 4", nh)
+	}
+	// Depth 2 still requires avoiding AS 5: only 3 qualifies despite
+	// its higher cost.
+	if nh := plan.BackupFor(p, 2); nh != 3 {
+		t.Errorf("depth-2 backup = %d, want 3", nh)
+	}
+}
+
+func TestCapacityGuard(t *testing.T) {
+	primary, alternates := fig1RIBs(100)
+	// AS 3 can absorb only 50 reroutes; overflow must spill to 4 where
+	// 4 is viable (depth 1) and to nothing where it is not (depth 2).
+	pol := &Policy{Capacity: map[uint32]int{3: 50}}
+	plan := Compute(1, primary, alternates, pol, 5)
+	if plan.Assigned[3] != 50 {
+		t.Errorf("assigned to 3 = %d, want capped 50", plan.Assigned[3])
+	}
+	if plan.Assigned[4] == 0 {
+		t.Error("overflow must spill to AS 4")
+	}
+	// The capacity guard is respected while the spill keeps coverage up.
+	if plan.Assigned[3] > 50 {
+		t.Errorf("assigned to 3 = %d exceeds its cap", plan.Assigned[3])
+	}
+}
+
+func TestCoverageReport(t *testing.T) {
+	primary, alternates := fig1RIBs(10)
+	plan := Compute(1, primary, alternates, nil, 5)
+	rep := plan.Coverage()
+	if rep.Total != 30 {
+		t.Errorf("total = %d, want 30", rep.Total)
+	}
+	// Depth 1 fully protectable; depth 3 (the 5,6 link for origin-8
+	// paths) not at all.
+	if rep.Protected[0] != 30 {
+		t.Errorf("depth-1 protected = %d, want 30", rep.Protected[0])
+	}
+}
+
+func TestDepthClamping(t *testing.T) {
+	primary, alternates := fig1RIBs(2)
+	plan := Compute(1, primary, alternates, nil, 99)
+	if plan.Depth != MaxDepth {
+		t.Errorf("depth = %d, want clamped %d", plan.Depth, MaxDepth)
+	}
+	p := netaddr.PrefixFor(6, 0) // 3-link path: backups sized to path
+	if got := len(plan.Backups[p]); got != 3 {
+		t.Errorf("backup slots = %d, want 3", got)
+	}
+}
+
+func TestPathAvoids(t *testing.T) {
+	l := topology.MakeLink(5, 6)
+	if pathAvoids([]uint32{4, 5, 7}, l) {
+		t.Error("path visiting endpoint 5 must not qualify")
+	}
+	if pathAvoids([]uint32{3, 6, 8}, l) {
+		t.Error("path visiting endpoint 6 must not qualify")
+	}
+	if !pathAvoids([]uint32{3, 9, 8}, l) {
+		t.Error("endpoint-free path must qualify")
+	}
+}
+
+func TestRemoteNextHopViaTunnel(t *testing.T) {
+	// §3.2: remote backup next-hops learned via iBGP count like local
+	// ones. Model a remote egress 99 advertising a (5,6)-free path.
+	primary, alternates := fig1RIBs(5)
+	remote := rib.New(1)
+	for i := 0; i < 5; i++ {
+		remote.Announce(netaddr.PrefixFor(8, i), []uint32{99, 8})
+	}
+	alternates[99] = remote
+	plan := Compute(1, primary, alternates, nil, 5)
+	p := netaddr.PrefixFor(8, 0)
+	if nh := plan.BackupFor(p, 3); nh != 99 {
+		t.Errorf("depth-3 backup = %d, want remote 99", nh)
+	}
+}

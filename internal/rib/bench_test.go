@@ -1,0 +1,36 @@
+package rib
+
+import (
+	"testing"
+
+	"swift/internal/netaddr"
+)
+
+// BenchmarkAnnounce measures route installation with link indexing.
+func BenchmarkAnnounce(b *testing.B) {
+	t := New(1)
+	path := []uint32{2, 5, 6, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Announce(netaddr.PrefixFor(uint32(100+i%500), i%(1<<20-1)), path)
+	}
+}
+
+// BenchmarkWithdraw measures removal including index cleanup.
+func BenchmarkWithdraw(b *testing.B) {
+	t := New(1)
+	path := []uint32{2, 5, 6, 8}
+	n := b.N
+	if n > 1<<20-1 {
+		n = 1<<20 - 1
+	}
+	for i := 0; i < n; i++ {
+		t.Announce(netaddr.PrefixFor(8, i), path)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Withdraw(netaddr.PrefixFor(8, i%n))
+	}
+}

@@ -1,0 +1,179 @@
+// Package rib implements the per-session Adj-RIB-In a SWIFTED router
+// maintains: prefix → AS-path state plus an inverted index from AS link
+// to the prefixes currently routed across it. The index is the data
+// structure both the inference algorithm (W and P counters of §4.1) and
+// the encoding algorithm (per-link prefix loads of §5) are built on.
+package rib
+
+import (
+	"swift/internal/netaddr"
+	"swift/internal/topology"
+)
+
+// Table is one BGP session's RIB with link indexing. It is not
+// concurrency-safe: the SWIFT engine owns one per session and serializes
+// access (the paper runs inference per session precisely to enable this
+// parallelism without sharing).
+type Table struct {
+	localAS uint32
+	routes  map[netaddr.Prefix][]uint32 // prefix -> announced path (neighbor first)
+	byLink  map[topology.Link]map[netaddr.Prefix]struct{}
+}
+
+// New returns an empty table for a session of localAS.
+func New(localAS uint32) *Table {
+	return &Table{
+		localAS: localAS,
+		routes:  make(map[netaddr.Prefix][]uint32),
+		byLink:  make(map[topology.Link]map[netaddr.Prefix]struct{}),
+	}
+}
+
+// LocalAS returns the AS that owns the table.
+func (t *Table) LocalAS() uint32 { return t.localAS }
+
+// Len returns the number of routed prefixes.
+func (t *Table) Len() int { return len(t.routes) }
+
+// Path returns the current AS path for p (nil when absent). The slice is
+// owned by the table.
+func (t *Table) Path(p netaddr.Prefix) []uint32 { return t.routes[p] }
+
+// PathLinks appends to dst the links of path as seen from the local AS:
+// (local, n1), (n1, n2), ... Duplicate consecutive ASes (prepending) are
+// skipped, as are self-loops.
+func PathLinks(dst []topology.Link, localAS uint32, path []uint32) []topology.Link {
+	prev := localAS
+	for _, as := range path {
+		if as == prev {
+			continue // AS-path prepending
+		}
+		dst = append(dst, topology.MakeLink(prev, as))
+		prev = as
+	}
+	return dst
+}
+
+// Links returns the links of p's current path (nil when absent).
+func (t *Table) Links(p netaddr.Prefix) []topology.Link {
+	path := t.routes[p]
+	if path == nil {
+		return nil
+	}
+	return PathLinks(nil, t.localAS, path)
+}
+
+// Announce installs or replaces the route for p, returning the previous
+// path (nil if p was new). The stored path aliases the argument; callers
+// that reuse buffers must pass a copy.
+func (t *Table) Announce(p netaddr.Prefix, path []uint32) (old []uint32) {
+	old = t.routes[p]
+	if old != nil {
+		t.unindex(p, old)
+	}
+	t.routes[p] = path
+	t.index(p, path)
+	return old
+}
+
+// Withdraw removes the route for p, returning the withdrawn path (nil if
+// p was not routed).
+func (t *Table) Withdraw(p netaddr.Prefix) (old []uint32) {
+	old = t.routes[p]
+	if old == nil {
+		return nil
+	}
+	t.unindex(p, old)
+	delete(t.routes, p)
+	return old
+}
+
+func (t *Table) index(p netaddr.Prefix, path []uint32) {
+	var buf [16]topology.Link
+	for _, l := range PathLinks(buf[:0], t.localAS, path) {
+		set := t.byLink[l]
+		if set == nil {
+			set = make(map[netaddr.Prefix]struct{})
+			t.byLink[l] = set
+		}
+		set[p] = struct{}{}
+	}
+}
+
+func (t *Table) unindex(p netaddr.Prefix, path []uint32) {
+	var buf [16]topology.Link
+	for _, l := range PathLinks(buf[:0], t.localAS, path) {
+		if set := t.byLink[l]; set != nil {
+			delete(set, p)
+			if len(set) == 0 {
+				delete(t.byLink, l)
+			}
+		}
+	}
+}
+
+// OnLink returns the number of prefixes whose current path crosses l —
+// the P(l, t) of §4.1.
+func (t *Table) OnLink(l topology.Link) int { return len(t.byLink[l]) }
+
+// PrefixesOn appends to dst every prefix currently routed across l. The
+// order is unspecified.
+func (t *Table) PrefixesOn(dst []netaddr.Prefix, l topology.Link) []netaddr.Prefix {
+	for p := range t.byLink[l] {
+		dst = append(dst, p)
+	}
+	return dst
+}
+
+// PrefixesOnAny returns the union of prefixes across the given links —
+// the set SWIFT reroutes after inferring that those links failed.
+func (t *Table) PrefixesOnAny(links []topology.Link) []netaddr.Prefix {
+	seen := make(map[netaddr.Prefix]struct{})
+	for _, l := range links {
+		for p := range t.byLink[l] {
+			seen[p] = struct{}{}
+		}
+	}
+	out := make([]netaddr.Prefix, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	netaddr.Sort(out)
+	return out
+}
+
+// ActiveLinks returns every link currently carrying at least one prefix.
+// The order is unspecified.
+func (t *Table) ActiveLinks() []topology.Link {
+	out := make([]topology.Link, 0, len(t.byLink))
+	for l := range t.byLink {
+		out = append(out, l)
+	}
+	return out
+}
+
+// ForEach calls fn for every (prefix, path) pair. Iteration order is
+// unspecified; fn must not mutate the table.
+func (t *Table) ForEach(fn func(p netaddr.Prefix, path []uint32)) {
+	for p, path := range t.routes {
+		fn(p, path)
+	}
+}
+
+// Clone returns a deep copy of the table (paths are shared, both
+// index levels are fresh). The encoding layer snapshots the RIB this way
+// before recomputing tags.
+func (t *Table) Clone() *Table {
+	out := New(t.localAS)
+	for p, path := range t.routes {
+		out.routes[p] = path
+	}
+	for l, set := range t.byLink {
+		cp := make(map[netaddr.Prefix]struct{}, len(set))
+		for p := range set {
+			cp[p] = struct{}{}
+		}
+		out.byLink[l] = cp
+	}
+	return out
+}

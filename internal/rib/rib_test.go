@@ -1,0 +1,198 @@
+package rib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"swift/internal/netaddr"
+	"swift/internal/topology"
+)
+
+func link(a, b uint32) topology.Link { return topology.MakeLink(a, b) }
+
+func TestPathLinks(t *testing.T) {
+	ls := PathLinks(nil, 1, []uint32{2, 5, 6, 8})
+	want := []topology.Link{link(1, 2), link(2, 5), link(5, 6), link(6, 8)}
+	if len(ls) != len(want) {
+		t.Fatalf("links = %v", ls)
+	}
+	for i := range want {
+		if ls[i] != want[i] {
+			t.Errorf("link %d = %v, want %v", i, ls[i], want[i])
+		}
+	}
+}
+
+func TestPathLinksPrepending(t *testing.T) {
+	ls := PathLinks(nil, 1, []uint32{2, 2, 2, 5})
+	if len(ls) != 2 || ls[0] != link(1, 2) || ls[1] != link(2, 5) {
+		t.Errorf("prepended path links = %v", ls)
+	}
+}
+
+func TestAnnounceWithdraw(t *testing.T) {
+	tb := New(1)
+	p := netaddr.PrefixFor(8, 0)
+	if old := tb.Announce(p, []uint32{2, 5, 6, 8}); old != nil {
+		t.Errorf("old = %v", old)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("len = %d", tb.Len())
+	}
+	if tb.OnLink(link(5, 6)) != 1 || tb.OnLink(link(1, 2)) != 1 {
+		t.Error("link index not populated")
+	}
+	// Replace with a path avoiding (5,6).
+	old := tb.Announce(p, []uint32{3, 6, 8})
+	if len(old) != 4 {
+		t.Errorf("old = %v", old)
+	}
+	if tb.OnLink(link(5, 6)) != 0 {
+		t.Error("stale link index entry after reannounce")
+	}
+	if tb.OnLink(link(3, 6)) != 1 || tb.OnLink(link(1, 3)) != 1 {
+		t.Error("new links not indexed")
+	}
+	wd := tb.Withdraw(p)
+	if len(wd) != 3 || tb.Len() != 0 {
+		t.Errorf("withdraw = %v, len = %d", wd, tb.Len())
+	}
+	if tb.OnLink(link(3, 6)) != 0 {
+		t.Error("index not cleaned by withdraw")
+	}
+	if tb.Withdraw(p) != nil {
+		t.Error("double withdraw must return nil")
+	}
+}
+
+func TestFig4Counters(t *testing.T) {
+	// Rebuild the pre-failure state of Fig. 1 at AS 1's session with
+	// AS 2 and check the P(l) values that feed Fig. 4.
+	tb := New(1)
+	n := 0
+	add := func(origin uint32, count int, path ...uint32) {
+		for i := 0; i < count; i++ {
+			tb.Announce(netaddr.PrefixFor(origin, i), path)
+			n++
+		}
+	}
+	add(2, 1000, 2)
+	add(5, 1000, 2, 5)
+	add(6, 1000, 2, 5, 6)
+	add(7, 10000, 2, 5, 6, 7)
+	add(8, 10000, 2, 5, 6, 8)
+
+	if tb.Len() != n {
+		t.Fatalf("len = %d, want %d", tb.Len(), n)
+	}
+	for _, c := range []struct {
+		l    topology.Link
+		want int
+	}{
+		{link(1, 2), 23000},
+		{link(2, 5), 22000},
+		{link(5, 6), 21000},
+		{link(6, 7), 10000},
+		{link(6, 8), 10000},
+	} {
+		if got := tb.OnLink(c.l); got != c.want {
+			t.Errorf("OnLink%v = %d, want %d", c.l, got, c.want)
+		}
+	}
+	// Prefixes to reroute for an inferred failure of (5,6).
+	got := tb.PrefixesOnAny([]topology.Link{link(5, 6)})
+	if len(got) != 21000 {
+		t.Errorf("PrefixesOnAny(5,6) = %d, want 21000", len(got))
+	}
+}
+
+func TestPrefixesOnAnyUnion(t *testing.T) {
+	tb := New(1)
+	p1, p2, p3 := netaddr.PrefixFor(6, 0), netaddr.PrefixFor(7, 0), netaddr.PrefixFor(9, 0)
+	tb.Announce(p1, []uint32{2, 5, 6})
+	tb.Announce(p2, []uint32{2, 5, 6, 7})
+	tb.Announce(p3, []uint32{3, 9})
+	got := tb.PrefixesOnAny([]topology.Link{link(5, 6), link(6, 7)})
+	if len(got) != 2 {
+		t.Fatalf("union = %v", got)
+	}
+	// Sorted output.
+	if got[0] > got[1] {
+		t.Error("PrefixesOnAny must sort")
+	}
+}
+
+func TestActiveLinks(t *testing.T) {
+	tb := New(1)
+	tb.Announce(netaddr.PrefixFor(6, 0), []uint32{2, 5, 6})
+	links := tb.ActiveLinks()
+	if len(links) != 3 {
+		t.Errorf("active links = %v", links)
+	}
+	tb.Withdraw(netaddr.PrefixFor(6, 0))
+	if len(tb.ActiveLinks()) != 0 {
+		t.Error("links must disappear with their last prefix")
+	}
+}
+
+func TestClone(t *testing.T) {
+	tb := New(1)
+	p := netaddr.PrefixFor(6, 0)
+	tb.Announce(p, []uint32{2, 5, 6})
+	cp := tb.Clone()
+	tb.Withdraw(p)
+	if cp.Len() != 1 || cp.OnLink(link(5, 6)) != 1 {
+		t.Error("clone shares state with original")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	tb := New(1)
+	tb.Announce(netaddr.PrefixFor(6, 0), []uint32{2, 6})
+	tb.Announce(netaddr.PrefixFor(7, 0), []uint32{2, 7})
+	count := 0
+	tb.ForEach(func(p netaddr.Prefix, path []uint32) { count++ })
+	if count != 2 {
+		t.Errorf("ForEach visited %d", count)
+	}
+}
+
+func TestIndexConsistencyProperty(t *testing.T) {
+	// Property: after any sequence of announce/withdraw operations, the
+	// link index exactly matches the routes map.
+	f := func(ops []uint16) bool {
+		tb := New(1)
+		paths := [][]uint32{
+			{2, 5, 6}, {3, 6}, {4, 5, 6, 7}, {2, 5, 6, 8}, nil,
+		}
+		for _, op := range ops {
+			p := netaddr.PrefixFor(uint32(op%7+2), int(op/7)%5)
+			path := paths[int(op)%len(paths)]
+			if path == nil {
+				tb.Withdraw(p)
+			} else {
+				tb.Announce(p, path)
+			}
+		}
+		// Rebuild the index from scratch and compare counts.
+		fresh := New(1)
+		tb.ForEach(func(p netaddr.Prefix, path []uint32) { fresh.Announce(p, path) })
+		if fresh.Len() != tb.Len() {
+			return false
+		}
+		for _, l := range fresh.ActiveLinks() {
+			if tb.OnLink(l) != fresh.OnLink(l) {
+				return false
+			}
+		}
+		for _, l := range tb.ActiveLinks() {
+			if tb.OnLink(l) != fresh.OnLink(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package router models data-plane convergence of a BGP router upon a
+// remote outage — the measurement harness behind Table 1 and the §7
+// case study (Fig. 9a). A vanilla router processes the withdrawal burst
+// message by message and rewrites its FIB one prefix at a time; a
+// SWIFTED router restores predicted prefixes in bulk at inference time
+// with a handful of tag rules. Both models share the same burst, so the
+// comparison isolates exactly what the paper measures.
+package router
+
+import (
+	"sort"
+	"time"
+
+	"swift/internal/bgpsim"
+	"swift/internal/netaddr"
+	swiftengine "swift/internal/swift"
+)
+
+// PerPrefixUpdate is the default modeled FIB write cost per prefix for
+// the vanilla router. 375 µs/prefix is Table 1's measured slope
+// (109 s / 290k withdrawals on the paper's Cisco Nexus 7018), slightly
+// above the 128–282 µs software-router range of [24, 64].
+const PerPrefixUpdate = 375 * time.Microsecond
+
+// RestoreTimesBGP computes, for every withdrawn prefix in the burst,
+// when a vanilla router restores its connectivity: the withdrawal must
+// arrive (burst timing), wait behind earlier messages, and pay a
+// per-prefix FIB write to switch to the locally known alternate route.
+func RestoreTimesBGP(b *bgpsim.Burst, perUpdate time.Duration) map[netaddr.Prefix]time.Duration {
+	if perUpdate <= 0 {
+		perUpdate = PerPrefixUpdate
+	}
+	out := make(map[netaddr.Prefix]time.Duration, b.Size)
+	var clock time.Duration
+	for _, ev := range b.Events {
+		if ev.At > clock {
+			clock = ev.At
+		}
+		clock += perUpdate // every message costs a FIB write
+		if ev.Kind == bgpsim.KindWithdraw {
+			out[ev.Prefix] = clock
+		}
+	}
+	return out
+}
+
+// RestoreTimesSwift computes when a SWIFTED router restores each
+// withdrawn prefix: at the first accepted inference that predicted it
+// (plus the rule-installation latency), or at the BGP time otherwise.
+func RestoreTimesSwift(b *bgpsim.Burst, decisions []swiftengine.Decision, perUpdate time.Duration) map[netaddr.Prefix]time.Duration {
+	bgp := RestoreTimesBGP(b, perUpdate)
+	// Earliest predicted-restoration time per prefix.
+	predicted := make(map[netaddr.Prefix]time.Duration)
+	for _, d := range decisions {
+		ready := d.At + d.DataplaneTime
+		for _, p := range d.Predicted {
+			if t, ok := predicted[p]; !ok || ready < t {
+				predicted[p] = ready
+			}
+		}
+	}
+	out := make(map[netaddr.Prefix]time.Duration, len(bgp))
+	for p, t := range bgp {
+		if pt, ok := predicted[p]; ok && pt < t {
+			out[p] = pt
+		} else {
+			out[p] = t
+		}
+	}
+	return out
+}
+
+// Downtime summarizes a restore-time map against the probe methodology
+// of §2.1.2: the time until a given fraction of probed prefixes have
+// connectivity again.
+type Downtime struct {
+	// Last is the restoration time of the final probe (the paper's
+	// Table 1 number: time to retrieve connectivity for all probes).
+	Last time.Duration
+	// Median and P99 describe the distribution.
+	Median, P99 time.Duration
+}
+
+// MeasureDowntime samples probes (all prefixes when probes is nil).
+func MeasureDowntime(restore map[netaddr.Prefix]time.Duration, probes []netaddr.Prefix) Downtime {
+	var ts []time.Duration
+	if probes == nil {
+		for _, t := range restore {
+			ts = append(ts, t)
+		}
+	} else {
+		for _, p := range probes {
+			if t, ok := restore[p]; ok {
+				ts = append(ts, t)
+			}
+		}
+	}
+	if len(ts) == 0 {
+		return Downtime{}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return Downtime{
+		Last:   ts[len(ts)-1],
+		Median: ts[len(ts)/2],
+		P99:    ts[(len(ts)-1)*99/100],
+	}
+}
+
+// LossPoint is one sample of the Fig. 9a packet-loss curve.
+type LossPoint struct {
+	T    time.Duration
+	Loss float64 // fraction of probes still blackholed
+}
+
+// LossSeries samples the fraction of unrestored probes over time at the
+// given step, from the failure instant until full restoration.
+func LossSeries(restore map[netaddr.Prefix]time.Duration, probes []netaddr.Prefix, step time.Duration) []LossPoint {
+	var ts []time.Duration
+	if probes == nil {
+		for _, t := range restore {
+			ts = append(ts, t)
+		}
+	} else {
+		for _, p := range probes {
+			if t, ok := restore[p]; ok {
+				ts = append(ts, t)
+			}
+		}
+	}
+	if len(ts) == 0 {
+		return nil
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	end := ts[len(ts)-1]
+	var out []LossPoint
+	idx := 0
+	for t := time.Duration(0); ; t += step {
+		for idx < len(ts) && ts[idx] <= t {
+			idx++
+		}
+		out = append(out, LossPoint{T: t, Loss: float64(len(ts)-idx) / float64(len(ts))})
+		if t >= end {
+			break
+		}
+	}
+	return out
+}
+
+// SampleProbes deterministically picks n probe prefixes among the
+// burst's withdrawn prefixes, mimicking §2.1.2's 100 random probe IPs.
+func SampleProbes(b *bgpsim.Burst, n int) []netaddr.Prefix {
+	var withdrawn []netaddr.Prefix
+	seen := make(map[netaddr.Prefix]bool)
+	for _, ev := range b.Events {
+		if ev.Kind == bgpsim.KindWithdraw && !seen[ev.Prefix] {
+			seen[ev.Prefix] = true
+			withdrawn = append(withdrawn, ev.Prefix)
+		}
+	}
+	if n >= len(withdrawn) {
+		return withdrawn
+	}
+	// Even stride over the (time-ordered) withdrawals: covers head,
+	// middle and tail of the burst.
+	out := make([]netaddr.Prefix, 0, n)
+	stride := len(withdrawn) / n
+	for i := 0; i < n; i++ {
+		out = append(out, withdrawn[i*stride])
+	}
+	return out
+}

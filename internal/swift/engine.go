@@ -1,0 +1,319 @@
+// Package swift implements the SWIFT engine — the paper's core
+// contribution assembled from its parts (§3's workflow): it consumes a
+// BGP session's message stream, maintains the session RIB, detects
+// withdrawal bursts, runs the inference algorithm at the adaptive
+// triggers, and installs tag-based reroute rules into the two-stage
+// forwarding table, falling back to BGP's own routes once the burst is
+// over and BGP has reconverged.
+//
+// One Engine serves one BGP session; a router runs one engine per
+// session, in parallel, exactly as §4.1 prescribes.
+package swift
+
+import (
+	"time"
+
+	"swift/internal/burst"
+	"swift/internal/dataplane"
+	"swift/internal/encoding"
+	"swift/internal/inference"
+	"swift/internal/netaddr"
+	"swift/internal/reroute"
+	"swift/internal/rib"
+	"swift/internal/topology"
+)
+
+// Config assembles the engine's tunables. Zero values select the
+// paper's defaults everywhere.
+type Config struct {
+	// LocalAS is the SWIFTED router's AS number.
+	LocalAS uint32
+	// PrimaryNeighbor is the session peer whose routes the router
+	// currently prefers (AS 2 in Fig. 1).
+	PrimaryNeighbor uint32
+	// Inference, Encoding and Burst carry the per-algorithm settings.
+	Inference inference.Config
+	Encoding  encoding.Config
+	Burst     burst.Config
+	// ReroutePolicy is the operator's backup-selection policy.
+	ReroutePolicy *reroute.Policy
+	// RuleUpdateCost models the FIB write latency.
+	RuleUpdateCost time.Duration
+	// Logf, when set, receives one line per engine decision.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Inference.WWS == 0 && c.Inference.WPS == 0 {
+		h := c.Inference.UseHistory
+		c.Inference = inference.Default()
+		c.Inference.UseHistory = h || c.Inference.UseHistory
+	}
+	// Per-field encoding defaults so callers can override one knob.
+	def := encoding.Default()
+	if c.Encoding.TagBits == 0 {
+		c.Encoding.TagBits = def.TagBits
+	}
+	if c.Encoding.PathBits == 0 {
+		c.Encoding.PathBits = def.PathBits
+	}
+	if c.Encoding.MaxDepth == 0 {
+		c.Encoding.MaxDepth = def.MaxDepth
+	}
+	if c.Encoding.MinPrefixes == 0 {
+		c.Encoding.MinPrefixes = def.MinPrefixes
+	}
+	if c.Encoding.NHBits == 0 {
+		c.Encoding.NHBits = def.NHBits
+	}
+	return c
+}
+
+// Decision records one accepted inference and the data-plane action it
+// triggered.
+type Decision struct {
+	// At is the stream offset when the inference ran.
+	At time.Duration
+	// Result is the raw inference outcome.
+	Result inference.Result
+	// Predicted lists the prefixes the rules divert (a snapshot of the
+	// RIB's coverage of the inferred links at decision time).
+	Predicted []netaddr.Prefix
+	// RulesInstalled counts the stage-2 writes performed.
+	RulesInstalled int
+	// DataplaneTime is the modeled FIB update latency for those writes.
+	DataplaneTime time.Duration
+}
+
+// Engine is the per-session SWIFT pipeline.
+type Engine struct {
+	cfg      Config
+	table    *rib.Table
+	alts     map[uint32]*rib.Table
+	tracker  *inference.Tracker
+	history  *burst.History
+	detector *burst.Detector
+	plan     *reroute.Plan
+	scheme   *encoding.Scheme
+	fib      *dataplane.FIB
+
+	lastWithdrawal time.Duration
+	lastTriggerAt  int // tracker count at the previous inference attempt
+	rerouteActive  bool
+	decisions      []Decision
+	deferred       int // inferences rejected by the plausibility gate
+}
+
+// New builds an engine. Routes must then be loaded with LearnPrimary /
+// LearnAlternate, followed by one Provision call before streaming.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		table:   rib.New(cfg.LocalAS),
+		alts:    make(map[uint32]*rib.Table),
+		history: &burst.History{},
+		fib:     dataplane.New(dataplane.Config{RuleUpdateCost: cfg.RuleUpdateCost}),
+	}
+	e.tracker = inference.NewTracker(cfg.Inference, e.table)
+	e.detector = burst.NewDetector(cfg.Burst, e.history)
+	return e
+}
+
+// LearnPrimary installs a route on the primary session RIB (initial
+// table transfer).
+func (e *Engine) LearnPrimary(p netaddr.Prefix, path []uint32) {
+	e.table.Announce(p, path)
+}
+
+// LearnAlternate installs a route offered by another neighbor (or a
+// remote iBGP next-hop) — the pool backups are drawn from.
+func (e *Engine) LearnAlternate(neighbor uint32, p netaddr.Prefix, path []uint32) {
+	t := e.alts[neighbor]
+	if t == nil {
+		t = rib.New(e.cfg.LocalAS)
+		e.alts[neighbor] = t
+	}
+	t.Announce(p, path)
+}
+
+// Provision computes the backup plan and tag encoding from the current
+// RIBs and fills both forwarding stages — the "before the outage" half
+// of Fig. 3. It must be called after the initial routes are loaded and
+// may be called again after BGP reconverges.
+func (e *Engine) Provision() error {
+	e.plan = reroute.Compute(e.cfg.LocalAS, e.table, e.alts, e.cfg.ReroutePolicy, e.cfg.Encoding.MaxDepth)
+	scheme, err := encoding.Build(e.cfg.Encoding, e.table, e.plan)
+	if err != nil {
+		return err
+	}
+	e.scheme = scheme
+	for p, t := range scheme.Tags() {
+		e.fib.SetTag(p, t)
+	}
+	if r, ok := scheme.PrimaryRule(e.cfg.PrimaryNeighbor); ok {
+		e.fib.InstallRule(r)
+	}
+	// Provisioning happens in steady state; the accounting should
+	// measure failure reactions only.
+	e.fib.ResetAccounting()
+	e.logf("provisioned: %d prefixes tagged, %d path bits, %d next-hops",
+		scheme.Stats().TaggedPrefixes, scheme.Stats().PathBitsUsed, scheme.Stats().NextHops)
+	return nil
+}
+
+// FIB exposes the simulated forwarding table.
+func (e *Engine) FIB() *dataplane.FIB { return e.fib }
+
+// RIB exposes the primary session RIB.
+func (e *Engine) RIB() *rib.Table { return e.table }
+
+// Plan exposes the current backup plan.
+func (e *Engine) Plan() *reroute.Plan { return e.plan }
+
+// Scheme exposes the compiled encoding.
+func (e *Engine) Scheme() *encoding.Scheme { return e.scheme }
+
+// Decisions returns every accepted inference so far.
+func (e *Engine) Decisions() []Decision { return e.decisions }
+
+// Deferred returns how many inferences the plausibility gate rejected.
+func (e *Engine) Deferred() int { return e.deferred }
+
+// RerouteActive reports whether fast-reroute rules are installed.
+func (e *Engine) RerouteActive() bool { return e.rerouteActive }
+
+// ObserveWithdraw feeds one withdrawal from the session at stream
+// offset at.
+func (e *Engine) ObserveWithdraw(at time.Duration, p netaddr.Prefix) {
+	// A lone withdrawal long after the last one is background noise:
+	// drop stale burst state so W(t) reflects the current event.
+	if e.detector.State() == burst.Quiet && e.tracker.Received() > 0 &&
+		at-e.lastWithdrawal > 2*burst.DefaultWindow {
+		e.tracker.Reset()
+	}
+	e.lastWithdrawal = at
+	e.tracker.ObserveWithdraw(p)
+	tr := e.detector.ObserveWithdrawal(at)
+	if tr == burst.Started {
+		e.logf("burst started at %v with %d withdrawals in window", at, e.detector.BurstCount())
+	}
+	if e.detector.State() == burst.InBurst {
+		e.maybeInfer(at)
+	}
+}
+
+// ObserveAnnounce feeds one announcement from the session.
+func (e *Engine) ObserveAnnounce(at time.Duration, p netaddr.Prefix, path []uint32) {
+	e.tracker.ObserveAnnounce(p, path)
+	if e.detector.Tick(at) == burst.Ended {
+		e.endBurst(at)
+	}
+}
+
+// Tick advances time without a message (timer-driven), closing bursts
+// whose window drained.
+func (e *Engine) Tick(at time.Duration) {
+	if e.detector.Tick(at) == burst.Ended {
+		e.endBurst(at)
+	}
+}
+
+// maybeInfer runs the inference at the adaptive trigger points.
+func (e *Engine) maybeInfer(at time.Duration) {
+	every := e.cfg.Inference.TriggerEvery
+	if every <= 0 {
+		every = inference.Default().TriggerEvery
+	}
+	if e.tracker.Received()-e.lastTriggerAt < every {
+		return
+	}
+	e.lastTriggerAt = e.tracker.Received()
+	res := e.tracker.Infer()
+	if len(res.Links) == 0 {
+		return
+	}
+	if !res.Accepted {
+		e.deferred++
+		e.logf("inference deferred at %v: predicted %d too large for %d received",
+			at, res.Predicted, res.Received)
+		return
+	}
+	e.applyReroute(at, res)
+}
+
+// applyReroute installs the tag rules for an accepted inference.
+func (e *Engine) applyReroute(at time.Duration, res inference.Result) {
+	if e.scheme == nil {
+		return
+	}
+	before := e.fib.Writes()
+	if e.rerouteActive {
+		e.fib.RemoveRulesAt(reroutePriority)
+	}
+	rules := e.scheme.RerouteRules(res.Links)
+	for i := range rules {
+		rules[i].Priority = reroutePriority
+	}
+	e.fib.InstallRules(rules)
+	e.rerouteActive = true
+	// The rules match tags, and stage-1 tags persist through the burst:
+	// prefixes already withdrawn in the control plane are diverted too,
+	// so the covered set is the union of still-active and withdrawn
+	// prefixes crossing the inferred links.
+	predicted := e.tracker.PredictedPrefixes(res)
+	predicted = append(predicted, e.tracker.WithdrawnOn(res.Links)...)
+	d := Decision{
+		At:             at,
+		Result:         res,
+		Predicted:      predicted,
+		RulesInstalled: e.fib.Writes() - before,
+	}
+	d.DataplaneTime = time.Duration(d.RulesInstalled) * dataplaneCost(e.cfg.RuleUpdateCost)
+	e.decisions = append(e.decisions, d)
+	e.logf("reroute at %v: links %v, %d prefixes predicted, %d rules (%v)",
+		at, res.Links, len(d.Predicted), d.RulesInstalled, d.DataplaneTime)
+}
+
+func dataplaneCost(c time.Duration) time.Duration {
+	if c <= 0 {
+		return dataplane.DefaultRuleUpdate
+	}
+	return c
+}
+
+// reroutePriority is the stage-2 priority of SWIFT's rules; primary
+// rules sit at 0.
+const reroutePriority = 10
+
+// endBurst is SWIFT's fallback (§3): BGP has converged, the RIB holds
+// the post-failure routes, so remove the override rules and re-derive
+// the steady-state plan and tags.
+func (e *Engine) endBurst(at time.Duration) {
+	e.logf("burst ended at %v: %d withdrawals total", at, e.tracker.Received())
+	e.tracker.Reset()
+	e.lastTriggerAt = 0
+	if e.rerouteActive {
+		e.fib.RemoveRulesAt(reroutePriority)
+		e.rerouteActive = false
+		// Re-provision tags against the converged RIB.
+		if err := e.Provision(); err != nil {
+			e.logf("re-provisioning failed: %v", err)
+		}
+	}
+}
+
+// InferredLinks returns the links of the most recent decision (nil when
+// none).
+func (e *Engine) InferredLinks() []topology.Link {
+	if len(e.decisions) == 0 {
+		return nil
+	}
+	return e.decisions[len(e.decisions)-1].Result.Links
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf("swift: "+format, args...)
+	}
+}

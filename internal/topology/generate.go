@@ -1,0 +1,215 @@
+package topology
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// GenConfig parameterizes the synthetic Internet generator of §6.1.
+type GenConfig struct {
+	// NumASes is the topology size (the paper uses 1,000).
+	NumASes int
+	// AvgDegree targets the mean adjacency count (the paper uses 8.4,
+	// the CAIDA AS-level value of October 2016).
+	AvgDegree float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Generate builds a scale-free AS topology by preferential attachment
+// (power-law degree distribution, the paper targets exponent ≈2.1) and
+// assigns Gao–Rexford relationships per §6.1: the three highest-degree
+// ASes are fully meshed Tier 1s; links between same-tier ASes are
+// peer-to-peer, all others customer-to-provider with the lower-tier
+// (higher-numbered tier) AS as the customer.
+//
+// AS numbers are 1..NumASes.
+func Generate(cfg GenConfig) *Graph {
+	n := cfg.NumASes
+	if n < 4 {
+		n = 4
+	}
+	avg := cfg.AvgDegree
+	if avg <= 2 {
+		avg = 8.4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// m links per arriving node gives average degree ≈ 2m. Alternate
+	// between floor and ceil to hit fractional targets.
+	mBase := int(avg / 2)
+	frac := avg/2 - float64(mBase)
+
+	var edges []edge
+	// Repeated-node list for degree-proportional sampling, with a small
+	// uniform admixture that fattens the tail toward exponent ~2.1
+	// (pure Barabási–Albert yields 3).
+	var ballot []uint32
+
+	// Seed clique of 4 nodes.
+	for a := uint32(1); a <= 4; a++ {
+		for b := a + 1; b <= 4; b++ {
+			edges = append(edges, edge{a, b})
+			ballot = append(ballot, a, b)
+		}
+	}
+	for v := uint32(5); v <= uint32(n); v++ {
+		m := mBase
+		if rng.Float64() < frac {
+			m++
+		}
+		if m < 1 {
+			m = 1
+		}
+		chosen := make(map[uint32]bool, m)
+		for len(chosen) < m && len(chosen) < int(v-1) {
+			var t uint32
+			if rng.Float64() < 0.2 {
+				t = uint32(rng.Intn(int(v-1))) + 1 // uniform admixture
+			} else {
+				t = ballot[rng.Intn(len(ballot))]
+			}
+			if t == v || chosen[t] {
+				continue
+			}
+			chosen[t] = true
+		}
+		targets := make([]uint32, 0, len(chosen))
+		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, t := range targets {
+			edges = append(edges, edge{v, t})
+			ballot = append(ballot, v, t)
+		}
+	}
+
+	// Degrees for tier assignment.
+	deg := make(map[uint32]int, n)
+	for _, e := range edges {
+		deg[e.a]++
+		deg[e.b]++
+	}
+	tiers := tierByDegree(deg, edges)
+
+	g := New()
+	for as := uint32(1); as <= uint32(n); as++ {
+		g.AddAS(as)
+	}
+	for _, e := range edges {
+		ta, tb := tiers[e.a], tiers[e.b]
+		switch {
+		case ta == tb:
+			g.AddPeers(e.a, e.b)
+		case ta < tb: // a is closer to the core: a is the provider
+			g.AddCustomerProvider(e.b, e.a)
+		default:
+			g.AddCustomerProvider(e.a, e.b)
+		}
+	}
+	// Tier 1 full mesh.
+	var t1 []uint32
+	for as, t := range tiers {
+		if t == 1 {
+			t1 = append(t1, as)
+		}
+	}
+	sort.Slice(t1, func(i, j int) bool { return t1[i] < t1[j] })
+	for i := 0; i < len(t1); i++ {
+		for j := i + 1; j < len(t1); j++ {
+			if !g.HasLink(t1[i], t1[j]) {
+				g.AddPeers(t1[i], t1[j])
+			}
+		}
+	}
+	return g
+}
+
+type edge struct{ a, b uint32 }
+
+// tierByDegree computes tiers from raw edges before the Graph exists
+// (relationship assignment needs tiers, which need connectivity).
+func tierByDegree(deg map[uint32]int, edges []edge) map[uint32]int {
+	adj := make(map[uint32][]uint32)
+	for _, e := range edges {
+		adj[e.a] = append(adj[e.a], e.b)
+		adj[e.b] = append(adj[e.b], e.a)
+	}
+	var all []uint32
+	for as := range deg {
+		all = append(all, as)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if deg[all[i]] != deg[all[j]] {
+			return deg[all[i]] > deg[all[j]]
+		}
+		return all[i] < all[j]
+	})
+	tiers := make(map[uint32]int, len(all))
+	k := 3
+	if len(all) < k {
+		k = len(all)
+	}
+	frontier := all[:k]
+	for _, as := range frontier {
+		tiers[as] = 1
+	}
+	for tier := 2; len(frontier) > 0; tier++ {
+		var next []uint32
+		for _, as := range frontier {
+			for _, nb := range adj[as] {
+				if _, ok := tiers[nb]; !ok {
+					tiers[nb] = tier
+					next = append(next, nb)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		frontier = next
+	}
+	return tiers
+}
+
+// Fig1 returns the paper's running-example topology (Fig. 1): eight
+// ASes where AS 1 is the SWIFTED vantage point, its primary route to
+// ASes 6/7/8 runs through 2→5→6, AS 4 provides an alternate that also
+// crosses (5,6), and AS 3 provides the only (5,6)-free backup via its
+// direct link to AS 6. AS 5 additionally buys partial transit from
+// AS 3 (prefixes of AS 7 only — see §2.1), which is what lets it send
+// 10k path updates instead of withdrawals for S7 after (5,6) fails.
+//
+// Prefix counts per origin follow Fig. 4's WS/PS table: ASes 2, 5 and 6
+// originate 1k each, AS 7 and AS 8 10k each (scaled by the caller).
+func Fig1() *Graph {
+	g := New()
+	// AS 1 buys transit from 2, 3 and 4.
+	g.AddCustomerProvider(1, 2)
+	g.AddCustomerProvider(1, 3)
+	g.AddCustomerProvider(1, 4)
+	// 2 and 4 reach 5; 5 reaches 6; 3 has a direct link to 6.
+	g.AddCustomerProvider(2, 5)
+	g.AddCustomerProvider(4, 5)
+	g.AddCustomerProvider(5, 6)
+	g.AddCustomerProvider(3, 6)
+	// Partial transit: 5 buys from 3, but 3 only exports S7 to 5 (the
+	// simulator's Fig1ExportFilter enforces the prefix restriction).
+	g.AddCustomerProvider(5, 3)
+	// 6 provides transit to the stub ASes 7 and 8.
+	g.AddCustomerProvider(7, 6)
+	g.AddCustomerProvider(8, 6)
+	return g
+}
+
+// Fig1Origins returns the per-AS originated prefix counts of the running
+// example, scaled so that AS 7 and AS 8 each originate scale prefixes
+// and ASes 2, 5 and 6 originate scale/10 (minimum 1).
+func Fig1Origins(scale int) map[uint32]int {
+	small := scale / 10
+	if small < 1 {
+		small = 1
+	}
+	return map[uint32]int{
+		2: small, 5: small, 6: small, 7: scale, 8: scale,
+	}
+}

@@ -1,0 +1,267 @@
+// Package topology models AS-level Internet topologies: ASes, links,
+// Gao–Rexford business relationships, and tier classification. It
+// provides both the paper's running-example topology (Fig. 1) and the
+// synthetic 1,000-AS power-law topologies of §6.1.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rel is the business relationship of a neighbor from the local AS's
+// point of view.
+type Rel int8
+
+// Relationship kinds. RelCustomer means "the neighbor is my customer".
+const (
+	RelCustomer Rel = iota
+	RelPeer
+	RelProvider
+)
+
+// String implements fmt.Stringer.
+func (r Rel) String() string {
+	switch r {
+	case RelCustomer:
+		return "customer"
+	case RelPeer:
+		return "peer"
+	case RelProvider:
+		return "provider"
+	}
+	return "unknown"
+}
+
+// Link is an undirected AS adjacency in canonical (low, high) order.
+// SWIFT's inference algorithm reasons about exactly these: pairs of
+// adjacent ASes extracted from AS paths.
+type Link struct {
+	A, B uint32
+}
+
+// MakeLink canonicalizes the endpoint order.
+func MakeLink(a, b uint32) Link {
+	if a > b {
+		a, b = b, a
+	}
+	return Link{A: a, B: b}
+}
+
+// Has reports whether as is one of the link's endpoints.
+func (l Link) Has(as uint32) bool { return l.A == as || l.B == as }
+
+// Other returns the endpoint that is not as (or 0 if as is not on l).
+func (l Link) Other(as uint32) uint32 {
+	switch as {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	}
+	return 0
+}
+
+// String implements fmt.Stringer.
+func (l Link) String() string { return fmt.Sprintf("(%d,%d)", l.A, l.B) }
+
+// Neighbor pairs a neighbor AS with its relationship to the local AS.
+type Neighbor struct {
+	AS  uint32
+	Rel Rel
+}
+
+// Graph is an AS-level topology with business relationships.
+type Graph struct {
+	adj map[uint32][]Neighbor
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[uint32][]Neighbor)}
+}
+
+// AddAS ensures as exists even if isolated.
+func (g *Graph) AddAS(as uint32) {
+	if _, ok := g.adj[as]; !ok {
+		g.adj[as] = nil
+	}
+}
+
+// AddCustomerProvider records that customer buys transit from provider.
+func (g *Graph) AddCustomerProvider(customer, provider uint32) {
+	g.addEdge(customer, Neighbor{AS: provider, Rel: RelProvider})
+	g.addEdge(provider, Neighbor{AS: customer, Rel: RelCustomer})
+}
+
+// AddPeers records a settlement-free peering between a and b.
+func (g *Graph) AddPeers(a, b uint32) {
+	g.addEdge(a, Neighbor{AS: b, Rel: RelPeer})
+	g.addEdge(b, Neighbor{AS: a, Rel: RelPeer})
+}
+
+func (g *Graph) addEdge(from uint32, n Neighbor) {
+	for _, e := range g.adj[from] {
+		if e.AS == n.AS {
+			return // first relationship wins; duplicate links ignored
+		}
+	}
+	g.adj[from] = append(g.adj[from], n)
+	g.AddAS(n.AS)
+}
+
+// HasLink reports whether a and b are adjacent.
+func (g *Graph) HasLink(a, b uint32) bool {
+	for _, n := range g.adj[a] {
+		if n.AS == b {
+			return true
+		}
+	}
+	return false
+}
+
+// RelOf returns the relationship of neighbor b from a's perspective.
+func (g *Graph) RelOf(a, b uint32) (Rel, bool) {
+	for _, n := range g.adj[a] {
+		if n.AS == b {
+			return n.Rel, true
+		}
+	}
+	return 0, false
+}
+
+// Neighbors returns a's adjacency list. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(a uint32) []Neighbor { return g.adj[a] }
+
+// Degree returns the number of neighbors of a.
+func (g *Graph) Degree(a uint32) int { return len(g.adj[a]) }
+
+// ASes returns all AS numbers in ascending order.
+func (g *Graph) ASes() []uint32 {
+	out := make([]uint32, 0, len(g.adj))
+	for as := range g.adj {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumASes returns the AS count.
+func (g *Graph) NumASes() int { return len(g.adj) }
+
+// Links returns every link once, in canonical order, sorted.
+func (g *Graph) Links() []Link {
+	var out []Link
+	for as, ns := range g.adj {
+		for _, n := range ns {
+			if as < n.AS {
+				out = append(out, Link{A: as, B: n.AS})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// NumLinks returns the link count.
+func (g *Graph) NumLinks() int {
+	n := 0
+	for _, ns := range g.adj {
+		n += len(ns)
+	}
+	return n / 2
+}
+
+// AvgDegree returns the mean adjacency count.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return float64(2*g.NumLinks()) / float64(len(g.adj))
+}
+
+// WithoutLink returns a copy of g with link (a,b) removed. The simulator
+// uses this to model a link failure without mutating shared state.
+func (g *Graph) WithoutLink(a, b uint32) *Graph {
+	out := &Graph{adj: make(map[uint32][]Neighbor, len(g.adj))}
+	for as, ns := range g.adj {
+		var kept []Neighbor
+		for _, n := range ns {
+			if (as == a && n.AS == b) || (as == b && n.AS == a) {
+				continue
+			}
+			kept = append(kept, n)
+		}
+		out.adj[as] = kept
+	}
+	return out
+}
+
+// WithoutAS returns a copy of g with the AS and all its links removed,
+// modeling a whole-router/AS outage (the multi-link failure case of §4.2).
+func (g *Graph) WithoutAS(dead uint32) *Graph {
+	out := &Graph{adj: make(map[uint32][]Neighbor, len(g.adj))}
+	for as, ns := range g.adj {
+		if as == dead {
+			continue
+		}
+		var kept []Neighbor
+		for _, n := range ns {
+			if n.AS == dead {
+				continue
+			}
+			kept = append(kept, n)
+		}
+		out.adj[as] = kept
+	}
+	return out
+}
+
+// Tiers classifies ASes the way §6.1 does: the three highest-degree ASes
+// are Tier 1; an AS directly connected to tier t (and to no smaller
+// tier) is tier t+1. Returned map values start at 1. Isolated ASes get
+// tier 0 (unclassified).
+func (g *Graph) Tiers() map[uint32]int {
+	tiers := make(map[uint32]int, len(g.adj))
+	ases := g.ASes()
+	if len(ases) == 0 {
+		return tiers
+	}
+	// Top 3 by degree, ties broken by lower ASN for determinism.
+	byDegree := append([]uint32(nil), ases...)
+	sort.Slice(byDegree, func(i, j int) bool {
+		di, dj := g.Degree(byDegree[i]), g.Degree(byDegree[j])
+		if di != dj {
+			return di > dj
+		}
+		return byDegree[i] < byDegree[j]
+	})
+	n := 3
+	if len(byDegree) < n {
+		n = len(byDegree)
+	}
+	frontier := byDegree[:n]
+	for _, as := range frontier {
+		tiers[as] = 1
+	}
+	// BFS outwards: tier = 1 + min tier among neighbors.
+	for tier := 2; len(frontier) > 0; tier++ {
+		var next []uint32
+		for _, as := range frontier {
+			for _, nb := range g.adj[as] {
+				if _, seen := tiers[nb.AS]; !seen {
+					tiers[nb.AS] = tier
+					next = append(next, nb.AS)
+				}
+			}
+		}
+		frontier = next
+	}
+	return tiers
+}

@@ -1,0 +1,258 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeLinkCanonical(t *testing.T) {
+	if MakeLink(5, 2) != MakeLink(2, 5) {
+		t.Error("link order must canonicalize")
+	}
+	l := MakeLink(2, 5)
+	if l.A != 2 || l.B != 5 {
+		t.Errorf("link = %v", l)
+	}
+	if !l.Has(2) || !l.Has(5) || l.Has(3) {
+		t.Error("Has broken")
+	}
+	if l.Other(2) != 5 || l.Other(5) != 2 || l.Other(9) != 0 {
+		t.Error("Other broken")
+	}
+	if l.String() != "(2,5)" {
+		t.Errorf("String = %q", l.String())
+	}
+}
+
+func TestGraphRelationships(t *testing.T) {
+	g := New()
+	g.AddCustomerProvider(10, 20) // 10 buys from 20
+	g.AddPeers(20, 30)
+
+	if r, ok := g.RelOf(10, 20); !ok || r != RelProvider {
+		t.Errorf("RelOf(10,20) = %v, %v; want provider", r, ok)
+	}
+	if r, _ := g.RelOf(20, 10); r != RelCustomer {
+		t.Errorf("RelOf(20,10) = %v; want customer", r)
+	}
+	if r, _ := g.RelOf(20, 30); r != RelPeer {
+		t.Errorf("RelOf(20,30) = %v; want peer", r)
+	}
+	if _, ok := g.RelOf(10, 30); ok {
+		t.Error("non-adjacent RelOf must report !ok")
+	}
+	if !g.HasLink(10, 20) || g.HasLink(10, 30) {
+		t.Error("HasLink broken")
+	}
+	if g.NumLinks() != 2 || g.NumASes() != 3 {
+		t.Errorf("counts = %d links, %d ASes", g.NumLinks(), g.NumASes())
+	}
+}
+
+func TestDuplicateLinkIgnored(t *testing.T) {
+	g := New()
+	g.AddCustomerProvider(1, 2)
+	g.AddPeers(1, 2) // conflicting second declaration is dropped
+	if r, _ := g.RelOf(1, 2); r != RelProvider {
+		t.Errorf("first relationship must win, got %v", r)
+	}
+	if g.NumLinks() != 1 {
+		t.Errorf("links = %d", g.NumLinks())
+	}
+}
+
+func TestWithoutLink(t *testing.T) {
+	g := Fig1()
+	h := g.WithoutLink(5, 6)
+	if h.HasLink(5, 6) || h.HasLink(6, 5) {
+		t.Error("link (5,6) not removed")
+	}
+	if !g.HasLink(5, 6) {
+		t.Error("original graph mutated")
+	}
+	if h.NumLinks() != g.NumLinks()-1 {
+		t.Errorf("links = %d, want %d", h.NumLinks(), g.NumLinks()-1)
+	}
+}
+
+func TestWithoutAS(t *testing.T) {
+	g := Fig1()
+	h := g.WithoutAS(6)
+	if h.NumASes() != g.NumASes()-1 {
+		t.Errorf("ASes = %d", h.NumASes())
+	}
+	for _, as := range h.ASes() {
+		if as == 6 {
+			t.Fatal("AS 6 still present")
+		}
+		for _, n := range h.Neighbors(as) {
+			if n.AS == 6 {
+				t.Fatalf("AS %d still adjacent to 6", as)
+			}
+		}
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	g := Fig1()
+	if g.NumASes() != 8 {
+		t.Errorf("ASes = %d, want 8", g.NumASes())
+	}
+	// The vantage must have exactly its three providers.
+	ns := g.Neighbors(1)
+	if len(ns) != 3 {
+		t.Fatalf("AS1 neighbors = %v", ns)
+	}
+	for _, n := range ns {
+		if n.Rel != RelProvider {
+			t.Errorf("AS1 -> AS%d rel = %v, want provider", n.AS, n.Rel)
+		}
+	}
+	// The failure link of the running example must exist.
+	if !g.HasLink(5, 6) || !g.HasLink(3, 6) || !g.HasLink(5, 3) {
+		t.Error("expected links missing")
+	}
+	origins := Fig1Origins(10000)
+	if origins[7] != 10000 || origins[8] != 10000 || origins[6] != 1000 {
+		t.Errorf("origins = %v", origins)
+	}
+}
+
+func TestTiersFig1(t *testing.T) {
+	g := Fig1()
+	tiers := g.Tiers()
+	for as, tier := range tiers {
+		if tier < 1 {
+			t.Errorf("AS%d unclassified", as)
+		}
+	}
+	// Highest-degree ASes must be tier 1.
+	if tiers[6] != 1 && tiers[5] != 1 {
+		t.Errorf("expected a core AS in tier 1: %v", tiers)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	g := Generate(GenConfig{NumASes: 500, AvgDegree: 8.4, Seed: 42})
+	if g.NumASes() != 500 {
+		t.Fatalf("ASes = %d", g.NumASes())
+	}
+	avg := g.AvgDegree()
+	if avg < 6 || avg > 11 {
+		t.Errorf("average degree = %.2f, want ≈8.4", avg)
+	}
+	// Tier 1 must be a full mesh of peers.
+	tiers := g.Tiers()
+	var t1 []uint32
+	for as, tier := range tiers {
+		if tier == 1 {
+			t1 = append(t1, as)
+		}
+	}
+	if len(t1) != 3 {
+		t.Fatalf("tier-1 count = %d", len(t1))
+	}
+	for i := 0; i < len(t1); i++ {
+		for j := i + 1; j < len(t1); j++ {
+			if r, ok := g.RelOf(t1[i], t1[j]); !ok || r != RelPeer {
+				t.Errorf("tier1 %d-%d rel = %v, %v", t1[i], t1[j], r, ok)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{NumASes: 200, AvgDegree: 8, Seed: 7})
+	b := Generate(GenConfig{NumASes: 200, AvgDegree: 8, Seed: 7})
+	la, lb := a.Links(), b.Links()
+	if len(la) != len(lb) {
+		t.Fatalf("link counts differ: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("link %d differs: %v vs %v", i, la[i], lb[i])
+		}
+	}
+}
+
+func TestGeneratePowerLawTail(t *testing.T) {
+	g := Generate(GenConfig{NumASes: 1000, AvgDegree: 8.4, Seed: 1})
+	// A scale-free graph must have hubs: max degree far above average.
+	maxDeg := 0
+	for _, as := range g.ASes() {
+		if d := g.Degree(as); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 40 {
+		t.Errorf("max degree = %d; expected a heavy tail", maxDeg)
+	}
+}
+
+func TestGenerateRelationshipsConsistent(t *testing.T) {
+	g := Generate(GenConfig{NumASes: 300, AvgDegree: 8, Seed: 3})
+	// Every edge must be seen consistently from both sides.
+	for _, as := range g.ASes() {
+		for _, n := range g.Neighbors(as) {
+			back, ok := g.RelOf(n.AS, as)
+			if !ok {
+				t.Fatalf("asymmetric edge %d-%d", as, n.AS)
+			}
+			switch n.Rel {
+			case RelPeer:
+				if back != RelPeer {
+					t.Fatalf("peer edge %d-%d seen as %v from far side", as, n.AS, back)
+				}
+			case RelCustomer:
+				if back != RelProvider {
+					t.Fatalf("customer edge %d-%d seen as %v", as, n.AS, back)
+				}
+			case RelProvider:
+				if back != RelCustomer {
+					t.Fatalf("provider edge %d-%d seen as %v", as, n.AS, back)
+				}
+			}
+		}
+	}
+}
+
+func TestLinksSortedUnique(t *testing.T) {
+	g := Generate(GenConfig{NumASes: 100, AvgDegree: 6, Seed: 11})
+	links := g.Links()
+	seen := make(map[Link]bool)
+	for i, l := range links {
+		if l.A >= l.B {
+			t.Errorf("non-canonical link %v", l)
+		}
+		if seen[l] {
+			t.Errorf("duplicate link %v", l)
+		}
+		seen[l] = true
+		if i > 0 {
+			prev := links[i-1]
+			if prev.A > l.A || (prev.A == l.A && prev.B >= l.B) {
+				t.Errorf("links not sorted at %d: %v after %v", i, l, prev)
+			}
+		}
+	}
+}
+
+func TestRelString(t *testing.T) {
+	if RelCustomer.String() != "customer" || RelPeer.String() != "peer" ||
+		RelProvider.String() != "provider" || Rel(9).String() != "unknown" {
+		t.Error("Rel.String broken")
+	}
+}
+
+func TestWithoutLinkProperty(t *testing.T) {
+	g := Generate(GenConfig{NumASes: 100, AvgDegree: 6, Seed: 5})
+	links := g.Links()
+	f := func(idx uint16) bool {
+		l := links[int(idx)%len(links)]
+		h := g.WithoutLink(l.A, l.B)
+		return !h.HasLink(l.A, l.B) && h.NumLinks() == g.NumLinks()-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

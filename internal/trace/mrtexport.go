@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"swift/internal/bgp"
+	"swift/internal/bgpsim"
+	"swift/internal/mrt"
+	"swift/internal/netaddr"
+)
+
+// Epoch is the nominal start of every synthesized capture — the first
+// day of the paper's measurement month.
+var Epoch = time.Date(2016, 11, 1, 0, 0, 0, 0, time.UTC)
+
+// WriteSessionRIB dumps a session's initial table as TABLE_DUMP_V2
+// records, the format RouteViews RIB snapshots use.
+func (ds *Dataset) WriteSessionRIB(w io.Writer, s Session) (records int, err error) {
+	mw := mrt.NewWriter(w)
+	if err := mw.WritePeerIndexTable(Epoch, s.Vantage, []mrt.PeerEntry{
+		{ID: s.Neighbor, IP: 0x0a000001, AS: s.Neighbor},
+	}); err != nil {
+		return 0, err
+	}
+	seq := uint32(0)
+	for origin, path := range ds.SessionRIB(s) {
+		for i := 0; i < ds.Net.Origins[origin]; i++ {
+			rec := &mrt.RIBRecord{
+				Sequence: seq,
+				Prefix:   netaddr.PrefixFor(origin, i),
+				Entries: []mrt.RIBEntry{{
+					PeerIndex:  0,
+					Originated: Epoch.Add(-24 * time.Hour),
+					Attrs: bgp.Attrs{
+						ASPath:     path,
+						HasNextHop: true,
+						NextHop:    0x0a000001,
+					},
+				}},
+			}
+			seq++
+			if err := mw.WriteRIBIPv4(Epoch, rec); err != nil {
+				return int(seq), err
+			}
+		}
+	}
+	return int(seq), mw.Flush()
+}
+
+// WriteSessionUpdates dumps every burst the session observes (at least
+// minBurst withdrawals) as BGP4MP update records, packing withdrawals
+// into shared UPDATE messages like a real speaker. It returns the
+// number of MRT records written.
+func (ds *Dataset) WriteSessionUpdates(w io.Writer, s Session, minBurst int) (records, bursts int, err error) {
+	mw := mrt.NewWriter(w)
+	for i := range ds.Failures {
+		d := ds.Delta(i)
+		wd, _ := ds.Base.BurstSizeAt(d, s.Vantage, s.Neighbor)
+		if wd < minBurst {
+			continue
+		}
+		tm := ds.Cfg.Timing
+		tm.Seed = ds.Cfg.Seed ^ int64(i)<<20 ^ int64(s.Vantage)<<8 ^ int64(s.Neighbor)
+		b := ds.Base.BurstAt(d, s.Vantage, s.Neighbor, tm)
+		bursts++
+		at := Epoch.Add(ds.Failures[i].At)
+
+		var batch []netaddr.Prefix
+		var batchAt time.Time
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			for _, u := range bgp.PackWithdrawals(batch) {
+				if err := mw.WriteBGP4MP(batchAt, s.Neighbor, s.Vantage, 0x0a000001, 0x0a000002, u); err != nil {
+					return err
+				}
+				records++
+			}
+			batch = batch[:0]
+			return nil
+		}
+		for _, ev := range b.Events {
+			ts := at.Add(ev.At)
+			if ev.Kind == bgpsim.KindWithdraw {
+				if len(batch) == 0 {
+					batchAt = ts
+				}
+				batch = append(batch, ev.Prefix)
+				if len(batch) >= 500 {
+					if err := flush(); err != nil {
+						return records, bursts, err
+					}
+				}
+				continue
+			}
+			if err := flush(); err != nil {
+				return records, bursts, err
+			}
+			u := &bgp.Update{
+				Attrs: bgp.Attrs{ASPath: ev.Path, HasNextHop: true, NextHop: 0x0a000001},
+				NLRI:  []netaddr.Prefix{ev.Prefix},
+			}
+			if err := mw.WriteBGP4MP(ts, s.Neighbor, s.Vantage, 0x0a000001, 0x0a000002, u); err != nil {
+				return records, bursts, err
+			}
+			records++
+		}
+		if err := flush(); err != nil {
+			return records, bursts, err
+		}
+	}
+	return records, bursts, mw.Flush()
+}
+
+// ReadRIBInto replays a TABLE_DUMP_V2 stream into per-prefix routes,
+// calling fn for each (prefix, AS path) pair.
+func ReadRIBInto(r io.Reader, fn func(p netaddr.Prefix, path []uint32)) (int, error) {
+	mr := mrt.NewReader(r)
+	n := 0
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if rec.Type != mrt.TypeTableDumpV2 || rec.Subtype != mrt.SubtypeRIBIPv4Unicast {
+			continue
+		}
+		rr, err := mrt.DecodeRIBIPv4(rec.Body)
+		if err != nil {
+			return n, fmt.Errorf("trace: RIB record: %w", err)
+		}
+		for _, e := range rr.Entries {
+			fn(rr.Prefix, e.Attrs.ASPath)
+			n++
+		}
+	}
+}
+
+// UpdateEvent is one per-prefix message decoded from an MRT update file.
+type UpdateEvent struct {
+	At       time.Time
+	Withdraw bool
+	Prefix   netaddr.Prefix
+	Path     []uint32
+}
+
+// ReadUpdates decodes a BGP4MP update stream into per-prefix events,
+// calling fn for each in file order.
+func ReadUpdates(r io.Reader, fn func(UpdateEvent)) (int, error) {
+	mr := mrt.NewReader(r)
+	var d bgp.UpdateDecoder
+	n := 0
+	for {
+		m, err := mr.NextBGP4MP()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if m.Header.Type != bgp.TypeUpdate {
+			continue
+		}
+		if err := d.Decode(m.Body); err != nil {
+			return n, fmt.Errorf("trace: update at %v: %w", m.Timestamp, err)
+		}
+		for _, p := range d.Withdrawn {
+			fn(UpdateEvent{At: m.Timestamp, Withdraw: true, Prefix: p})
+			n++
+		}
+		if len(d.NLRI) > 0 {
+			path := append([]uint32(nil), d.Attrs.ASPath...)
+			for _, p := range d.NLRI {
+				fn(UpdateEvent{At: m.Timestamp, Prefix: p, Path: path})
+				n++
+			}
+		}
+	}
+}

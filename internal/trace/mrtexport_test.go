@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"swift/internal/netaddr"
+)
+
+func TestMRTRoundTripRIB(t *testing.T) {
+	ds := Generate(smallConfig(21))
+	s := ds.Sessions[0]
+
+	var buf bytes.Buffer
+	written, err := ds.WriteSessionRIB(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written == 0 {
+		t.Fatal("empty RIB")
+	}
+	got := make(map[netaddr.Prefix][]uint32)
+	read, err := ReadRIBInto(bytes.NewReader(buf.Bytes()), func(p netaddr.Prefix, path []uint32) {
+		got[p] = append([]uint32(nil), path...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read != written {
+		t.Fatalf("read %d records, wrote %d", read, written)
+	}
+	// Spot-check against the source of truth.
+	for origin, path := range ds.SessionRIB(s) {
+		p := netaddr.PrefixFor(origin, 0)
+		gp, ok := got[p]
+		if !ok {
+			t.Fatalf("prefix %v missing from round trip", p)
+		}
+		if len(gp) != len(path) {
+			t.Fatalf("path length mismatch for %v: %v vs %v", p, gp, path)
+		}
+		for i := range gp {
+			if gp[i] != path[i] {
+				t.Fatalf("path mismatch for %v: %v vs %v", p, gp, path)
+			}
+		}
+		break
+	}
+}
+
+func TestMRTRoundTripUpdates(t *testing.T) {
+	ds := Generate(smallConfig(23))
+	// Find a session with bursts.
+	census := ds.Census(200)
+	if len(census) == 0 {
+		t.Skip("no bursts at this scale")
+	}
+	s := census[0].Session
+
+	var buf bytes.Buffer
+	records, bursts, err := ds.WriteSessionUpdates(&buf, s, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bursts == 0 || records == 0 {
+		t.Fatalf("bursts=%d records=%d", bursts, records)
+	}
+
+	var withdrawals, announces int
+	var prev time.Time
+	monotonePerBurst := true
+	n, err := ReadUpdates(bytes.NewReader(buf.Bytes()), func(ev UpdateEvent) {
+		if ev.Withdraw {
+			withdrawals++
+		} else {
+			announces++
+			if len(ev.Path) == 0 {
+				t.Error("announcement without AS path")
+			}
+		}
+		// Timestamps are non-decreasing within the file except at burst
+		// boundaries (failures are spread over the month).
+		if !prev.IsZero() && ev.At.Before(prev.Add(-24*time.Hour)) {
+			monotonePerBurst = false
+		}
+		prev = ev.At
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != withdrawals+announces {
+		t.Fatalf("event count mismatch: %d vs %d", n, withdrawals+announces)
+	}
+	// The file must contain each burst's withdrawals.
+	expected := 0
+	for _, st := range ds.Census(200) {
+		if st.Session == s {
+			expected += st.Withdrawals
+		}
+	}
+	if withdrawals != expected {
+		t.Errorf("withdrawals = %d, census says %d", withdrawals, expected)
+	}
+	_ = monotonePerBurst // informational; burst batching may reorder at boundaries
+}
+
+func TestReadUpdatesRejectsGarbage(t *testing.T) {
+	if _, err := ReadUpdates(bytes.NewReader([]byte("not an mrt file at all")), func(UpdateEvent) {}); err == nil {
+		t.Error("garbage must not parse")
+	}
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"swift/internal/bgpsim"
+)
+
+// smallConfig keeps unit tests fast; the bench harness runs the
+// paper-scale Default.
+func smallConfig(seed int64) Config {
+	return Config{
+		NumASes:           200,
+		AvgDegree:         6,
+		Sessions:          30,
+		Days:              30,
+		Failures:          40,
+		MaxPrefixes:       5000,
+		PopularASes:       5,
+		ASFailureFraction: 0.15,
+		Timing:            bgpsim.DefaultTiming(seed),
+		Seed:              seed,
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds := Generate(smallConfig(1))
+	if len(ds.Sessions) != 30 {
+		t.Errorf("sessions = %d", len(ds.Sessions))
+	}
+	if len(ds.Failures) != 40 {
+		t.Errorf("failures = %d", len(ds.Failures))
+	}
+	// Failure schedule must be sorted and within the capture.
+	capture := 30 * 24 * time.Hour
+	for i, f := range ds.Failures {
+		if f.At < 0 || f.At > capture {
+			t.Errorf("failure %d at %v outside capture", i, f.At)
+		}
+		if i > 0 && f.At < ds.Failures[i-1].At {
+			t.Error("failures not sorted")
+		}
+	}
+	// Prefix counts must be heavy-tailed: max well above median.
+	max, total := 0, 0
+	for _, c := range ds.Net.Origins {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if max < total/50 {
+		t.Errorf("max origin %d not heavy-tailed vs total %d", max, total)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig(7))
+	b := Generate(smallConfig(7))
+	if len(a.Failures) != len(b.Failures) {
+		t.Fatal("failure counts differ")
+	}
+	for i := range a.Failures {
+		if a.Failures[i] != b.Failures[i] {
+			t.Fatalf("failure %d differs: %+v vs %+v", i, a.Failures[i], b.Failures[i])
+		}
+	}
+	for i := range a.Sessions {
+		if a.Sessions[i] != b.Sessions[i] {
+			t.Fatalf("session %d differs", i)
+		}
+	}
+}
+
+func TestCensusFindsBursts(t *testing.T) {
+	ds := Generate(smallConfig(3))
+	stats := ds.Census(100)
+	if len(stats) == 0 {
+		t.Fatal("no bursts of 100+ withdrawals in 40 failures")
+	}
+	for _, st := range stats {
+		if st.Withdrawals < 100 {
+			t.Errorf("census returned %d-withdrawal burst below threshold", st.Withdrawals)
+		}
+		if st.Duration <= 0 {
+			t.Error("burst with zero duration")
+		}
+	}
+	// Bigger threshold, fewer bursts.
+	big := ds.Census(1000)
+	if len(big) > len(stats) {
+		t.Error("higher threshold must not find more bursts")
+	}
+}
+
+func TestPopularOriginsAppearInLargeBursts(t *testing.T) {
+	ds := Generate(smallConfig(5))
+	stats := ds.Census(500)
+	if len(stats) == 0 {
+		t.Skip("no large bursts at this scale/seed")
+	}
+	popular := 0
+	for _, st := range stats {
+		if st.Popular {
+			popular++
+		}
+	}
+	// Hypergiants' prefixes ride most loaded links: the share of large
+	// bursts touching them must be substantial (84% in the paper).
+	if popular*2 < len(stats) {
+		t.Errorf("popular bursts = %d/%d; expected a majority", popular, len(stats))
+	}
+}
+
+func TestBurstsAtMaterializesEvents(t *testing.T) {
+	ds := Generate(smallConfig(9))
+	stats := ds.Census(200)
+	if len(stats) == 0 {
+		t.Skip("no bursts")
+	}
+	s := stats[0].Session
+	bursts := ds.BurstsAt(s, 200)
+	if len(bursts) == 0 {
+		t.Fatal("census found bursts but BurstsAt did not")
+	}
+	b := bursts[0]
+	if b.Size < 200 || len(b.Events) < b.Size {
+		t.Errorf("burst size %d events %d", b.Size, len(b.Events))
+	}
+	for i := 1; i < len(b.Events); i++ {
+		if b.Events[i].At < b.Events[i-1].At {
+			t.Fatal("events not time-ordered")
+		}
+	}
+	// The census' size estimate must match the materialized stream.
+	if b.Size != stats[0].Withdrawals {
+		// The first census entry and first burst correspond only when
+		// they reference the same failure; find the matching stat.
+		found := false
+		for _, st := range stats {
+			if st.Session == s && st.Withdrawals == b.Size {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("materialized size %d matches no census row", b.Size)
+		}
+	}
+}
+
+func TestDeltaCaching(t *testing.T) {
+	ds := Generate(smallConfig(11))
+	d1 := ds.Delta(0)
+	d2 := ds.Delta(0)
+	if d1 != d2 {
+		t.Error("delta not cached")
+	}
+}
+
+func TestSessionRIBCoversOrigins(t *testing.T) {
+	ds := Generate(smallConfig(13))
+	s := ds.Sessions[0]
+	ribByOrigin := ds.SessionRIB(s)
+	// A provider exports nearly the full table to its customer.
+	if len(ribByOrigin) < ds.Net.Graph.NumASes()/2 {
+		t.Errorf("session RIB has %d origins of %d", len(ribByOrigin), ds.Net.Graph.NumASes())
+	}
+	for origin, path := range ribByOrigin {
+		if len(path) == 0 {
+			t.Fatalf("empty path for origin %d", origin)
+		}
+		if path[0] != s.Neighbor {
+			t.Fatalf("path for %d starts at %d, want neighbor %d", origin, path[0], s.Neighbor)
+		}
+	}
+}
+
+func TestEstimateDurationMonotone(t *testing.T) {
+	tm := bgpsim.DefaultTiming(1)
+	small := bgpsim.EstimateDuration(tm, 1000, 0)
+	large := bgpsim.EstimateDuration(tm, 100000, 0)
+	if large <= small {
+		t.Errorf("duration not monotone: %v vs %v", small, large)
+	}
+	if bgpsim.EstimateDuration(tm, 0, 0) != 0 {
+		t.Error("empty burst must have zero duration")
+	}
+}

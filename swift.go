@@ -1,0 +1,100 @@
+// Package swift is the public API of the SWIFT reproduction — a
+// predictive fast-reroute framework for remote BGP outages (Holterbach,
+// Vissicchio, Dainotti, Vanbever: "SWIFT: Predictive Fast Reroute",
+// SIGCOMM 2017).
+//
+// A SWIFTED router feeds each BGP session's message stream into an
+// Engine. The engine maintains the session RIB, watches for withdrawal
+// bursts, infers the failed AS link(s) from the first few thousand
+// messages, and installs a handful of tag-based rules into a two-stage
+// forwarding table that reroute every affected prefix at once:
+//
+//	cfg := swift.Config{LocalAS: 65001, PrimaryNeighbor: 65010}
+//	engine := swift.New(cfg)
+//	// table transfer
+//	engine.LearnPrimary(prefix, asPath)
+//	engine.LearnAlternate(neighborAS, prefix, asPath)
+//	engine.Provision()
+//	// live stream
+//	engine.ObserveWithdraw(at, prefix)
+//	engine.ObserveAnnounce(at, prefix, newPath)
+//	// inspect
+//	engine.Decisions()              // accepted inferences + installed rules
+//	engine.FIB().ForwardPrefix(p)   // where a packet goes right now
+//
+// The subsystems the engine composes are exported for advanced use:
+// inference (the Fit-Score algorithm of §4), encoding (the tag scheme of
+// §5), reroute (backup next-hop planning), dataplane (the two-stage
+// FIB), burst (detection), plus the substrates used by the evaluation —
+// a BGP-4 wire codec and speaker, an MRT trace codec, an AS-topology
+// generator, a C-BGP-equivalent simulator, and a RouteViews-like trace
+// synthesizer.
+package swift
+
+import (
+	"swift/internal/burst"
+	"swift/internal/encoding"
+	"swift/internal/inference"
+	"swift/internal/netaddr"
+	"swift/internal/reroute"
+	swiftengine "swift/internal/swift"
+	"swift/internal/topology"
+)
+
+// Core engine types.
+type (
+	// Engine is the per-session SWIFT pipeline (§3's workflow).
+	Engine = swiftengine.Engine
+	// Config assembles the engine's tunables; zero values select the
+	// paper's defaults.
+	Config = swiftengine.Config
+	// Decision records one accepted inference and its data-plane action.
+	Decision = swiftengine.Decision
+)
+
+// Algorithm configuration types.
+type (
+	// InferenceConfig tunes the §4 inference algorithm.
+	InferenceConfig = inference.Config
+	// EncodingConfig sizes the §5 tag encoding.
+	EncodingConfig = encoding.Config
+	// BurstConfig tunes burst detection.
+	BurstConfig = burst.Config
+	// ReroutePolicy expresses the operator's backup preferences.
+	ReroutePolicy = reroute.Policy
+	// InferenceResult is a raw inference outcome.
+	InferenceResult = inference.Result
+)
+
+// Addressing and topology types.
+type (
+	// Prefix is a compact IPv4 CIDR prefix.
+	Prefix = netaddr.Prefix
+	// Link is an undirected AS adjacency.
+	Link = topology.Link
+	// Tag is a packed SWIFT data-plane tag.
+	Tag = encoding.Tag
+	// Rule is a ternary match rule over tags.
+	Rule = encoding.Rule
+)
+
+// New builds an Engine. Load routes with LearnPrimary/LearnAlternate,
+// call Provision, then stream messages.
+func New(cfg Config) *Engine { return swiftengine.New(cfg) }
+
+// DefaultInference returns the paper's inference configuration
+// (wWS:wPS = 3:1, 2.5k trigger, history model on).
+func DefaultInference() InferenceConfig { return inference.Default() }
+
+// DefaultEncoding returns the paper's encoding configuration (48-bit
+// tags, 18 path bits, depth 5, 1,500-prefix link threshold).
+func DefaultEncoding() EncodingConfig { return encoding.Default() }
+
+// ParsePrefix parses dotted-quad CIDR notation ("192.0.2.0/24").
+func ParsePrefix(s string) (Prefix, error) { return netaddr.ParsePrefix(s) }
+
+// MustParsePrefix is ParsePrefix for constants; it panics on error.
+func MustParsePrefix(s string) Prefix { return netaddr.MustParsePrefix(s) }
+
+// MakeLink builds a canonical AS link.
+func MakeLink(a, b uint32) Link { return topology.MakeLink(a, b) }

@@ -1,0 +1,98 @@
+package swift_test
+
+import (
+	"testing"
+	"time"
+
+	"swift"
+)
+
+// TestPublicAPIQuickstart exercises the facade exactly like the package
+// documentation example: provision a small engine, replay a burst, and
+// observe the inference.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := swift.Config{LocalAS: 1, PrimaryNeighbor: 2}
+	cfg.Inference = swift.DefaultInference()
+	cfg.Inference.TriggerEvery = 100
+	cfg.Inference.UseHistory = false
+	cfg.Encoding = swift.DefaultEncoding()
+	cfg.Encoding.MinPrefixes = 50
+	cfg.Burst = swift.BurstConfig{StartThreshold: 50, StopThreshold: 9}
+
+	e := swift.New(cfg)
+	// 500 prefixes via 2->5->6, alternates via 3.
+	var prefixes []swift.Prefix
+	for i := 0; i < 500; i++ {
+		p, err := swift.ParsePrefix(dottedQuad(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefixes = append(prefixes, p)
+		e.LearnPrimary(p, []uint32{2, 5, 6})
+		e.LearnAlternate(3, p, []uint32{3, 6})
+	}
+	if err := e.Provision(); err != nil {
+		t.Fatal(err)
+	}
+
+	if nh, ok := e.FIB().ForwardPrefix(prefixes[0]); !ok || nh != 2 {
+		t.Fatalf("pre-failure next hop = %d, %v", nh, ok)
+	}
+
+	// The (5,6) link fails: withdrawals stream in.
+	for i, p := range prefixes[:400] {
+		e.ObserveWithdraw(time.Duration(i)*time.Millisecond, p)
+	}
+	ds := e.Decisions()
+	if len(ds) == 0 {
+		t.Fatal("no inference decisions")
+	}
+	found := false
+	for _, l := range ds[0].Result.Links {
+		if l == swift.MakeLink(5, 6) || l.Has(5) || l.Has(6) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("inferred %v, expected links around (5,6)", ds[0].Result.Links)
+	}
+	// Survivors must be diverted to the backup.
+	if nh, ok := e.FIB().ForwardPrefix(prefixes[450]); !ok || nh != 3 {
+		t.Errorf("rerouted next hop = %d, %v; want 3", nh, ok)
+	}
+}
+
+func dottedQuad(i int) string {
+	return "10." + itoa(i/250%250) + "." + itoa(i%250) + ".0/24"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [4]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	p := swift.MustParsePrefix("192.0.2.0/24")
+	if p.String() != "192.0.2.0/24" {
+		t.Error("prefix round trip failed")
+	}
+	l := swift.MakeLink(9, 3)
+	if l.A != 3 || l.B != 9 {
+		t.Error("link not canonical")
+	}
+	if swift.DefaultInference().WWS != 3 {
+		t.Error("default inference weights wrong")
+	}
+	if swift.DefaultEncoding().PathBits != 18 {
+		t.Error("default encoding bits wrong")
+	}
+}
