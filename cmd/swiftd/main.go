@@ -1,10 +1,10 @@
 // Command swiftd runs a SWIFT controller as a daemon (§7's deployment
-// scheme): it maintains live eBGP sessions over TCP, feeds the primary
-// session's stream into the SWIFT engine, and reports every inference
-// and reroute it performs.
+// scheme). It has two ingestion modes:
 //
-// Listen for one passive session (the protected router's primary peer
-// dials in):
+// eBGP mode maintains one live session over TCP, feeds the primary
+// session's stream into a single SWIFT engine, and reports every
+// inference and reroute it performs. Listen for one passive session
+// (the protected router's primary peer dials in):
 //
 //	swiftd -local-as 65001 -router-id 1.1.1.1 -listen :1790 -primary-as 65010
 //
@@ -12,9 +12,24 @@
 //
 //	swiftd -local-as 65001 -router-id 1.1.1.1 -dial 192.0.2.1:179 -primary-as 65010
 //
-// The initial table is learned from the peer's opening announcement
-// flood; alternates can be preloaded from a TABLE_DUMP_V2 MRT snapshot
-// with -alternates-rib.
+// BMP mode (RFC 7854) accepts monitored-router connections and runs
+// one SWIFT engine per monitored peer — the multi-session deployment
+// that watches every peer of the protected router at once:
+//
+//	swiftd -local-as 65001 -bmp-listen :11019
+//
+// Each peer's engine provisions from the in-band table dump the
+// router sends after Peer Up (End-of-RIB or the -settle quiet period
+// ends the dump).
+//
+// In eBGP mode the initial table is learned from the peer's opening
+// announcement flood; alternates can be preloaded from a TABLE_DUMP_V2
+// MRT snapshot with -alternates-rib (in BMP mode the snapshot is
+// loaded into every monitored peer's engine).
+//
+// SIGINT/SIGTERM shut either mode down cleanly: sessions close with a
+// CEASE notification, the BMP station drains its engine fleet, and the
+// final status is printed before exit.
 package main
 
 import (
@@ -23,10 +38,13 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"swift/internal/bgp"
 	"swift/internal/bgpd"
+	"swift/internal/bmp"
 	"swift/internal/controller"
 	"swift/internal/inference"
 	"swift/internal/mrt"
@@ -38,68 +56,211 @@ func main() {
 	var (
 		localAS   = flag.Uint("local-as", 65001, "local AS number")
 		routerID  = flag.String("router-id", "10.0.0.1", "BGP identifier (IPv4)")
-		listen    = flag.String("listen", "", "listen address for a passive session (e.g. :1790)")
-		dial      = flag.String("dial", "", "peer address to dial actively")
-		primaryAS = flag.Uint("primary-as", 0, "expected peer AS (0 = accept any)")
+		listen    = flag.String("listen", "", "listen address for a passive eBGP session (e.g. :1790)")
+		dial      = flag.String("dial", "", "peer address to dial an eBGP session actively")
+		bmpListen = flag.String("bmp-listen", "", "listen address for BMP monitored routers (e.g. :11019)")
+		primaryAS = flag.Uint("primary-as", 0, "expected peer AS (0 = accept any; eBGP mode)")
 		altRIB    = flag.String("alternates-rib", "", "MRT TABLE_DUMP_V2 file with alternate routes")
 		altAS     = flag.Uint("alternate-as", 0, "neighbor AS owning the alternate routes")
-		settle    = flag.Duration("settle", 3*time.Second, "quiet period after table transfer before provisioning")
+		settle    = flag.Duration("settle", 3*time.Second, "quiet period ending a table transfer")
 	)
 	flag.Parse()
 
-	if (*listen == "") == (*dial == "") {
-		log.Fatal("exactly one of -listen or -dial is required")
+	modes := 0
+	for _, m := range []string{*listen, *dial, *bmpListen} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		log.Fatal("exactly one of -listen, -dial or -bmp-listen is required")
 	}
 
+	var alternates []mrt.RIBRecord
+	if *altRIB != "" {
+		if *altAS == 0 {
+			log.Fatal("-alternates-rib requires -alternate-as")
+		}
+		var err error
+		alternates, err = loadRIB(*altRIB)
+		if err != nil {
+			log.Fatalf("loading alternates: %v", err)
+		}
+		log.Printf("loaded %d alternate RIB records from %s", len(alternates), *altRIB)
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM: both modes get a signal
+	// channel and finish their writes instead of dying mid-stream.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	if *bmpListen != "" {
+		runBMP(*bmpListen, uint32(*localAS), *settle, alternates, uint32(*altAS), sigs)
+		return
+	}
+	runBGP(*listen, *dial, uint32(*localAS), parseID(*routerID), uint32(*primaryAS),
+		*settle, alternates, uint32(*altAS), sigs)
+}
+
+// runBMP serves a BMP station over an engine fleet until a signal.
+func runBMP(addr string, localAS uint32, settle time.Duration, alternates []mrt.RIBRecord, altAS uint32, sigs <-chan os.Signal) {
+	fleet := controller.NewFleet(controller.FleetConfig{
+		Engine: func(key controller.PeerKey) swiftengine.Config {
+			cfg := swiftengine.Config{
+				LocalAS:         localAS,
+				PrimaryNeighbor: key.AS,
+				Logf:            prefixLogf(key.String()),
+			}
+			cfg.Inference = inference.Default()
+			return cfg
+		},
+		OnPeer: func(p *controller.FleetPeer) {
+			for _, rec := range alternates {
+				for _, e := range rec.Entries {
+					p.LearnAlternate(altAS, rec.Prefix, e.Attrs.ASPath)
+				}
+			}
+		},
+		Logf: log.Printf,
+	})
+	station := bmp.NewStation(bmp.StationConfig{
+		Fleet:       fleet,
+		TableSettle: settle,
+		Logf:        log.Printf,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("BMP station listening on %s", addr)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- station.Serve(ln) }()
+
+	statusTicker := time.NewTicker(10 * time.Second)
+	defer statusTicker.Stop()
+	for {
+		select {
+		case sig := <-sigs:
+			log.Printf("%v: shutting down station", sig)
+			if err := station.Close(); err != nil {
+				log.Printf("station close: %v", err)
+			}
+			fleet.Close()
+			log.Printf("final: %s", fleet.Status())
+			return
+		case err := <-serveErr:
+			fleet.Close()
+			if err != nil {
+				log.Fatalf("station: %v", err)
+			}
+			return
+		case <-statusTicker.C:
+			m := station.Metrics()
+			log.Printf("status: conns=%d msgs=%d rm=%d | %s",
+				m.Conns, m.Messages, m.RouteMonitoring, fleet.Status())
+		}
+	}
+}
+
+// runBGP is the original single-session eBGP deployment.
+func runBGP(listen, dial string, localAS, routerID, primaryAS uint32, settle time.Duration, alternates []mrt.RIBRecord, altAS uint32, sigs <-chan os.Signal) {
 	cfg := swiftengine.Config{
-		LocalAS:         uint32(*localAS),
-		PrimaryNeighbor: uint32(*primaryAS),
+		LocalAS:         localAS,
+		PrimaryNeighbor: primaryAS,
 		Logf:            log.Printf,
 	}
 	cfg.Inference = inference.Default()
 	engine := swiftengine.New(cfg)
 	ctrl := controller.New(engine, log.Printf)
 
-	if *altRIB != "" {
-		if *altAS == 0 {
-			log.Fatal("-alternates-rib requires -alternate-as")
+	if len(alternates) > 0 {
+		var updates []*bgp.Update
+		for _, rec := range alternates {
+			for _, e := range rec.Entries {
+				updates = append(updates, &bgp.Update{
+					Attrs: e.Attrs,
+					NLRI:  []netaddr.Prefix{rec.Prefix},
+				})
+			}
 		}
-		n, err := loadAlternates(ctrl, *altRIB, uint32(*altAS))
-		if err != nil {
-			log.Fatalf("loading alternates: %v", err)
-		}
-		log.Printf("loaded %d alternate routes from %s", n, *altRIB)
+		ctrl.LoadAlternate(altAS, updates)
+		log.Printf("loaded %d alternate routes", len(updates))
 	}
 
 	var sess *bgpd.Session
 	var err error
 	bcfg := bgpd.Config{
-		LocalAS:  uint32(*localAS),
-		RouterID: parseID(*routerID),
+		LocalAS:  localAS,
+		RouterID: routerID,
 		Logf:     log.Printf,
 	}
-	if *listen != "" {
-		l, lerr := net.Listen("tcp", *listen)
+	if listen != "" {
+		l, lerr := net.Listen("tcp", listen)
 		if lerr != nil {
 			log.Fatal(lerr)
 		}
-		log.Printf("listening on %s", *listen)
+		log.Printf("listening on %s", listen)
+		// The watcher owns the decision of whether a signal interrupted
+		// the wait; reading its verdict (rather than polling a channel)
+		// makes the signal-vs-established race deterministic — a
+		// consumed signal is always honored, never dropped.
+		established := make(chan struct{})
+		tookSignal := make(chan bool, 1)
+		go func() {
+			select {
+			case sig := <-sigs:
+				log.Printf("%v: aborting before session establishment", sig)
+				l.Close()
+				tookSignal <- true
+			case <-established:
+				tookSignal <- false
+			}
+		}()
 		sess, err = bgpd.Accept(l, bcfg)
+		close(established)
+		if <-tookSignal {
+			if err == nil {
+				sess.Close()
+			}
+			return
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 	} else {
-		log.Printf("dialing %s", *dial)
-		sess, err = bgpd.Dial(*dial, bcfg)
+		log.Printf("dialing %s", dial)
+		// Dial on a goroutine so a signal can interrupt the connect /
+		// handshake instead of queuing behind it.
+		type dialResult struct {
+			sess *bgpd.Session
+			err  error
+		}
+		dialed := make(chan dialResult, 1)
+		go func() {
+			s, derr := bgpd.Dial(dial, bcfg)
+			dialed <- dialResult{s, derr}
+		}()
+		select {
+		case sig := <-sigs:
+			log.Printf("%v: aborting dial", sig)
+			return
+		case r := <-dialed:
+			if r.err != nil {
+				log.Fatal(r.err)
+			}
+			sess = r.sess
+		}
 	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *primaryAS != 0 && sess.PeerAS() != uint32(*primaryAS) {
-		log.Fatalf("peer AS %d, expected %d", sess.PeerAS(), *primaryAS)
+	if primaryAS != 0 && sess.PeerAS() != primaryAS {
+		log.Fatalf("peer AS %d, expected %d", sess.PeerAS(), primaryAS)
 	}
 	log.Printf("session established with AS%d", sess.PeerAS())
 
 	// Table transfer: drain announcements until quiet for -settle.
 	var table []*bgp.Update
-	timer := time.NewTimer(*settle)
+	timer := time.NewTimer(settle)
 transfer:
 	for {
 		select {
@@ -108,9 +269,13 @@ transfer:
 				log.Fatal("session closed during table transfer")
 			}
 			table = append(table, u)
-			timer.Reset(*settle)
+			timer.Reset(settle)
 		case <-timer.C:
 			break transfer
+		case sig := <-sigs:
+			log.Printf("%v: closing session during table transfer", sig)
+			sess.Close()
+			return
 		}
 	}
 	ctrl.LoadTable(table)
@@ -121,22 +286,38 @@ transfer:
 
 	ctrl.AttachPrimary(sess)
 	ticker := time.NewTicker(time.Second)
-	go func() {
-		for range ticker.C {
-			ctrl.Tick()
-		}
-	}()
+	defer ticker.Stop()
 	statusTicker := time.NewTicker(10 * time.Second)
+	defer statusTicker.Stop()
+	done := make(chan struct{})
 	go func() {
-		for range statusTicker.C {
-			log.Printf("status: %s", ctrl.Status())
-		}
+		ctrl.Wait()
+		close(done)
 	}()
-	ctrl.Wait()
-	log.Printf("final: %s", ctrl.Status())
-	if err := sess.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	for {
+		select {
+		case <-ticker.C:
+			ctrl.Tick()
+		case <-statusTicker.C:
+			log.Printf("status: %s", ctrl.Status())
+		case sig := <-sigs:
+			// Graceful shutdown: CEASE the session (instead of dying
+			// mid-write), let the reader drain, report, exit clean.
+			log.Printf("%v: closing session", sig)
+			if err := sess.Close(); err != nil {
+				log.Printf("session close: %v", err)
+			}
+			<-done
+			log.Printf("final: %s", ctrl.Status())
+			return
+		case <-done:
+			log.Printf("final: %s", ctrl.Status())
+			if err := sess.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
 	}
 }
 
@@ -148,35 +329,24 @@ func parseID(s string) uint32 {
 	return uint32(ip[0])<<24 | uint32(ip[1])<<16 | uint32(ip[2])<<8 | uint32(ip[3])
 }
 
-func loadAlternates(ctrl *controller.Controller, path string, neighbor uint32) (int, error) {
+// loadRIB reads every RIB_IPV4_UNICAST record of a TABLE_DUMP_V2 file.
+func loadRIB(path string) ([]mrt.RIBRecord, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	defer f.Close()
-	r := mrt.NewReader(f)
-	n := 0
-	var updates []*bgp.Update
-	for {
-		rec, err := r.Next()
-		if err != nil {
-			break
-		}
-		if rec.Type != mrt.TypeTableDumpV2 || rec.Subtype != mrt.SubtypeRIBIPv4Unicast {
-			continue
-		}
-		rr, err := mrt.DecodeRIBIPv4(rec.Body)
-		if err != nil {
-			return n, err
-		}
-		for _, e := range rr.Entries {
-			updates = append(updates, &bgp.Update{
-				Attrs: e.Attrs,
-				NLRI:  []netaddr.Prefix{rr.Prefix},
-			})
-		}
-		n++
+	var out []mrt.RIBRecord
+	err = mrt.WalkRIBIPv4(f, func(rr *mrt.RIBRecord) error {
+		out = append(out, *rr)
+		return nil
+	})
+	return out, err
+}
+
+// prefixLogf scopes engine log lines to their peer.
+func prefixLogf(prefix string) func(string, ...any) {
+	return func(format string, args ...any) {
+		log.Printf("["+prefix+"] "+format, args...)
 	}
-	ctrl.LoadAlternate(neighbor, updates)
-	return n, nil
 }

@@ -1,0 +1,3 @@
+module swift
+
+go 1.24

@@ -1,0 +1,148 @@
+package bmp
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"swift/internal/bgp"
+	"swift/internal/controller"
+	"swift/internal/netaddr"
+	swiftengine "swift/internal/swift"
+)
+
+// BenchmarkStationIngest measures multi-peer Route Monitoring
+// throughput through the full demux path: wire framing, peer-header
+// parse, UPDATE decode, batch hand-off and engine application across a
+// fleet of provisioned per-peer engines. The msgs/s and prefixes/s
+// metrics are the headline ingestion numbers.
+func BenchmarkStationIngest(b *testing.B) {
+	for _, peers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+			benchStationIngest(b, peers)
+		})
+	}
+}
+
+const benchPrefixesPerMsg = 10
+
+func benchStationIngest(b *testing.B, numPeers int) {
+	fleet := controller.NewFleet(controller.FleetConfig{
+		Engine: func(key controller.PeerKey) swiftengine.Config {
+			return swiftengine.Config{LocalAS: 1, PrimaryNeighbor: key.AS}
+		},
+	})
+	defer fleet.Close()
+	st := NewStation(StationConfig{Fleet: fleet, TableSettle: time.Hour})
+
+	// Provision every peer up front so the stream is pure live-path
+	// ingestion (no table-transfer branch).
+	path := []uint32{65010, 3356, 15169}
+	keys := make([]controller.PeerKey, numPeers)
+	for i := range keys {
+		keys[i] = controller.PeerKey{AS: 65010, BGPID: uint32(i + 1)}
+		h := fleet.Peer(keys[i])
+		for j := 0; j < 256; j++ {
+			h.LearnPrimary(netaddr.PrefixFor(100, j), path)
+		}
+		if err := h.Provision(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// One pre-encoded Route Monitoring message per peer: an
+	// announcement refresh of known prefixes (the steady-state common
+	// case; withdrawals escalate into burst detection and inference,
+	// which BenchmarkStationBurst-style workloads cover elsewhere).
+	frames := make([][]byte, numPeers)
+	for i, key := range keys {
+		hdr := PeerHeader{AS: key.AS, BGPID: key.BGPID}
+		hdr.SetIPv4(0x0a000000 | key.BGPID)
+		u := &bgp.Update{Attrs: bgp.Attrs{ASPath: path, HasNextHop: true, NextHop: 1}}
+		for j := 0; j < benchPrefixesPerMsg; j++ {
+			u.NLRI = append(u.NLRI, netaddr.PrefixFor(100, j))
+		}
+		wire, err := (&RouteMonitoring{Peer: hdr, Update: u}).AppendWire(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames[i] = wire
+	}
+	// A block interleaves every peer once; blocks repeat to fill b.N.
+	var block []byte
+	for _, f := range frames {
+		block = append(block, f...)
+	}
+
+	router, collector := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- st.ServeConn(collector) }()
+
+	b.ResetTimer()
+	b.SetBytes(int64(len(block) / numPeers))
+	sent := 0
+	for sent < b.N {
+		n := numPeers
+		buf := block
+		if rem := b.N - sent; rem < n {
+			n = rem
+			buf = buf[:0]
+			for _, f := range frames[:n] {
+				buf = append(buf, f...)
+			}
+		}
+		if _, err := router.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+		sent += n
+	}
+	router.Close()
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	fleet.Sync()
+	b.StopTimer()
+
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "msgs/s")
+		b.ReportMetric(float64(b.N*benchPrefixesPerMsg)/elapsed, "prefixes/s")
+	}
+	if got := fleet.Metrics().Announcements; got != uint64(b.N*benchPrefixesPerMsg) {
+		b.Fatalf("fleet applied %d announcements, want %d", got, b.N*benchPrefixesPerMsg)
+	}
+}
+
+// BenchmarkCodecRouteMonitoring isolates the wire codec: encode and
+// hot-path decode of one Route Monitoring message, no engines.
+func BenchmarkCodecRouteMonitoring(b *testing.B) {
+	hdr := PeerHeader{AS: 65010, BGPID: 7}
+	hdr.SetIPv4(0x0a000001)
+	u := &bgp.Update{Attrs: bgp.Attrs{ASPath: []uint32{65010, 3356, 15169}, HasNextHop: true, NextHop: 1}}
+	for j := 0; j < benchPrefixesPerMsg; j++ {
+		u.NLRI = append(u.NLRI, netaddr.PrefixFor(100, j))
+	}
+	wire, err := (&RouteMonitoring{Peer: hdr, Update: u}).AppendWire(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ph PeerHeader
+	var dec bgp.UpdateDecoder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := wire[HeaderLen:]
+		rest, err := ParsePeerHeader(body, &ph)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := bgp.ParseHeader(rest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.Decode(rest[bgp.HeaderLen:h.Len]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

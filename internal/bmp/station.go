@@ -1,0 +1,489 @@
+package bmp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swift/internal/bgp"
+	"swift/internal/controller"
+)
+
+// StationConfig parameterizes a Station.
+type StationConfig struct {
+	// Fleet receives the demuxed per-peer streams. Required.
+	Fleet *controller.Fleet
+	// TableSettle is the quiet period after which a peer still waiting
+	// for End-of-RIB is provisioned anyway (routers predating RFC 4724
+	// never send the marker). Default 3 s.
+	TableSettle time.Duration
+	// BatchOps caps how many observations accumulate per peer before a
+	// batch is handed to the engine goroutine (default 512). Batches
+	// also flush whenever the connection's read buffer drains, so
+	// latency stays at one syscall under light load.
+	BatchOps int
+	// Logf, when set, receives one line per station event.
+	Logf func(format string, args ...any)
+}
+
+func (c StationConfig) tableSettle() time.Duration {
+	if c.TableSettle <= 0 {
+		return 3 * time.Second
+	}
+	return c.TableSettle
+}
+
+func (c StationConfig) batchOps() int {
+	if c.BatchOps <= 0 {
+		return 512
+	}
+	return c.BatchOps
+}
+
+// StationMetrics is a snapshot of a station's ingestion counters.
+type StationMetrics struct {
+	Conns           int
+	Messages        uint64
+	RouteMonitoring uint64
+	PeerUps         uint64
+	PeerDowns       uint64
+	StatsReports    uint64
+}
+
+// Station is the BMP collector side: it accepts monitored-router
+// connections, demultiplexes the per-peer Route Monitoring streams and
+// drives one SWIFT engine per peer through the fleet. One station
+// serves many routers; each router's peers join the same fleet.
+type Station struct {
+	cfg StationConfig
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	messages atomic.Uint64
+	routeMon atomic.Uint64
+	peerUps  atomic.Uint64
+	peerDown atomic.Uint64
+	statsRep atomic.Uint64
+}
+
+// NewStation builds a station over an existing fleet.
+func NewStation(cfg StationConfig) *Station {
+	if cfg.Fleet == nil {
+		panic("bmp: StationConfig.Fleet is required")
+	}
+	return &Station{cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// Fleet returns the engine pool the station feeds.
+func (st *Station) Fleet() *controller.Fleet { return st.cfg.Fleet }
+
+// Metrics snapshots the ingestion counters.
+func (st *Station) Metrics() StationMetrics {
+	st.mu.Lock()
+	conns := len(st.conns)
+	st.mu.Unlock()
+	return StationMetrics{
+		Conns:           conns,
+		Messages:        st.messages.Load(),
+		RouteMonitoring: st.routeMon.Load(),
+		PeerUps:         st.peerUps.Load(),
+		PeerDowns:       st.peerDown.Load(),
+		StatsReports:    st.statsRep.Load(),
+	}
+}
+
+// Serve accepts router connections on ln until the station closes,
+// running each connection on its own goroutine. It returns nil after
+// Close.
+func (st *Station) Serve(ln net.Listener) error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		ln.Close()
+		return errors.New("bmp: station closed")
+	}
+	st.ln = ln
+	st.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			st.mu.Lock()
+			closed := st.closed
+			st.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		st.wg.Add(1)
+		go func() {
+			defer st.wg.Done()
+			if err := st.ServeConn(conn); err != nil {
+				st.logf("bmp: router %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Close stops the listener, closes every router connection and waits
+// for the connection handlers to drain. The fleet stays open — its
+// engines remain inspectable and the caller owns its shutdown.
+func (st *Station) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		st.wg.Wait()
+		return nil
+	}
+	st.closed = true
+	ln := st.ln
+	for c := range st.conns {
+		c.Close()
+	}
+	st.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	st.wg.Wait()
+	return nil
+}
+
+func (st *Station) track(conn net.Conn) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return false
+	}
+	st.conns[conn] = struct{}{}
+	return true
+}
+
+func (st *Station) untrack(conn net.Conn) {
+	st.mu.Lock()
+	delete(st.conns, conn)
+	st.mu.Unlock()
+}
+
+// peerStream is the per-(connection, peer) demux state.
+type peerStream struct {
+	key    controller.PeerKey
+	handle *controller.FleetPeer
+
+	// syncing is true while the initial table dump drains into
+	// LearnPrimary; End-of-RIB (or the settle timer) flips it.
+	syncing bool
+	// sawTimestamp records that the router timestamps this peer's
+	// messages, putting its engine clock in the router's time domain.
+	sawTimestamp bool
+
+	pending []controller.Op
+	learned int
+	lastMsg time.Time // wall-clock arrival of the newest message
+	lastAt  time.Duration
+}
+
+// ServeConn runs one monitored-router connection to completion: it
+// demuxes every BMP message into per-peer engine batches. It returns
+// after the router terminates the session, the connection drops, or
+// the station closes. Exported so tests and in-process routers can
+// drive a station without a TCP listener.
+func (st *Station) ServeConn(conn net.Conn) error {
+	if !st.track(conn) {
+		conn.Close()
+		return errors.New("bmp: station closed")
+	}
+	defer st.untrack(conn)
+	defer conn.Close()
+
+	c := &connState{
+		st:    st,
+		peers: make(map[controller.PeerKey]*peerStream),
+	}
+	// The settle scanner provisions peers whose table dump ended
+	// without an End-of-RIB marker and ticks live engines when the
+	// stream goes quiet (bursts end by timer, not by message).
+	stop := make(chan struct{})
+	defer close(stop)
+	go c.settleLoop(stop)
+
+	r := NewReader(conn)
+	for {
+		typ, body, err := r.Next()
+		if err != nil {
+			c.flushAll()
+			if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		st.messages.Add(1)
+		if err := c.handle(typ, body); err != nil {
+			if errors.Is(err, errTerminated) {
+				c.flushAll()
+				return nil
+			}
+			c.flushAll()
+			return err
+		}
+		// About to block on the socket: hand off everything pending.
+		if r.Buffered() == 0 {
+			c.flushAll()
+		}
+	}
+}
+
+// errTerminated signals a clean Termination message.
+var errTerminated = errors.New("bmp: session terminated by router")
+
+// connState demuxes one router connection.
+type connState struct {
+	st *Station
+
+	mu    sync.Mutex // guards peers against the settle scanner
+	peers map[controller.PeerKey]*peerStream
+
+	sysName string
+	upd     bgp.UpdateDecoder
+	peerHdr PeerHeader
+}
+
+func (c *connState) stream(key controller.PeerKey) *peerStream {
+	if ps, ok := c.peers[key]; ok {
+		return ps
+	}
+	handle := c.st.cfg.Fleet.Peer(key)
+	ps := &peerStream{
+		key:    key,
+		handle: handle,
+		// A peer provisioned out-of-band (tests, preloaded tables)
+		// skips the table-dump phase and goes straight to live.
+		syncing: !handle.Provisioned(),
+		lastMsg: time.Now(),
+	}
+	c.peers[key] = ps
+	return ps
+}
+
+func (c *connState) handle(typ uint8, body []byte) error {
+	switch typ {
+	case TypeRouteMonitoring:
+		c.st.routeMon.Add(1)
+		return c.handleRouteMonitoring(body)
+	case TypePeerUp:
+		c.st.peerUps.Add(1)
+		var m PeerUp
+		if err := m.Decode(body); err != nil {
+			return err
+		}
+		key := controller.PeerKey{AS: m.Peer.AS, BGPID: m.Peer.BGPID}
+		c.mu.Lock()
+		syncing := c.stream(key).syncing
+		c.mu.Unlock()
+		c.st.logf("bmp: peer up %s (syncing=%v)", key, syncing)
+		return nil
+	case TypePeerDown:
+		c.st.peerDown.Add(1)
+		var m PeerDown
+		if err := m.Decode(body); err != nil {
+			return err
+		}
+		key := controller.PeerKey{AS: m.Peer.AS, BGPID: m.Peer.BGPID}
+		c.mu.Lock()
+		if ps, ok := c.peers[key]; ok {
+			c.flushLocked(ps)
+			delete(c.peers, key)
+		}
+		c.mu.Unlock()
+		c.st.logf("bmp: peer down %s reason %d", key, m.Reason)
+		return nil
+	case TypeStatsReport:
+		c.st.statsRep.Add(1)
+		return nil
+	case TypeInitiation:
+		var m Initiation
+		if err := m.Decode(body); err != nil {
+			return err
+		}
+		c.sysName = m.SysName
+		c.st.logf("bmp: initiation from %q (%s)", m.SysName, m.SysDescr)
+		return nil
+	case TypeTermination:
+		var m Termination
+		if err := m.Decode(body); err != nil {
+			return err
+		}
+		c.st.logf("bmp: termination from %q reason %d", c.sysName, m.Reason)
+		return errTerminated
+	case TypeRouteMirroring:
+		return nil // mirrored PDUs carry no SWIFT signal
+	}
+	// Unknown type: the frame was already consumed whole and the
+	// stream stays aligned, so skip it instead of blinding the
+	// collector to every peer on this router (post-RFC-7854 message
+	// types keep appearing; framing-level garbage is still fatal via
+	// the version/length guards in Reader).
+	c.st.logf("bmp: skipping unknown message type %d (%d bytes)", typ, len(body))
+	return nil
+}
+
+// handleRouteMonitoring is the hot path: peer header + UPDATE, decoded
+// without allocation into per-peer batches.
+func (c *connState) handleRouteMonitoring(body []byte) error {
+	b, err := ParsePeerHeader(body, &c.peerHdr)
+	if err != nil {
+		return err
+	}
+	h, err := bgp.ParseHeader(b)
+	if err != nil {
+		return fmt.Errorf("bmp: embedded UPDATE header: %w", err)
+	}
+	if h.Type != bgp.TypeUpdate || len(b) < int(h.Len) {
+		return fmt.Errorf("%w: route monitoring UPDATE", ErrShortMessage)
+	}
+	if err := c.upd.Decode(b[bgp.HeaderLen:h.Len]); err != nil {
+		return err
+	}
+
+	key := controller.PeerKey{AS: c.peerHdr.AS, BGPID: c.peerHdr.BGPID}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ps := c.stream(key)
+	ps.lastMsg = time.Now()
+	at := c.streamOffset(ps)
+
+	if ps.syncing {
+		// End-of-RIB (RFC 4724): an UPDATE with no withdrawn routes and
+		// no NLRI marks the end of the initial table dump.
+		if len(c.upd.NLRI) == 0 && len(c.upd.Withdrawn) == 0 {
+			c.provisionLocked(ps)
+			return nil
+		}
+		if len(c.upd.NLRI) > 0 {
+			path := append([]uint32(nil), c.upd.Attrs.ASPath...)
+			for _, p := range c.upd.NLRI {
+				ps.handle.LearnPrimary(p, path)
+				ps.learned++
+			}
+		}
+		// Withdrawals during a table dump carry no signal; skip them.
+		return nil
+	}
+
+	for _, p := range c.upd.Withdrawn {
+		ps.pending = append(ps.pending, controller.Op{At: at, Withdraw: true, Prefix: p})
+	}
+	if len(c.upd.NLRI) > 0 {
+		path := append([]uint32(nil), c.upd.Attrs.ASPath...)
+		for _, p := range c.upd.NLRI {
+			ps.pending = append(ps.pending, controller.Op{At: at, Prefix: p, Path: path})
+		}
+	}
+	ps.lastAt = at
+	if len(ps.pending) >= c.st.cfg.batchOps() {
+		c.flushLocked(ps)
+	}
+	return nil
+}
+
+// streamOffset converts a message's per-peer header timestamp into the
+// engine's stream offset. Routers that timestamp their messages give
+// the engines the true burst timeline regardless of replay speed;
+// timestampless routers fall back to arrival wall-clock, like the
+// single-session controller. The epoch lives on the fleet peer, so a
+// flapping router connection cannot rewind the engine clock.
+func (c *connState) streamOffset(ps *peerStream) time.Duration {
+	ts := c.peerHdr.Timestamp()
+	if ts.IsZero() {
+		ts = time.Now()
+	} else {
+		ps.sawTimestamp = true
+	}
+	return ps.handle.StreamOffset(ts)
+}
+
+func (c *connState) provisionLocked(ps *peerStream) {
+	ps.syncing = false
+	if err := ps.handle.Provision(); err != nil {
+		c.st.logf("bmp: peer %s provision failed after %d routes: %v", ps.key, ps.learned, err)
+		return
+	}
+	c.st.logf("bmp: peer %s provisioned (%d routes learned)", ps.key, ps.learned)
+}
+
+// flushLocked hands the pending batch to the peer's engine goroutine.
+// Caller holds c.mu.
+func (c *connState) flushLocked(ps *peerStream) {
+	if len(ps.pending) == 0 {
+		return
+	}
+	ops := ps.pending
+	ps.pending = make([]controller.Op, 0, cap(ops))
+	ps.handle.Enqueue(controller.Batch{At: ps.lastAt, Ops: ops})
+}
+
+func (c *connState) flushAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ps := range c.peers {
+		c.flushLocked(ps)
+	}
+}
+
+// settleLoop periodically provisions peers whose table dump went quiet
+// without an End-of-RIB and ticks live engines so bursts close when
+// the stream does.
+func (c *connState) settleLoop(stop <-chan struct{}) {
+	settle := c.st.cfg.tableSettle()
+	t := time.NewTicker(settle / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		c.mu.Lock()
+		for _, ps := range c.peers {
+			quiet := now.Sub(ps.lastMsg)
+			if ps.syncing {
+				if ps.learned > 0 && quiet >= settle {
+					c.provisionLocked(ps)
+				}
+				continue
+			}
+			if quiet >= settle/4 && len(ps.pending) > 0 {
+				// The read loop only flushes when its buffer drains or
+				// a batch fills; a connection stalled mid-message can
+				// strand a sub-batch here. Bound that delay.
+				c.flushLocked(ps)
+			}
+			if quiet >= settle/4 && ps.lastAt > 0 && !ps.sawTimestamp {
+				// Advance the engine clock past the quiet gap so the
+				// burst detector can declare the burst over. Only for
+				// peers in the wall-clock domain: a timestamped stream
+				// runs on the router's clock, and mixing in wall-quiet
+				// would push the engine clock ahead of (or behind) the
+				// stream during replays faster or slower than real
+				// time — those peers' bursts close through their own
+				// message timeline instead.
+				ps.handle.Enqueue(controller.Batch{At: ps.lastAt + quiet})
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (st *Station) logf(format string, args ...any) {
+	if st.cfg.Logf != nil {
+		st.cfg.Logf(format, args...)
+	}
+}

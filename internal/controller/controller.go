@@ -16,6 +16,7 @@ import (
 	"swift/internal/bgpd"
 	"swift/internal/netaddr"
 	swiftengine "swift/internal/swift"
+	"swift/internal/topology"
 )
 
 // Controller wires live BGP sessions into a SWIFT engine.
@@ -116,6 +117,13 @@ func (c *Controller) ForwardPrefix(p netaddr.Prefix) (uint32, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.engine.FIB().ForwardPrefix(p)
+}
+
+// OnLink reports how many RIB prefixes currently cross l.
+func (c *Controller) OnLink(l topology.Link) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.engine.RIB().OnLink(l)
 }
 
 // Decisions snapshots the engine's decision log.

@@ -136,7 +136,7 @@ func TestLiveBurstReroute(t *testing.T) {
 	// Wait until the controller has drained the stream and decided.
 	deadline := time.After(15 * time.Second)
 	for {
-		if ds := ctrl.Decisions(); len(ds) > 0 && ctrl.Engine().RIB().OnLink(topology.MakeLink(5, 6)) == 0 {
+		if ds := ctrl.Decisions(); len(ds) > 0 && ctrl.OnLink(topology.MakeLink(5, 6)) == 0 {
 			break
 		}
 		select {

@@ -1,0 +1,450 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swift/internal/netaddr"
+	swiftengine "swift/internal/swift"
+)
+
+// PeerKey identifies one monitored peer inside a fleet: the (AS, BGP
+// identifier) pair from the BMP per-peer header, which is unique per
+// monitored router.
+type PeerKey struct {
+	AS    uint32
+	BGPID uint32
+}
+
+// String renders the key as "AS65010/0a000001".
+func (k PeerKey) String() string { return fmt.Sprintf("AS%d/%08x", k.AS, k.BGPID) }
+
+// Op is one observation to deliver to a peer's engine.
+type Op struct {
+	At       time.Duration
+	Withdraw bool
+	Prefix   netaddr.Prefix
+	Path     []uint32 // announcement path; nil for withdrawals
+}
+
+// Batch is a group of observations delivered to a peer engine in one
+// hand-off. An empty batch advances the engine clock to At (a tick).
+type Batch struct {
+	At  time.Duration
+	Ops []Op
+
+	done chan<- struct{} // closed after the batch is applied (Sync)
+}
+
+// FleetConfig parameterizes a Fleet.
+type FleetConfig struct {
+	// Engine builds the engine configuration for a new peer. Nil
+	// selects a default whose PrimaryNeighbor is the peer's AS.
+	Engine func(key PeerKey) swiftengine.Config
+	// OnPeer, when set, runs per newly created peer before it becomes
+	// visible to other callers — the place to preload alternate routes
+	// or other per-peer state. It runs off the fleet's locks; under a
+	// creation race it may run for a candidate that is then discarded,
+	// so it must only touch the peer it is given.
+	OnPeer func(p *FleetPeer)
+	// QueueDepth is the per-peer batch channel depth (default 64).
+	// A full queue blocks Enqueue — backpressure, never loss.
+	QueueDepth int
+	// Logf, when set, receives one line per fleet event.
+	Logf func(format string, args ...any)
+}
+
+func (c FleetConfig) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 64
+	}
+	return c.QueueDepth
+}
+
+// fleetStripes is the lock-stripe count of the peer map. Peer lookup is
+// on the per-message hot path; striping keeps concurrent router
+// connections from serializing on one mutex.
+const fleetStripes = 16
+
+type fleetStripe struct {
+	mu    sync.RWMutex
+	peers map[PeerKey]*FleetPeer
+}
+
+// Fleet is a pool of per-peer SWIFT engines — the multi-session
+// deployment of §4.1 ("a router runs one engine per session, in
+// parallel") behind a single ingestion front end. Peers are created on
+// first use; each owns its engine and a goroutine that applies
+// delivered batches, so N peers reroute independently and in parallel.
+type Fleet struct {
+	cfg     FleetConfig
+	stripes [fleetStripes]fleetStripe
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	batches atomic.Uint64
+	ops     atomic.Uint64
+}
+
+// NewFleet builds an empty fleet.
+func NewFleet(cfg FleetConfig) *Fleet {
+	f := &Fleet{cfg: cfg}
+	for i := range f.stripes {
+		f.stripes[i].peers = make(map[PeerKey]*FleetPeer)
+	}
+	return f
+}
+
+func (f *Fleet) stripe(key PeerKey) *fleetStripe {
+	h := key.AS*0x9e3779b9 ^ key.BGPID*0x85ebca6b
+	return &f.stripes[h%fleetStripes]
+}
+
+// Lookup returns the peer for key if it exists.
+func (f *Fleet) Lookup(key PeerKey) (*FleetPeer, bool) {
+	s := f.stripe(key)
+	s.mu.RLock()
+	p, ok := s.peers[key]
+	s.mu.RUnlock()
+	return p, ok
+}
+
+// Peer returns the engine peer for key, creating it (and its delivery
+// goroutine) on first use. Creation — including the OnPeer hook, which
+// may be expensive (e.g. loading an alternates RIB) — runs off the
+// stripe lock so it never stalls other peers' hot-path lookups; two
+// racing creators both initialize a candidate and the insert
+// double-checks, so OnPeer may run for a discarded candidate (it must
+// only touch the peer it is given).
+func (f *Fleet) Peer(key PeerKey) *FleetPeer {
+	s := f.stripe(key)
+	s.mu.RLock()
+	p, ok := s.peers[key]
+	s.mu.RUnlock()
+	if ok {
+		return p
+	}
+	cfg := swiftengine.Config{PrimaryNeighbor: key.AS}
+	if f.cfg.Engine != nil {
+		cfg = f.cfg.Engine(key)
+	}
+	cand := &FleetPeer{
+		key:    key,
+		fleet:  f,
+		engine: swiftengine.New(cfg),
+		ch:     make(chan Batch, f.cfg.queueDepth()),
+	}
+	if f.cfg.OnPeer != nil {
+		f.cfg.OnPeer(cand)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok = s.peers[key]; ok {
+		return p // lost the creation race; cand is discarded
+	}
+	if f.closed.Load() {
+		// The fleet closed while we were creating: register the peer
+		// dead (Enqueue reports false, no goroutine) so a racing Close
+		// never misses a running goroutine in its sweep. The closed
+		// store happens before Close takes this stripe's lock, so
+		// either we see it here or Close's sweep sees the map entry.
+		cand.chClosed = true
+		s.peers[key] = cand
+		return cand
+	}
+	s.peers[key] = cand
+	f.wg.Add(1)
+	go cand.run()
+	f.logf("fleet: peer %s created", key)
+	return cand
+}
+
+// Peers snapshots the pool, sorted by key for stable iteration.
+func (f *Fleet) Peers() []*FleetPeer {
+	var out []*FleetPeer
+	for i := range f.stripes {
+		s := &f.stripes[i]
+		s.mu.RLock()
+		for _, p := range s.peers {
+			out = append(out, p)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].key, out[j].key
+		if a.AS != b.AS {
+			return a.AS < b.AS
+		}
+		return a.BGPID < b.BGPID
+	})
+	return out
+}
+
+// Len returns the number of peers in the pool.
+func (f *Fleet) Len() int {
+	n := 0
+	for i := range f.stripes {
+		s := &f.stripes[i]
+		s.mu.RLock()
+		n += len(s.peers)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// PeerDecision is one engine decision attributed to its peer.
+type PeerDecision struct {
+	Peer PeerKey
+	swiftengine.Decision
+}
+
+// Decisions aggregates every peer engine's decision log, ordered by
+// peer then decision time.
+func (f *Fleet) Decisions() []PeerDecision {
+	var out []PeerDecision
+	for _, p := range f.Peers() {
+		for _, d := range p.Decisions() {
+			out = append(out, PeerDecision{Peer: p.key, Decision: d})
+		}
+	}
+	return out
+}
+
+// FleetMetrics is an aggregate snapshot across the pool.
+type FleetMetrics struct {
+	Peers          int
+	Batches        uint64
+	Ops            uint64
+	Withdrawals    uint64
+	Announcements  uint64
+	Decisions      int
+	RulesInstalled int
+	Rerouting      int // peers with fast-reroute rules installed now
+}
+
+// Metrics snapshots the fleet's aggregate counters.
+func (f *Fleet) Metrics() FleetMetrics {
+	m := FleetMetrics{
+		Batches: f.batches.Load(),
+		Ops:     f.ops.Load(),
+	}
+	for _, p := range f.Peers() {
+		m.Peers++
+		m.Withdrawals += p.withdrawals.Load()
+		m.Announcements += p.announcements.Load()
+		p.mu.Lock()
+		ds := p.engine.Decisions()
+		m.Decisions += len(ds)
+		for _, d := range ds {
+			m.RulesInstalled += d.RulesInstalled
+		}
+		if p.engine.RerouteActive() {
+			m.Rerouting++
+		}
+		p.mu.Unlock()
+	}
+	return m
+}
+
+// Sync blocks until every batch enqueued before the call has been
+// applied by its peer's goroutine.
+func (f *Fleet) Sync() {
+	for _, p := range f.Peers() {
+		p.Sync()
+	}
+}
+
+// Close stops every peer goroutine after its queue drains, then waits.
+// The engines stay inspectable afterwards. Peers created concurrently
+// with Close come out dead (Enqueue reports false) rather than leaked:
+// the closed flag is published before the sweep takes each stripe
+// lock, so every running goroutine is in some stripe's map by then.
+func (f *Fleet) Close() {
+	if !f.closed.Swap(true) {
+		for i := range f.stripes {
+			s := &f.stripes[i]
+			s.mu.Lock()
+			for _, p := range s.peers {
+				p.close()
+			}
+			s.mu.Unlock()
+		}
+	}
+	f.wg.Wait()
+}
+
+// Status renders a one-line fleet summary.
+func (f *Fleet) Status() string {
+	m := f.Metrics()
+	return fmt.Sprintf("peers=%d ops=%d (wd=%d ann=%d) decisions=%d rules=%d rerouting=%d",
+		m.Peers, m.Ops, m.Withdrawals, m.Announcements, m.Decisions, m.RulesInstalled, m.Rerouting)
+}
+
+func (f *Fleet) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// FleetPeer is one peer's engine plus its delivery queue. Streaming
+// observations arrive as Batches on a dedicated goroutine; setup calls
+// (Learn*, Provision) and inspection lock the engine directly.
+type FleetPeer struct {
+	key   PeerKey
+	fleet *Fleet
+
+	mu     sync.Mutex // guards engine
+	engine *swiftengine.Engine
+
+	chMu     sync.Mutex // guards ch against close-vs-send races
+	chClosed bool
+	ch       chan Batch
+
+	epochMu   sync.Mutex
+	epoch     time.Time
+	haveEpoch bool
+
+	withdrawals   atomic.Uint64
+	announcements atomic.Uint64
+	lastAt        atomic.Int64 // time.Duration of the newest applied op
+}
+
+// StreamOffset converts a source timestamp (a BMP per-peer header
+// timestamp, or an arrival wall-clock for timestampless routers) into
+// this peer's engine stream offset. The epoch anchors at the first
+// timestamp ever seen and persists for the peer's lifetime — across
+// router reconnects — and the result never runs backwards past an
+// already-applied observation, so a flapping session or a router clock
+// step cannot rewind the engine clock and wedge the burst detector.
+func (p *FleetPeer) StreamOffset(ts time.Time) time.Duration {
+	p.epochMu.Lock()
+	defer p.epochMu.Unlock()
+	if !p.haveEpoch {
+		p.epoch = ts
+		p.haveEpoch = true
+	}
+	off := ts.Sub(p.epoch)
+	if last := time.Duration(p.lastAt.Load()); off < last {
+		off = last
+	}
+	return off
+}
+
+// Key returns the peer's identity.
+func (p *FleetPeer) Key() PeerKey { return p.key }
+
+// run applies delivered batches until the queue closes.
+func (p *FleetPeer) run() {
+	defer p.fleet.wg.Done()
+	for b := range p.ch {
+		p.mu.Lock()
+		for _, op := range b.Ops {
+			if op.Withdraw {
+				p.engine.ObserveWithdraw(op.At, op.Prefix)
+				p.withdrawals.Add(1)
+			} else {
+				p.engine.ObserveAnnounce(op.At, op.Prefix, op.Path)
+				p.announcements.Add(1)
+			}
+			p.lastAt.Store(int64(op.At))
+		}
+		if len(b.Ops) == 0 && b.At > 0 {
+			p.engine.Tick(b.At)
+		}
+		p.mu.Unlock()
+		if b.done != nil {
+			close(b.done)
+		}
+	}
+}
+
+// Enqueue hands a batch to the peer goroutine, blocking when the queue
+// is full (backpressure propagates to the router's TCP connection).
+// It reports false after the fleet has closed.
+func (p *FleetPeer) Enqueue(b Batch) bool {
+	p.chMu.Lock()
+	defer p.chMu.Unlock()
+	if p.chClosed {
+		return false
+	}
+	p.fleet.batches.Add(1)
+	p.fleet.ops.Add(uint64(len(b.Ops)))
+	p.ch <- b
+	return true
+}
+
+// Sync blocks until everything enqueued before it has been applied.
+func (p *FleetPeer) Sync() {
+	done := make(chan struct{})
+	if !p.Enqueue(Batch{done: done}) {
+		return
+	}
+	<-done
+}
+
+func (p *FleetPeer) close() {
+	p.chMu.Lock()
+	defer p.chMu.Unlock()
+	if !p.chClosed {
+		p.chClosed = true
+		close(p.ch)
+	}
+}
+
+// LearnPrimary installs a table-transfer route on the peer's primary
+// RIB.
+func (p *FleetPeer) LearnPrimary(pfx netaddr.Prefix, path []uint32) {
+	p.mu.Lock()
+	p.engine.LearnPrimary(pfx, path)
+	p.mu.Unlock()
+}
+
+// LearnAlternate installs a backup route offered by another neighbor.
+func (p *FleetPeer) LearnAlternate(neighbor uint32, pfx netaddr.Prefix, path []uint32) {
+	p.mu.Lock()
+	p.engine.LearnAlternate(neighbor, pfx, path)
+	p.mu.Unlock()
+}
+
+// Provisioned reports whether the engine has a compiled encoding (i.e.
+// Provision has succeeded at least once).
+func (p *FleetPeer) Provisioned() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.engine.Scheme() != nil
+}
+
+// Provision compiles the plan and tag encoding from the loaded tables.
+func (p *FleetPeer) Provision() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.engine.Provision()
+}
+
+// Decisions snapshots the engine's decision log.
+func (p *FleetPeer) Decisions() []swiftengine.Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]swiftengine.Decision(nil), p.engine.Decisions()...)
+}
+
+// RerouteActive reports whether fast-reroute rules are installed.
+func (p *FleetPeer) RerouteActive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.engine.RerouteActive()
+}
+
+// LastAt returns the stream offset of the newest applied observation.
+func (p *FleetPeer) LastAt() time.Duration { return time.Duration(p.lastAt.Load()) }
+
+// Do runs fn with the engine locked — the escape hatch for inspection
+// and tests. fn must not retain the engine.
+func (p *FleetPeer) Do(fn func(*swiftengine.Engine)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fn(p.engine)
+}

@@ -1,0 +1,141 @@
+package controller
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"swift/internal/netaddr"
+	swiftengine "swift/internal/swift"
+)
+
+func testFleet() *Fleet {
+	return NewFleet(FleetConfig{
+		Engine: func(key PeerKey) swiftengine.Config {
+			return swiftengine.Config{LocalAS: 1, PrimaryNeighbor: key.AS}
+		},
+	})
+}
+
+// TestFleetPeerIdentity checks get-or-create semantics across stripes
+// under concurrent access: one engine per key, ever.
+func TestFleetPeerIdentity(t *testing.T) {
+	f := testFleet()
+	defer f.Close()
+
+	keys := make([]PeerKey, 64)
+	for i := range keys {
+		keys[i] = PeerKey{AS: uint32(i%8 + 2), BGPID: uint32(i)}
+	}
+	got := make([]*FleetPeer, len(keys)*8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, k := range keys {
+				got[g*len(keys)+i] = f.Peer(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		for i := range keys {
+			if got[g*len(keys)+i] != got[i] {
+				t.Fatalf("goroutine %d saw a different peer for %v", g, keys[i])
+			}
+		}
+	}
+	if f.Len() != len(keys) {
+		t.Fatalf("fleet has %d peers, want %d", f.Len(), len(keys))
+	}
+	if len(f.Peers()) != len(keys) {
+		t.Fatalf("Peers() returned %d, want %d", len(f.Peers()), len(keys))
+	}
+	if _, ok := f.Lookup(PeerKey{AS: 9999, BGPID: 1}); ok {
+		t.Fatal("Lookup invented a peer")
+	}
+}
+
+// TestFleetBatchDelivery drives observations through the per-peer
+// goroutine and checks they land in the engine's RIB in order.
+func TestFleetBatchDelivery(t *testing.T) {
+	f := testFleet()
+	defer f.Close()
+
+	key := PeerKey{AS: 2, BGPID: 1}
+	p := f.Peer(key)
+	pfx := netaddr.MustParsePrefix("10.0.0.0/24")
+	p.LearnPrimary(pfx, []uint32{2, 5, 7})
+	if p.Provisioned() {
+		t.Fatal("provisioned before Provision")
+	}
+	if err := p.Provision(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Provisioned() {
+		t.Fatal("not provisioned after Provision")
+	}
+
+	if !p.Enqueue(Batch{At: time.Second, Ops: []Op{
+		{At: time.Second, Prefix: pfx, Path: []uint32{2, 6, 7}},
+	}}) {
+		t.Fatal("Enqueue refused on a live fleet")
+	}
+	p.Sync()
+	p.Do(func(e *swiftengine.Engine) {
+		if path := e.RIB().Path(pfx); len(path) == 0 || path[1] != 6 {
+			t.Errorf("RIB path after announce = %v, want via 6", path)
+		}
+	})
+	if !p.Enqueue(Batch{At: 2 * time.Second, Ops: []Op{
+		{At: 2 * time.Second, Withdraw: true, Prefix: pfx},
+	}}) {
+		t.Fatal("Enqueue refused")
+	}
+	p.Sync()
+	p.Do(func(e *swiftengine.Engine) {
+		if path := e.RIB().Path(pfx); path != nil {
+			t.Errorf("RIB path after withdraw = %v, want gone", path)
+		}
+	})
+	if p.LastAt() != 2*time.Second {
+		t.Errorf("LastAt = %v, want 2s", p.LastAt())
+	}
+
+	m := f.Metrics()
+	if m.Peers != 1 || m.Ops != 2 || m.Withdrawals != 1 || m.Announcements != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if len(f.Decisions()) != 0 {
+		t.Errorf("unexpected decisions: %v", f.Decisions())
+	}
+}
+
+// TestFleetCloseSemantics: Close drains queues, stops goroutines, and
+// later Enqueues report failure instead of panicking; engines remain
+// inspectable.
+func TestFleetCloseSemantics(t *testing.T) {
+	f := testFleet()
+	key := PeerKey{AS: 3, BGPID: 9}
+	p := f.Peer(key)
+	pfx := netaddr.MustParsePrefix("10.1.0.0/24")
+	for i := 0; i < 100; i++ {
+		if !p.Enqueue(Batch{Ops: []Op{{At: time.Duration(i), Prefix: pfx, Path: []uint32{3, 7}}}}) {
+			t.Fatal("Enqueue refused before Close")
+		}
+	}
+	f.Close()
+	f.Close() // idempotent
+	if p.Enqueue(Batch{Ops: []Op{{Withdraw: true, Prefix: pfx}}}) {
+		t.Fatal("Enqueue accepted after Close")
+	}
+	if got := f.Metrics().Announcements; got != 100 {
+		t.Errorf("announcements = %d, want 100 (queue must drain before close)", got)
+	}
+	p.Do(func(e *swiftengine.Engine) {
+		if e.RIB().Len() != 1 {
+			t.Errorf("engine RIB len = %d, want 1", e.RIB().Len())
+		}
+	})
+}

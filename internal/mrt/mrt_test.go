@@ -236,3 +236,71 @@ func TestManyRecordsStream(t *testing.T) {
 		t.Errorf("read %d records, want %d", count, n)
 	}
 }
+
+func TestWalkRIBIPv4(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ts := time.Unix(1700000000, 0).UTC()
+	if err := w.WritePeerIndexTable(ts, 1, []PeerEntry{{ID: 2, IP: 3, AS: 65002}}); err != nil {
+		t.Fatal(err)
+	}
+	want := []netaddr.Prefix{
+		netaddr.MustParsePrefix("192.0.2.0/24"),
+		netaddr.MustParsePrefix("198.51.100.0/24"),
+	}
+	for i, p := range want {
+		rec := &RIBRecord{
+			Sequence: uint32(i),
+			Prefix:   p,
+			Entries: []RIBEntry{{
+				Originated: ts,
+				Attrs:      bgp.Attrs{ASPath: []uint32{65002, 65003}, HasNextHop: true, NextHop: 3},
+			}},
+		}
+		if err := w.WriteRIBIPv4(ts, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The walk must visit exactly the RIB records, skipping the peer
+	// index table, and stop cleanly at EOF.
+	var got []netaddr.Prefix
+	err := WalkRIBIPv4(bytes.NewReader(buf.Bytes()), func(rr *RIBRecord) error {
+		got = append(got, rr.Prefix)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("visited %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d: prefix %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// A callback error must stop the walk and propagate.
+	calls := 0
+	sentinel := io.ErrClosedPipe
+	if err := WalkRIBIPv4(bytes.NewReader(buf.Bytes()), func(*RIBRecord) error {
+		calls++
+		return sentinel
+	}); err != sentinel {
+		t.Errorf("walk error = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Errorf("callback ran %d times after erroring, want 1", calls)
+	}
+
+	// A truncated stream must surface an error, not silent success.
+	if err := WalkRIBIPv4(bytes.NewReader(buf.Bytes()[:buf.Len()-3]), func(*RIBRecord) error {
+		return nil
+	}); err == nil {
+		t.Error("truncated stream walked without error")
+	}
+}

@@ -3,6 +3,7 @@ package mrt
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"time"
 
 	"swift/internal/bgp"
@@ -74,6 +75,33 @@ func (w *Writer) WriteRIBIPv4(ts time.Time, rec *RIBRecord) error {
 		body = append(body, attrs...)
 	}
 	return w.writeRecord(ts, TypeTableDumpV2, SubtypeRIBIPv4Unicast, body)
+}
+
+// WalkRIBIPv4 streams every RIB_IPV4_UNICAST record of a TABLE_DUMP_V2
+// file to fn, skipping other record types. It stops at end of stream
+// (returning nil), on a decode error, or on the first error fn
+// returns.
+func WalkRIBIPv4(r io.Reader, fn func(*RIBRecord) error) error {
+	rd := NewReader(r)
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if rec.Type != TypeTableDumpV2 || rec.Subtype != SubtypeRIBIPv4Unicast {
+			continue
+		}
+		rr, err := DecodeRIBIPv4(rec.Body)
+		if err != nil {
+			return err
+		}
+		if err := fn(rr); err != nil {
+			return err
+		}
+	}
 }
 
 // DecodePeerIndexTable decodes a PEER_INDEX_TABLE body.

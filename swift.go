@@ -32,7 +32,9 @@
 package swift
 
 import (
+	"swift/internal/bmp"
 	"swift/internal/burst"
+	"swift/internal/controller"
 	"swift/internal/encoding"
 	"swift/internal/inference"
 	"swift/internal/netaddr"
@@ -78,9 +80,46 @@ type (
 	Rule = encoding.Rule
 )
 
+// Multi-peer ingestion types: a BMP (RFC 7854) station demuxes a
+// monitored router's per-peer streams into a fleet of engines, one per
+// peer — the paper's "one engine per session, in parallel" at
+// collector scale.
+type (
+	// Fleet is a lock-striped pool of per-peer engines.
+	Fleet = controller.Fleet
+	// FleetConfig parameterizes a Fleet.
+	FleetConfig = controller.FleetConfig
+	// FleetPeer is one peer's engine plus its batched delivery queue.
+	FleetPeer = controller.FleetPeer
+	// FleetMetrics is an aggregate snapshot across the pool.
+	FleetMetrics = controller.FleetMetrics
+	// PeerKey identifies a monitored peer (AS, BGP identifier).
+	PeerKey = controller.PeerKey
+	// PeerDecision is one engine decision attributed to its peer.
+	PeerDecision = controller.PeerDecision
+	// Batch is a group of observations delivered to a peer engine.
+	Batch = controller.Batch
+	// Op is one observation inside a Batch.
+	Op = controller.Op
+	// BMPStation accepts BMP router connections and feeds a Fleet.
+	BMPStation = bmp.Station
+	// BMPStationConfig parameterizes a BMPStation.
+	BMPStationConfig = bmp.StationConfig
+	// BMPStationMetrics snapshots a station's ingestion counters.
+	BMPStationMetrics = bmp.StationMetrics
+)
+
 // New builds an Engine. Load routes with LearnPrimary/LearnAlternate,
 // call Provision, then stream messages.
 func New(cfg Config) *Engine { return swiftengine.New(cfg) }
+
+// NewFleet builds an empty engine fleet; peers are created on first
+// use from the configured engine factory.
+func NewFleet(cfg FleetConfig) *Fleet { return controller.NewFleet(cfg) }
+
+// NewBMPStation builds a BMP collector over an existing fleet. Drive
+// it with Serve (a TCP listener) or ServeConn (any net.Conn).
+func NewBMPStation(cfg BMPStationConfig) *BMPStation { return bmp.NewStation(cfg) }
 
 // DefaultInference returns the paper's inference configuration
 // (wWS:wPS = 3:1, 2.5k trigger, history model on).

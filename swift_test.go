@@ -80,6 +80,38 @@ func itoa(n int) string {
 	return string(b[i:])
 }
 
+// TestFleetFacade drives the multi-peer API through the facade: a
+// fleet of per-peer engines fed by batched observations, the way a
+// BMP station delivers them.
+func TestFleetFacade(t *testing.T) {
+	fleet := swift.NewFleet(swift.FleetConfig{
+		Engine: func(key swift.PeerKey) swift.Config {
+			return swift.Config{LocalAS: 1, PrimaryNeighbor: key.AS}
+		},
+	})
+	defer fleet.Close()
+
+	key := swift.PeerKey{AS: 2, BGPID: 7}
+	peer := fleet.Peer(key)
+	p := swift.MustParsePrefix("192.0.2.0/24")
+	peer.LearnPrimary(p, []uint32{2, 5, 6})
+	if err := peer.Provision(); err != nil {
+		t.Fatal(err)
+	}
+	peer.Enqueue(swift.Batch{At: time.Second, Ops: []swift.Op{
+		{At: time.Second, Withdraw: true, Prefix: p},
+	}})
+	fleet.Sync()
+	if m := fleet.Metrics(); m.Peers != 1 || m.Withdrawals != 1 {
+		t.Errorf("fleet metrics = %+v", m)
+	}
+
+	st := swift.NewBMPStation(swift.BMPStationConfig{Fleet: fleet})
+	if st.Fleet() != fleet {
+		t.Error("station not wired to the fleet")
+	}
+}
+
 func TestFacadeHelpers(t *testing.T) {
 	p := swift.MustParsePrefix("192.0.2.0/24")
 	if p.String() != "192.0.2.0/24" {
