@@ -21,6 +21,11 @@
 // like a real router multiplexing its sessions. -loop N replays each
 // update stream N times (timestamps shifted forward every pass) for
 // sustained load generation.
+//
+// bmpgen exercises the wire side of the event pipeline: the station it
+// dials demuxes this stream into peer-attributed event batches for its
+// sink (an engine fleet, or a single engine behind a SessionSink). For
+// an in-process replay without the BMP framing, use mrt.Source.
 package main
 
 import (

@@ -1,7 +1,10 @@
 // Command burstgen materializes the synthetic RouteViews-like dataset as
 // MRT files — one BGP4MP update file per requested session plus a
 // TABLE_DUMP_V2 RIB snapshot — so external tooling (or this repo's own
-// readers) can consume the traces exactly like collector archives.
+// readers) can consume the traces exactly like collector archives. The
+// emitted pair feeds straight into the event pipeline: swift-replay
+// and mrt.Source replay it in-process, bmpgen replays it over the wire
+// as a synthetic BMP router.
 //
 // Usage:
 //

@@ -4,6 +4,12 @@
 // It reports every burst the engine detects and every inference and
 // reroute it performs, making it the offline analysis twin of swiftd.
 //
+// The replay is one mrt.Source feeding one engine through the shared
+// event-stream pipeline: the RIB snapshot loads through the sink's
+// table-transfer surface, the update records stream as timestamped
+// event batches, and the engine's Observer hooks report bursts and
+// reroutes as they happen.
+//
 // Usage:
 //
 //	burstgen -out traces -sessions 1
@@ -19,10 +25,10 @@ import (
 	"os"
 	"time"
 
+	"swift/internal/event"
 	"swift/internal/inference"
-	"swift/internal/netaddr"
+	"swift/internal/mrt"
 	swiftengine "swift/internal/swift"
-	"swift/internal/trace"
 )
 
 func main() {
@@ -41,11 +47,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The Observer hooks are the replay's live reporting surface; Logf
+	// stays unset so nothing is printed twice.
 	cfg := swiftengine.Config{
 		LocalAS:         uint32(*localAS),
 		PrimaryNeighbor: uint32(*peerAS),
-		Logf:            log.Printf,
 	}
+	cfg.Observer = swiftengine.LoggingObserver(log.Printf)
 	cfg.Inference = inference.Default()
 	cfg.Inference.TriggerEvery = *trigger
 	cfg.Inference.UseHistory = *history
@@ -56,47 +64,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	n, err := trace.ReadRIBInto(rib, func(p netaddr.Prefix, path []uint32) {
-		engine.LearnPrimary(p, path)
-	})
-	rib.Close()
-	if err != nil {
-		log.Fatalf("reading RIB: %v", err)
-	}
-	log.Printf("loaded %d routes from %s", n, *ribPath)
-	if err := engine.Provision(); err != nil {
-		log.Fatal(err)
-	}
-
+	defer rib.Close()
 	upd, err := os.Open(*updPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer upd.Close()
 
-	var epoch time.Time
-	events := 0
-	_, err = trace.ReadUpdates(upd, func(ev trace.UpdateEvent) {
-		if epoch.IsZero() {
-			epoch = ev.At
-		}
-		at := ev.At.Sub(epoch)
-		if ev.Withdraw {
-			engine.ObserveWithdraw(at, ev.Prefix)
-		} else {
-			engine.ObserveAnnounce(at, ev.Prefix, ev.Path)
-		}
-		events++
-	})
-	if err != nil {
-		log.Fatalf("reading updates: %v", err)
+	src := &mrt.Source{
+		RIB:       rib,
+		Updates:   upd,
+		Peer:      event.PeerKey{AS: uint32(*peerAS), BGPID: uint32(*peerAS)},
+		FinalTick: time.Hour, // close any open burst
 	}
-	engine.Tick(1 << 62) // close any open burst
+	if err := src.Run(swiftengine.NewSessionSink(engine)); err != nil {
+		log.Fatalf("replay: %v", err)
+	}
 
-	fmt.Printf("\nreplayed %d per-prefix events\n", events)
+	fmt.Printf("\nreplayed %d per-prefix events over %d RIB routes\n", src.Events, src.Routes)
+	decisions := engine.Decisions()
 	fmt.Printf("decisions: %d accepted, %d deferred by the gate\n",
-		len(engine.Decisions()), engine.Deferred())
-	for i, d := range engine.Decisions() {
+		len(decisions), engine.Deferred())
+	for i, d := range decisions {
 		fmt.Printf("  #%d at %v: links %v (received %d, predicted %d, %d rules, %v)\n",
 			i+1, d.At.Round(time.Millisecond), d.Result.Links, d.Result.Received,
 			len(d.Predicted), d.RulesInstalled, d.DataplaneTime)

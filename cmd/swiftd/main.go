@@ -103,17 +103,19 @@ func main() {
 }
 
 // runBMP serves a BMP station over an engine fleet until a signal.
+// The fleet's Observer hooks push every burst, decision and fallback
+// straight into the daemon log — no decision polling, no log scraping.
 func runBMP(addr string, localAS uint32, settle time.Duration, alternates []mrt.RIBRecord, altAS uint32, sigs <-chan os.Signal) {
 	fleet := controller.NewFleet(controller.FleetConfig{
 		Engine: func(key controller.PeerKey) swiftengine.Config {
 			cfg := swiftengine.Config{
 				LocalAS:         localAS,
 				PrimaryNeighbor: key.AS,
-				Logf:            prefixLogf(key.String()),
 			}
 			cfg.Inference = inference.Default()
 			return cfg
 		},
+		Observer: controller.LoggingFleetObserver(log.Printf),
 		OnPeer: func(p *controller.FleetPeer) {
 			for _, rec := range alternates {
 				for _, e := range rec.Entries {
@@ -124,7 +126,7 @@ func runBMP(addr string, localAS uint32, settle time.Duration, alternates []mrt.
 		Logf: log.Printf,
 	})
 	station := bmp.NewStation(bmp.StationConfig{
-		Fleet:       fleet,
+		Sink:        fleet,
 		TableSettle: settle,
 		Logf:        log.Printf,
 	})
@@ -166,11 +168,13 @@ func runBMP(addr string, localAS uint32, settle time.Duration, alternates []mrt.
 
 // runBGP is the original single-session eBGP deployment.
 func runBGP(listen, dial string, localAS, routerID, primaryAS uint32, settle time.Duration, alternates []mrt.RIBRecord, altAS uint32, sigs <-chan os.Signal) {
+	// The Observer hooks are the daemon's reporting surface; Logf stays
+	// unset so nothing is printed twice.
 	cfg := swiftengine.Config{
 		LocalAS:         localAS,
 		PrimaryNeighbor: primaryAS,
-		Logf:            log.Printf,
 	}
+	cfg.Observer = swiftengine.LoggingObserver(log.Printf)
 	cfg.Inference = inference.Default()
 	engine := swiftengine.New(cfg)
 	ctrl := controller.New(engine, log.Printf)
@@ -342,11 +346,4 @@ func loadRIB(path string) ([]mrt.RIBRecord, error) {
 		return nil
 	})
 	return out, err
-}
-
-// prefixLogf scopes engine log lines to their peer.
-func prefixLogf(prefix string) func(string, ...any) {
-	return func(format string, args ...any) {
-		log.Printf("["+prefix+"] "+format, args...)
-	}
 }

@@ -2,8 +2,9 @@
 // sessions, one SWIFT engine per session running in parallel (§4.1's
 // per-session design). The example synthesizes a RouteViews-like
 // capture, replays each session's bursts through its own engine
-// concurrently, and aggregates what the monitor learned: which remote
-// links failed and how much of each burst was predicted early.
+// concurrently (each burst as a synthetic event-stream Source feeding
+// the engine Sink), and aggregates what the monitor learned: which
+// remote links failed and how much of each burst was predicted early.
 //
 // Run: go run ./examples/ixp-monitor
 package main
@@ -65,6 +66,14 @@ func main() {
 				cfg.Encoding = swift.DefaultEncoding()
 				cfg.Encoding.MinPrefixes = 500
 				cfg.Burst = swift.BurstConfig{StartThreshold: 500, StopThreshold: 9}
+				// The first decision per burst, pushed by the engine —
+				// no decision-log polling.
+				var first *swift.Decision
+				cfg.Observer.OnDecision = func(d swift.Decision) {
+					if first == nil {
+						first = &d
+					}
+				}
 				engine := swift.New(cfg)
 				for origin, path := range ds.SessionRIB(s) {
 					for i := 0; i < ds.Net.Origins[origin]; i++ {
@@ -74,18 +83,14 @@ func main() {
 				if err := engine.Provision(); err != nil {
 					continue
 				}
-				for _, ev := range b.Events {
-					if ev.Kind == bgpsim.KindWithdraw {
-						engine.ObserveWithdraw(ev.At, ev.Prefix)
-					} else {
-						engine.ObserveAnnounce(ev.At, ev.Prefix, ev.Path)
-					}
+				src := &bgpsim.BurstSource{Bursts: []*bgpsim.Burst{b}, FinalTick: -1}
+				if err := src.Run(engine); err != nil {
+					continue
 				}
-				if dec := engine.Decisions(); len(dec) > 0 {
-					d := dec[0]
+				if first != nil {
 					rep.lines = append(rep.lines, fmt.Sprintf(
 						"    burst of %6d: inferred %v at %7v (truth %v)",
-						b.Size, d.Result.Links, d.At.Round(time.Millisecond), b.FailedLinks[0]))
+						b.Size, first.Result.Links, first.At.Round(time.Millisecond), b.FailedLinks[0]))
 				}
 			}
 			mu.Lock()

@@ -3,7 +3,8 @@
 // session with the SWIFT controller, floods the initial table, then
 // replays the Fig. 1 burst on the wire as packed UPDATE messages. The
 // controller detects the burst, infers the failed link and programs the
-// data plane live.
+// data plane live; the engine's Observer hook pushes each decision to
+// the example the moment it happens — no polling.
 //
 // Run: go run ./examples/live-session
 package main
@@ -27,7 +28,9 @@ func main() {
 	netw := bgpsim.Fig1Network(scale)
 	sols := netw.Solve(netw.Graph)
 
-	// SWIFT controller for AS 1.
+	// SWIFT controller for AS 1. Decisions are pushed over a channel by
+	// the Observer hook instead of polled from the decision log.
+	decisions := make(chan swift.Decision, 16)
 	cfg := swift.Config{LocalAS: 1, PrimaryNeighbor: 2}
 	cfg.Inference = swift.DefaultInference()
 	cfg.Inference.TriggerEvery = 500
@@ -35,6 +38,7 @@ func main() {
 	cfg.Encoding = swift.DefaultEncoding()
 	cfg.Encoding.MinPrefixes = 200
 	cfg.Burst = swift.BurstConfig{StartThreshold: 200, StopThreshold: 9}
+	cfg.Observer.OnDecision = func(d swift.Decision) { decisions <- d }
 	ctrl := controller.New(swift.New(cfg), func(f string, a ...any) {
 		fmt.Printf("  | "+f+"\n", a...)
 	})
@@ -121,19 +125,15 @@ func main() {
 	}
 	flush()
 
-	// Give the controller a moment to drain the socket.
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if ds := ctrl.Decisions(); len(ds) > 0 {
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-
+	// The observer pushes the first inference as soon as the controller
+	// drains it off the socket.
 	fmt.Println()
-	for _, d := range ctrl.Decisions() {
+	select {
+	case d := <-decisions:
 		fmt.Printf("live inference: links %v after %d withdrawals, %d rules installed\n",
 			d.Result.Links, d.Result.Received, d.RulesInstalled)
+	case <-time.After(10 * time.Second):
+		fmt.Println("no inference within 10s")
 	}
 	fmt.Println("final:", ctrl.Status())
 }

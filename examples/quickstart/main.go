@@ -1,9 +1,10 @@
 // Quickstart: the smallest complete SWIFT deployment. One engine is
 // provisioned with a primary table (via neighbor AS 2 across the chain
 // 2→5→6) and an alternate (via AS 3), then a burst of withdrawals —
-// the failure of the remote link (5,6) — streams in. The engine infers
-// the failure from the first few hundred messages and reroutes every
-// affected prefix with a handful of tag rules.
+// the failure of the remote link (5,6) — streams in as one event
+// batch. The engine infers the failure from the first few hundred
+// messages and reroutes every affected prefix with a handful of tag
+// rules; the Observer hook reports each decision as it happens.
 //
 // Run: go run ./examples/quickstart
 package main
@@ -23,7 +24,17 @@ func main() {
 	cfg.Encoding = swift.DefaultEncoding()
 	cfg.Encoding.MinPrefixes = 100 // encode links carrying >= 100 prefixes
 	cfg.Burst = swift.BurstConfig{StartThreshold: 100, StopThreshold: 9}
-	cfg.Logf = func(format string, args ...any) { fmt.Printf("  | "+format+"\n", args...) }
+	// Push-based hooks replace decision polling: the engine reports
+	// every inference the moment its rules hit the data plane.
+	cfg.Observer = swift.Observer{
+		OnBurstStart: func(at time.Duration, withdrawals int) {
+			fmt.Printf("  | burst started at %v (%d withdrawals in window)\n", at, withdrawals)
+		},
+		OnDecision: func(d swift.Decision) {
+			fmt.Printf("  | inference at %v: links %v, %d prefixes predicted, %d rules in %v\n",
+				d.At, d.Result.Links, len(d.Predicted), d.RulesInstalled, d.DataplaneTime)
+		},
+	}
 
 	engine := swift.New(cfg)
 
@@ -44,16 +55,15 @@ func main() {
 	nh, _ := engine.FIB().ForwardPrefix(prefixes[0])
 	fmt.Printf("before the outage: %v forwards via AS%d\n\n", prefixes[0], nh)
 
-	// The remote link (5,6) fails: its withdrawals arrive one by one.
+	// The remote link (5,6) fails: its withdrawals arrive as one event
+	// batch — the engine's only hot path.
 	fmt.Println("link (5,6) fails — streaming withdrawals...")
+	batch := make(swift.Batch, 0, 600)
 	for i, p := range prefixes[:600] {
-		engine.ObserveWithdraw(time.Duration(i)*2*time.Millisecond, p)
+		batch = append(batch, swift.WithdrawEvent(time.Duration(i)*2*time.Millisecond, p))
 	}
-
-	fmt.Println()
-	for _, d := range engine.Decisions() {
-		fmt.Printf("inference at %v: links %v, %d prefixes predicted, %d rules in %v\n",
-			d.At, d.Result.Links, len(d.Predicted), d.RulesInstalled, d.DataplaneTime)
+	if err := engine.Apply(batch); err != nil {
+		panic(err)
 	}
 
 	// Prefixes whose withdrawals have NOT yet arrived are already safe.

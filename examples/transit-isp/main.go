@@ -2,9 +2,10 @@
 // end. A transit provider's customer (AS 1) routes 21k prefixes through
 // the chain 2→5→6 towards ASes 6, 7 and 8. The remote link (5,6) fails;
 // AS 1's session with AS 2 sees 11k withdrawals interleaved with 10k
-// path updates. The example compares the downtime of a vanilla router
-// against the SWIFTED one on the same burst — the §7 case study at
-// transit-ISP scale.
+// path updates, replayed through a synthetic BurstSource into the
+// engine's event pipeline. The example compares the downtime of a
+// vanilla router against the SWIFTED one on the same burst — the §7
+// case study at transit-ISP scale.
 //
 // Run: go run ./examples/transit-isp
 package main
@@ -30,6 +31,10 @@ func main() {
 	sols := net.Solve(net.Graph)
 	cfg := swift.Config{LocalAS: 1, PrimaryNeighbor: 2}
 	cfg.Inference = swift.DefaultInference() // 2.5k trigger, history on
+	cfg.Observer.OnDecision = func(d swift.Decision) {
+		fmt.Printf("  inference at %v: links %v (%d received), %d prefixes covered\n",
+			d.At.Round(time.Millisecond), d.Result.Links, d.Result.Received, len(d.Predicted))
+	}
 	engine := swift.New(cfg)
 	for origin := range net.Origins {
 		for _, nb := range []uint32{2, 3, 4} {
@@ -51,7 +56,8 @@ func main() {
 		panic(err)
 	}
 
-	// Fail (5,6) and replay the burst (testbed arrival pacing).
+	// Fail (5,6) and replay the burst (testbed arrival pacing) through
+	// the shared event pipeline — exactly how a live feed would arrive.
 	b, err := net.ReplayLinkFailure(1, 2, topology.MakeLink(5, 6), bgpsim.TestbedTiming(7))
 	if err != nil {
 		panic(err)
@@ -59,16 +65,9 @@ func main() {
 	fmt.Printf("burst on the AS2 session: %d withdrawals + %d updates over %v\n",
 		b.Size, len(b.Events)-b.Size, b.Duration().Round(time.Millisecond))
 
-	for _, ev := range b.Events {
-		if ev.Kind == bgpsim.KindWithdraw {
-			engine.ObserveWithdraw(ev.At, ev.Prefix)
-		} else {
-			engine.ObserveAnnounce(ev.At, ev.Prefix, ev.Path)
-		}
-	}
-	for _, d := range engine.Decisions() {
-		fmt.Printf("  inference at %v: links %v (%d received), %d prefixes covered\n",
-			d.At.Round(time.Millisecond), d.Result.Links, d.Result.Received, len(d.Predicted))
+	src := &bgpsim.BurstSource{Bursts: []*bgpsim.Burst{b}, FinalTick: -1}
+	if err := src.Run(engine); err != nil {
+		panic(err)
 	}
 
 	// Compare data-plane downtime, probing 100 withdrawn prefixes.

@@ -1,0 +1,100 @@
+package bgpsim
+
+import (
+	"errors"
+	"time"
+
+	"swift/internal/event"
+)
+
+// BurstSource replays one or more simulated bursts as the shared event
+// stream — the synthetic counterpart of a live BMP feed or an MRT
+// archive, so evaluation workloads drive an Engine or a Fleet through
+// exactly the pipeline a real deployment uses.
+type BurstSource struct {
+	// Bursts are replayed in order, each shifted by Spacing from the
+	// previous burst's end.
+	Bursts []*Burst
+	// Spacing separates consecutive bursts on the stream clock
+	// (default one hour — far past any burst-detection window, so each
+	// burst is detected independently).
+	Spacing time.Duration
+	// Peer attributes the emitted events (zero is fine for
+	// single-session sinks).
+	Peer event.PeerKey
+	// BatchEvents caps how many events one batch carries (default 512).
+	BatchEvents int
+	// FinalTick, when positive, emits one closing tick this far past
+	// the last event so the sink closes any burst still open (default
+	// one minute; set negative to suppress).
+	FinalTick time.Duration
+
+	// Events counts the per-prefix events emitted by the last Run.
+	Events int
+}
+
+var _ event.Source = (*BurstSource)(nil)
+
+func (s *BurstSource) batchEvents() int {
+	if s.BatchEvents <= 0 {
+		return 512
+	}
+	return s.BatchEvents
+}
+
+func (s *BurstSource) spacing() time.Duration {
+	if s.Spacing <= 0 {
+		return time.Hour
+	}
+	return s.Spacing
+}
+
+// Run pushes every burst's withdrawals and announcements into sink as
+// ordered event batches.
+func (s *BurstSource) Run(sink event.Sink) error {
+	if len(s.Bursts) == 0 {
+		return errors.New("bgpsim: BurstSource has no bursts")
+	}
+	s.Events = 0
+	batch := make(event.Batch, 0, s.batchEvents())
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		b := batch
+		batch = make(event.Batch, 0, cap(b))
+		return sink.Apply(b)
+	}
+	var base, last time.Duration
+	for i, b := range s.Bursts {
+		if i > 0 {
+			base = last + s.spacing()
+		}
+		for _, ev := range b.Events {
+			at := base + ev.At
+			if ev.Kind == KindWithdraw {
+				batch = append(batch, event.Withdraw(at, ev.Prefix).WithPeer(s.Peer))
+			} else {
+				batch = append(batch, event.Announce(at, ev.Prefix, ev.Path).WithPeer(s.Peer))
+			}
+			s.Events++
+			last = at
+			if len(batch) >= s.batchEvents() {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	tick := s.FinalTick
+	if tick == 0 {
+		tick = time.Minute
+	}
+	if tick > 0 {
+		return sink.Apply(event.Batch{event.Tick(last + tick).WithPeer(s.Peer)})
+	}
+	return nil
+}

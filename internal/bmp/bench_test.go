@@ -34,7 +34,7 @@ func benchStationIngest(b *testing.B, numPeers int) {
 		},
 	})
 	defer fleet.Close()
-	st := NewStation(StationConfig{Fleet: fleet, TableSettle: time.Hour})
+	st := NewStation(StationConfig{Sink: fleet, TableSettle: time.Hour})
 
 	// Provision every peer up front so the stream is pure live-path
 	// ingestion (no table-transfer branch).

@@ -10,22 +10,28 @@ import (
 	"time"
 
 	"swift/internal/bgp"
-	"swift/internal/controller"
+	"swift/internal/event"
 )
 
 // StationConfig parameterizes a Station.
 type StationConfig struct {
-	// Fleet receives the demuxed per-peer streams. Required.
-	Fleet *controller.Fleet
+	// Sink receives the demuxed per-peer event stream. Required. A
+	// controller.Fleet routes each peer to its own engine; a
+	// swift.SessionSink funnels everything into one. If the sink also
+	// implements event.Provisioner, each peer's in-band table dump is
+	// loaded through it and the peer is provisioned at End-of-RIB;
+	// otherwise peers are assumed provisioned out-of-band and go
+	// straight to live streaming.
+	Sink event.Sink
 	// TableSettle is the quiet period after which a peer still waiting
 	// for End-of-RIB is provisioned anyway (routers predating RFC 4724
 	// never send the marker). Default 3 s.
 	TableSettle time.Duration
-	// BatchOps caps how many observations accumulate per peer before a
-	// batch is handed to the engine goroutine (default 512). Batches
-	// also flush whenever the connection's read buffer drains, so
-	// latency stays at one syscall under light load.
-	BatchOps int
+	// BatchEvents caps how many events accumulate per peer before a
+	// batch is handed to the sink (default 512). Batches also flush
+	// whenever the connection's read buffer drains, so latency stays at
+	// one syscall under light load.
+	BatchEvents int
 	// Logf, when set, receives one line per station event.
 	Logf func(format string, args ...any)
 }
@@ -37,11 +43,11 @@ func (c StationConfig) tableSettle() time.Duration {
 	return c.TableSettle
 }
 
-func (c StationConfig) batchOps() int {
-	if c.BatchOps <= 0 {
+func (c StationConfig) batchEvents() int {
+	if c.BatchEvents <= 0 {
 		return 512
 	}
-	return c.BatchOps
+	return c.BatchEvents
 }
 
 // StationMetrics is a snapshot of a station's ingestion counters.
@@ -55,17 +61,25 @@ type StationMetrics struct {
 }
 
 // Station is the BMP collector side: it accepts monitored-router
-// connections, demultiplexes the per-peer Route Monitoring streams and
-// drives one SWIFT engine per peer through the fleet. One station
-// serves many routers; each router's peers join the same fleet.
+// connections, demultiplexes the per-peer Route Monitoring streams into
+// peer-attributed event batches and pushes them into the configured
+// sink. One station serves many routers; each router's peers share the
+// sink. A Station is an event.Source over its live connections.
 type Station struct {
-	cfg StationConfig
+	cfg  StationConfig
+	prov event.Provisioner // cfg.Sink's setup surface, when it has one
 
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// clocks maps each peer to its stream clock. Clocks live on the
+	// station (not the connection) so a flapping router cannot rewind a
+	// peer's engine clock by reconnecting.
+	clockMu sync.Mutex
+	clocks  map[event.PeerKey]*event.StreamClock
 
 	messages atomic.Uint64
 	routeMon atomic.Uint64
@@ -74,16 +88,34 @@ type Station struct {
 	statsRep atomic.Uint64
 }
 
-// NewStation builds a station over an existing fleet.
+// NewStation builds a station over an existing sink.
 func NewStation(cfg StationConfig) *Station {
-	if cfg.Fleet == nil {
-		panic("bmp: StationConfig.Fleet is required")
+	if cfg.Sink == nil {
+		panic("bmp: StationConfig.Sink is required")
 	}
-	return &Station{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	st := &Station{
+		cfg:    cfg,
+		conns:  make(map[net.Conn]struct{}),
+		clocks: make(map[event.PeerKey]*event.StreamClock),
+	}
+	st.prov, _ = cfg.Sink.(event.Provisioner)
+	return st
 }
 
-// Fleet returns the engine pool the station feeds.
-func (st *Station) Fleet() *controller.Fleet { return st.cfg.Fleet }
+// Sink returns the event sink the station feeds.
+func (st *Station) Sink() event.Sink { return st.cfg.Sink }
+
+// clock returns the peer's stream clock, creating it on first use.
+func (st *Station) clock(key event.PeerKey) *event.StreamClock {
+	st.clockMu.Lock()
+	defer st.clockMu.Unlock()
+	c, ok := st.clocks[key]
+	if !ok {
+		c = &event.StreamClock{}
+		st.clocks[key] = c
+	}
+	return c
+}
 
 // Metrics snapshots the ingestion counters.
 func (st *Station) Metrics() StationMetrics {
@@ -134,7 +166,7 @@ func (st *Station) Serve(ln net.Listener) error {
 }
 
 // Close stops the listener, closes every router connection and waits
-// for the connection handlers to drain. The fleet stays open — its
+// for the connection handlers to drain. The sink stays open — its
 // engines remain inspectable and the caller owns its shutdown.
 func (st *Station) Close() error {
 	st.mu.Lock()
@@ -174,27 +206,32 @@ func (st *Station) untrack(conn net.Conn) {
 
 // peerStream is the per-(connection, peer) demux state.
 type peerStream struct {
-	key    controller.PeerKey
-	handle *controller.FleetPeer
+	key   event.PeerKey
+	clock *event.StreamClock
+	// dst receives this peer's batches: the sink's bound per-peer fast
+	// path when it offers one (event.PeerSink), the sink itself
+	// otherwise.
+	dst event.Sink
 
-	// syncing is true while the initial table dump drains into
-	// LearnPrimary; End-of-RIB (or the settle timer) flips it.
+	// syncing is true while the initial table dump drains into the
+	// sink's Provisioner; End-of-RIB (or the settle timer) flips it.
+	// It is never set when the sink has no Provisioner surface.
 	syncing bool
 	// sawTimestamp records that the router timestamps this peer's
 	// messages, putting its engine clock in the router's time domain.
 	sawTimestamp bool
 
-	pending []controller.Op
+	pending event.Batch
 	learned int
 	lastMsg time.Time // wall-clock arrival of the newest message
 	lastAt  time.Duration
 }
 
 // ServeConn runs one monitored-router connection to completion: it
-// demuxes every BMP message into per-peer engine batches. It returns
-// after the router terminates the session, the connection drops, or
-// the station closes. Exported so tests and in-process routers can
-// drive a station without a TCP listener.
+// demuxes every BMP message into per-peer event batches for the sink.
+// It returns after the router terminates the session, the connection
+// drops, or the station closes. Exported so tests and in-process
+// routers can drive a station without a TCP listener.
 func (st *Station) ServeConn(conn net.Conn) error {
 	if !st.track(conn) {
 		conn.Close()
@@ -205,7 +242,7 @@ func (st *Station) ServeConn(conn net.Conn) error {
 
 	c := &connState{
 		st:    st,
-		peers: make(map[controller.PeerKey]*peerStream),
+		peers: make(map[event.PeerKey]*peerStream),
 	}
 	// The settle scanner provisions peers whose table dump ended
 	// without an End-of-RIB marker and ticks live engines when the
@@ -248,25 +285,29 @@ type connState struct {
 	st *Station
 
 	mu    sync.Mutex // guards peers against the settle scanner
-	peers map[controller.PeerKey]*peerStream
+	peers map[event.PeerKey]*peerStream
 
 	sysName string
 	upd     bgp.UpdateDecoder
 	peerHdr PeerHeader
 }
 
-func (c *connState) stream(key controller.PeerKey) *peerStream {
+func (c *connState) stream(key event.PeerKey) *peerStream {
 	if ps, ok := c.peers[key]; ok {
 		return ps
 	}
-	handle := c.st.cfg.Fleet.Peer(key)
 	ps := &peerStream{
-		key:    key,
-		handle: handle,
-		// A peer provisioned out-of-band (tests, preloaded tables)
-		// skips the table-dump phase and goes straight to live.
-		syncing: !handle.Provisioned(),
+		key:   key,
+		clock: c.st.clock(key),
+		dst:   c.st.cfg.Sink,
+		// A sink without a setup surface — or a peer provisioned
+		// out-of-band (tests, preloaded tables) — skips the table-dump
+		// phase and goes straight to live.
+		syncing: c.st.prov != nil && !c.st.prov.Provisioned(key),
 		lastMsg: time.Now(),
+	}
+	if fast, ok := c.st.cfg.Sink.(event.PeerSink); ok {
+		ps.dst = fast.PeerSink(key)
 	}
 	c.peers[key] = ps
 	return ps
@@ -283,7 +324,7 @@ func (c *connState) handle(typ uint8, body []byte) error {
 		if err := m.Decode(body); err != nil {
 			return err
 		}
-		key := controller.PeerKey{AS: m.Peer.AS, BGPID: m.Peer.BGPID}
+		key := event.PeerKey{AS: m.Peer.AS, BGPID: m.Peer.BGPID}
 		c.mu.Lock()
 		syncing := c.stream(key).syncing
 		c.mu.Unlock()
@@ -295,7 +336,7 @@ func (c *connState) handle(typ uint8, body []byte) error {
 		if err := m.Decode(body); err != nil {
 			return err
 		}
-		key := controller.PeerKey{AS: m.Peer.AS, BGPID: m.Peer.BGPID}
+		key := event.PeerKey{AS: m.Peer.AS, BGPID: m.Peer.BGPID}
 		c.mu.Lock()
 		if ps, ok := c.peers[key]; ok {
 			c.flushLocked(ps)
@@ -335,7 +376,7 @@ func (c *connState) handle(typ uint8, body []byte) error {
 }
 
 // handleRouteMonitoring is the hot path: peer header + UPDATE, decoded
-// without allocation into per-peer batches.
+// without allocation into per-peer event batches.
 func (c *connState) handleRouteMonitoring(body []byte) error {
 	b, err := ParsePeerHeader(body, &c.peerHdr)
 	if err != nil {
@@ -352,7 +393,7 @@ func (c *connState) handleRouteMonitoring(body []byte) error {
 		return err
 	}
 
-	key := controller.PeerKey{AS: c.peerHdr.AS, BGPID: c.peerHdr.BGPID}
+	key := event.PeerKey{AS: c.peerHdr.AS, BGPID: c.peerHdr.BGPID}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ps := c.stream(key)
@@ -369,7 +410,7 @@ func (c *connState) handleRouteMonitoring(body []byte) error {
 		if len(c.upd.NLRI) > 0 {
 			path := append([]uint32(nil), c.upd.Attrs.ASPath...)
 			for _, p := range c.upd.NLRI {
-				ps.handle.LearnPrimary(p, path)
+				c.st.prov.Learn(key, p, path)
 				ps.learned++
 			}
 		}
@@ -378,27 +419,28 @@ func (c *connState) handleRouteMonitoring(body []byte) error {
 	}
 
 	for _, p := range c.upd.Withdrawn {
-		ps.pending = append(ps.pending, controller.Op{At: at, Withdraw: true, Prefix: p})
+		ps.pending = append(ps.pending, event.Withdraw(at, p).WithPeer(key))
 	}
 	if len(c.upd.NLRI) > 0 {
+		// One path copy per UPDATE, shared by all its NLRI events.
 		path := append([]uint32(nil), c.upd.Attrs.ASPath...)
 		for _, p := range c.upd.NLRI {
-			ps.pending = append(ps.pending, controller.Op{At: at, Prefix: p, Path: path})
+			ps.pending = append(ps.pending, event.Announce(at, p, path).WithPeer(key))
 		}
 	}
 	ps.lastAt = at
-	if len(ps.pending) >= c.st.cfg.batchOps() {
+	if len(ps.pending) >= c.st.cfg.batchEvents() {
 		c.flushLocked(ps)
 	}
 	return nil
 }
 
 // streamOffset converts a message's per-peer header timestamp into the
-// engine's stream offset. Routers that timestamp their messages give
-// the engines the true burst timeline regardless of replay speed;
-// timestampless routers fall back to arrival wall-clock, like the
-// single-session controller. The epoch lives on the fleet peer, so a
-// flapping router connection cannot rewind the engine clock.
+// peer's stream offset. Routers that timestamp their messages give the
+// engines the true burst timeline regardless of replay speed;
+// timestampless routers fall back to arrival wall-clock. The clock
+// lives on the station, so a flapping router connection cannot rewind
+// the engine clock.
 func (c *connState) streamOffset(ps *peerStream) time.Duration {
 	ts := c.peerHdr.Timestamp()
 	if ts.IsZero() {
@@ -406,27 +448,28 @@ func (c *connState) streamOffset(ps *peerStream) time.Duration {
 	} else {
 		ps.sawTimestamp = true
 	}
-	return ps.handle.StreamOffset(ts)
+	return ps.clock.Offset(ts)
 }
 
 func (c *connState) provisionLocked(ps *peerStream) {
 	ps.syncing = false
-	if err := ps.handle.Provision(); err != nil {
+	if err := c.st.prov.Provision(ps.key); err != nil {
 		c.st.logf("bmp: peer %s provision failed after %d routes: %v", ps.key, ps.learned, err)
 		return
 	}
 	c.st.logf("bmp: peer %s provisioned (%d routes learned)", ps.key, ps.learned)
 }
 
-// flushLocked hands the pending batch to the peer's engine goroutine.
-// Caller holds c.mu.
+// flushLocked hands the pending batch to the sink. Caller holds c.mu.
 func (c *connState) flushLocked(ps *peerStream) {
 	if len(ps.pending) == 0 {
 		return
 	}
-	ops := ps.pending
-	ps.pending = make([]controller.Op, 0, cap(ops))
-	ps.handle.Enqueue(controller.Batch{At: ps.lastAt, Ops: ops})
+	b := ps.pending
+	ps.pending = make(event.Batch, 0, cap(b))
+	if err := ps.dst.Apply(b); err != nil {
+		c.st.logf("bmp: peer %s: sink: %v", ps.key, err)
+	}
 }
 
 func (c *connState) flushAll() {
@@ -475,7 +518,10 @@ func (c *connState) settleLoop(stop <-chan struct{}) {
 				// stream during replays faster or slower than real
 				// time — those peers' bursts close through their own
 				// message timeline instead.
-				ps.handle.Enqueue(controller.Batch{At: ps.lastAt + quiet})
+				tick := event.Batch{event.Tick(ps.lastAt + quiet).WithPeer(ps.key)}
+				if err := ps.dst.Apply(tick); err != nil {
+					c.st.logf("bmp: peer %s: sink: %v", ps.key, err)
+				}
 			}
 		}
 		c.mu.Unlock()

@@ -151,7 +151,7 @@ func TestStationMultiPeerBurst(t *testing.T) {
 		}
 	}
 
-	st := NewStation(StationConfig{Fleet: fleet, TableSettle: time.Minute})
+	st := NewStation(StationConfig{Sink: fleet, TableSettle: time.Minute})
 	router, collector := net.Pipe()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- st.ServeConn(collector) }()
@@ -233,7 +233,7 @@ func TestStationMultiPeerBurst(t *testing.T) {
 func TestStationServeTCP(t *testing.T) {
 	fleet := controller.NewFleet(controller.FleetConfig{Engine: fig1FleetConfig})
 	defer fleet.Close()
-	st := NewStation(StationConfig{Fleet: fleet, TableSettle: time.Minute})
+	st := NewStation(StationConfig{Sink: fleet, TableSettle: time.Minute})
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -295,7 +295,7 @@ func TestStationFlushesStalledBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st := NewStation(StationConfig{Fleet: fleet, TableSettle: 200 * time.Millisecond})
+	st := NewStation(StationConfig{Sink: fleet, TableSettle: 200 * time.Millisecond})
 	router, collector := net.Pipe()
 	defer router.Close()
 	go st.ServeConn(collector)
@@ -324,7 +324,7 @@ func TestStationFlushesStalledBatch(t *testing.T) {
 func TestStationSkipsUnknownType(t *testing.T) {
 	fleet := controller.NewFleet(controller.FleetConfig{Engine: fig1FleetConfig})
 	defer fleet.Close()
-	st := NewStation(StationConfig{Fleet: fleet, TableSettle: time.Minute})
+	st := NewStation(StationConfig{Sink: fleet, TableSettle: time.Minute})
 	router, collector := net.Pipe()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- st.ServeConn(collector) }()
@@ -361,7 +361,7 @@ func TestStationReconnectKeepsClock(t *testing.T) {
 	if err := h.Provision(); err != nil {
 		t.Fatal(err)
 	}
-	st := NewStation(StationConfig{Fleet: fleet, TableSettle: time.Minute})
+	st := NewStation(StationConfig{Sink: fleet, TableSettle: time.Minute})
 	epoch := time.Date(2016, 11, 5, 12, 0, 0, 0, time.UTC)
 
 	session := func(at time.Duration) {

@@ -7,7 +7,6 @@
 package burst
 
 import (
-	"sort"
 	"time"
 )
 
@@ -57,41 +56,97 @@ func (c Config) stop() int {
 }
 
 // History tracks per-window withdrawal counts over a long period (the
-// paper uses a month) and derives the adaptive thresholds.
+// paper uses a month) and derives the adaptive thresholds. It sits on
+// the engine's per-withdrawal hot path — Record runs once per message
+// and the threshold percentile is consulted whenever the detector is
+// quiet — so it keeps an order-statistics tree (a Fenwick tree over
+// counts) instead of raw samples: Record and Percentile stay
+// logarithmic in the largest count seen no matter how long the session
+// has been up, where re-sorting raw samples degraded quadratically on
+// long-lived engines.
 type History struct {
-	samples []int
-	sorted  []int
-	dirty   bool
+	n    int
+	size int   // tree capacity, a power of two
+	tree []int // Fenwick tree over windowCount+1, 1-based
 }
 
 // Record adds one observed window count.
 func (h *History) Record(windowCount int) {
-	h.samples = append(h.samples, windowCount)
-	h.dirty = true
+	if windowCount < 0 {
+		windowCount = 0
+	}
+	idx := windowCount + 1
+	if idx > h.size {
+		h.grow(idx)
+	}
+	for i := idx; i <= h.size; i += i & -i {
+		h.tree[i]++
+	}
+	h.n++
+}
+
+// grow rebuilds the tree with capacity >= min (amortized: capacities
+// double, and a session's window counts plateau at its burst peak).
+func (h *History) grow(min int) {
+	size := h.size
+	if size == 0 {
+		size = 256
+	}
+	for size < min {
+		size *= 2
+	}
+	// Recover per-value counts from the old tree, then re-tree them.
+	counts := make([]int, size+1)
+	for v := 1; v <= h.size; v++ {
+		counts[v] = h.prefix(v) - h.prefix(v-1)
+	}
+	h.size = size
+	h.tree = make([]int, size+1)
+	for v := 1; v <= size; v++ {
+		if counts[v] == 0 {
+			continue
+		}
+		for i := v; i <= size; i += i & -i {
+			h.tree[i] += counts[v]
+		}
+	}
+}
+
+// prefix returns how many recorded samples have value+1 <= v.
+func (h *History) prefix(v int) int {
+	s := 0
+	for i := v; i > 0; i -= i & -i {
+		s += h.tree[i]
+	}
+	return s
 }
 
 // N returns the number of recorded samples.
-func (h *History) N() int { return len(h.samples) }
+func (h *History) N() int { return h.n }
 
 // Percentile returns the p-th percentile (nearest-rank) of recorded
 // window counts, or 0 with no samples.
 func (h *History) Percentile(p float64) int {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	if h.dirty {
-		h.sorted = append(h.sorted[:0], h.samples...)
-		sort.Ints(h.sorted)
-		h.dirty = false
-	}
-	idx := int(p / 100 * float64(len(h.sorted)))
-	if idx >= len(h.sorted) {
-		idx = len(h.sorted) - 1
+	idx := int(p / 100 * float64(h.n))
+	if idx >= h.n {
+		idx = h.n - 1
 	}
 	if idx < 0 {
 		idx = 0
 	}
-	return h.sorted[idx]
+	// Select the (idx+1)-th smallest sample by descending the tree.
+	k := idx + 1
+	pos := 0
+	for bit := h.size; bit > 0; bit >>= 1 {
+		if next := pos + bit; next <= h.size && h.tree[next] < k {
+			pos = next
+			k -= h.tree[next]
+		}
+	}
+	return pos // stored as value+1 at index pos+1
 }
 
 // StartThreshold returns the burst-start threshold implied by history

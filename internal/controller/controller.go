@@ -14,6 +14,7 @@ import (
 
 	"swift/internal/bgp"
 	"swift/internal/bgpd"
+	"swift/internal/event"
 	"swift/internal/netaddr"
 	swiftengine "swift/internal/swift"
 	"swift/internal/topology"
@@ -87,16 +88,21 @@ func (c *Controller) AttachPrimary(s *bgpd.Session) {
 	}()
 }
 
-// apply feeds one UPDATE into the engine with a wall-clock offset.
+// apply feeds one UPDATE into the engine as an event batch with a
+// wall-clock stream offset.
 func (c *Controller) apply(u *bgp.Update) {
 	at := time.Since(c.start)
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	b := make(event.Batch, 0, len(u.Withdrawn)+len(u.NLRI))
 	for _, p := range u.Withdrawn {
-		c.engine.ObserveWithdraw(at, p)
+		b = append(b, event.Withdraw(at, p))
 	}
 	for _, p := range u.NLRI {
-		c.engine.ObserveAnnounce(at, p, u.Attrs.ASPath)
+		b = append(b, event.Announce(at, p, u.Attrs.ASPath))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.engine.Apply(b); err != nil {
+		c.logf("controller: apply: %v", err)
 	}
 }
 
@@ -106,7 +112,9 @@ func (c *Controller) Tick() {
 	at := time.Since(c.start)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.engine.Tick(at)
+	if err := c.engine.Apply(event.Batch{event.Tick(at)}); err != nil {
+		c.logf("controller: tick: %v", err)
+	}
 }
 
 // Wait blocks until all attached sessions have drained.
@@ -130,7 +138,7 @@ func (c *Controller) OnLink(l topology.Link) int {
 func (c *Controller) Decisions() []swiftengine.Decision {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]swiftengine.Decision(nil), c.engine.Decisions()...)
+	return c.engine.Decisions()
 }
 
 // Status renders a one-line summary.
@@ -138,5 +146,5 @@ func (c *Controller) Status() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return fmt.Sprintf("rib=%d prefixes, rules=%d, decisions=%d, rerouting=%v",
-		c.engine.RIB().Len(), c.engine.FIB().NumRules(), len(c.engine.Decisions()), c.engine.RerouteActive())
+		c.engine.RIB().Len(), c.engine.FIB().NumRules(), c.engine.NumDecisions(), c.engine.RerouteActive())
 }

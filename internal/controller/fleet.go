@@ -1,42 +1,65 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"swift/internal/event"
 	"swift/internal/netaddr"
 	swiftengine "swift/internal/swift"
 )
 
 // PeerKey identifies one monitored peer inside a fleet: the (AS, BGP
 // identifier) pair from the BMP per-peer header, which is unique per
-// monitored router.
-type PeerKey struct {
-	AS    uint32
-	BGPID uint32
+// monitored router. It is the shared event vocabulary's peer identity.
+type PeerKey = event.PeerKey
+
+// ErrClosed is returned by Apply after the fleet has closed.
+var ErrClosed = errors.New("controller: fleet closed")
+
+// FleetObserver is the fleet's push-notification surface: the engine
+// Observer hooks with the peer attributed. Hooks run synchronously on
+// the peer's delivery goroutine while it holds the peer lock — they
+// must be fast and must not call back into the peer or the fleet's
+// per-peer accessors.
+type FleetObserver struct {
+	// OnBurstStart fires when a peer's detector opens a burst.
+	OnBurstStart func(peer PeerKey, at time.Duration, withdrawals int)
+	// OnDecision fires for every accepted inference on any peer.
+	OnDecision func(peer PeerKey, d swiftengine.Decision)
+	// OnBurstEnd fires when a peer's burst closes.
+	OnBurstEnd func(peer PeerKey, at time.Duration, received int)
+	// OnProvision fires after every successful provision pass on any
+	// peer, initial and burst-end fallback alike.
+	OnProvision func(peer PeerKey, info swiftengine.ProvisionInfo)
 }
 
-// String renders the key as "AS65010/0a000001".
-func (k PeerKey) String() string { return fmt.Sprintf("AS%d/%08x", k.AS, k.BGPID) }
-
-// Op is one observation to deliver to a peer's engine.
-type Op struct {
-	At       time.Duration
-	Withdraw bool
-	Prefix   netaddr.Prefix
-	Path     []uint32 // announcement path; nil for withdrawals
-}
-
-// Batch is a group of observations delivered to a peer engine in one
-// hand-off. An empty batch advances the engine clock to At (a tick).
-type Batch struct {
-	At  time.Duration
-	Ops []Op
-
-	done chan<- struct{} // closed after the batch is applied (Sync)
+// LoggingFleetObserver builds the standard reporting FleetObserver:
+// the engine LoggingObserver lines with the peer key prefixed.
+func LoggingFleetObserver(logf func(format string, args ...any)) FleetObserver {
+	perPeer := func(peer PeerKey) swiftengine.Observer {
+		return swiftengine.LoggingObserver(func(format string, args ...any) {
+			logf("["+peer.String()+"] "+format, args...)
+		})
+	}
+	return FleetObserver{
+		OnBurstStart: func(peer PeerKey, at time.Duration, withdrawals int) {
+			perPeer(peer).OnBurstStart(at, withdrawals)
+		},
+		OnDecision: func(peer PeerKey, d swiftengine.Decision) {
+			perPeer(peer).OnDecision(d)
+		},
+		OnBurstEnd: func(peer PeerKey, at time.Duration, received int) {
+			perPeer(peer).OnBurstEnd(at, received)
+		},
+		OnProvision: func(peer PeerKey, info swiftengine.ProvisionInfo) {
+			perPeer(peer).OnProvision(info)
+		},
+	}
 }
 
 // FleetConfig parameterizes a Fleet.
@@ -44,6 +67,10 @@ type FleetConfig struct {
 	// Engine builds the engine configuration for a new peer. Nil
 	// selects a default whose PrimaryNeighbor is the peer's AS.
 	Engine func(key PeerKey) swiftengine.Config
+	// Observer receives peer-attributed push notifications for every
+	// engine in the pool. It composes with (runs before) any Observer
+	// the Engine factory put on the per-peer config.
+	Observer FleetObserver
 	// OnPeer, when set, runs per newly created peer before it becomes
 	// visible to other callers — the place to preload alternate routes
 	// or other per-peer state. It runs off the fleet's locks; under a
@@ -79,6 +106,12 @@ type fleetStripe struct {
 // parallel") behind a single ingestion front end. Peers are created on
 // first use; each owns its engine and a goroutine that applies
 // delivered batches, so N peers reroute independently and in parallel.
+//
+// A Fleet is an event.Sink: Apply demultiplexes a batch on each event's
+// Peer key, so any Source feeds a fleet exactly as it would feed one
+// Engine. It is also an event.Provisioner, so table-transfer-carrying
+// sources (a BMP station's in-band dump, an MRT RIB snapshot) can load
+// and provision peers without knowing the pool exists.
 type Fleet struct {
 	cfg     FleetConfig
 	stripes [fleetStripes]fleetStripe
@@ -87,7 +120,22 @@ type Fleet struct {
 
 	batches atomic.Uint64
 	ops     atomic.Uint64
+
+	// Push-fed aggregates, maintained by the per-engine observers so
+	// Metrics never has to lock every engine and walk its decision log.
+	decisions atomic.Int64
+	rules     atomic.Int64
+	rerouting atomic.Int64
 }
+
+// Fleet is a stream sink and a table-transfer target, with a per-peer
+// fast path; a bound FleetPeer is itself a sink.
+var (
+	_ event.Sink        = (*Fleet)(nil)
+	_ event.Provisioner = (*Fleet)(nil)
+	_ event.PeerSink    = (*Fleet)(nil)
+	_ event.Sink        = (*FleetPeer)(nil)
+)
 
 // NewFleet builds an empty fleet.
 func NewFleet(cfg FleetConfig) *Fleet {
@@ -132,11 +180,12 @@ func (f *Fleet) Peer(key PeerKey) *FleetPeer {
 		cfg = f.cfg.Engine(key)
 	}
 	cand := &FleetPeer{
-		key:    key,
-		fleet:  f,
-		engine: swiftengine.New(cfg),
-		ch:     make(chan Batch, f.cfg.queueDepth()),
+		key:   key,
+		fleet: f,
+		ch:    make(chan delivery, f.cfg.queueDepth()),
 	}
+	cfg.Observer = f.wireObserver(cand, cfg.Observer)
+	cand.engine = swiftengine.New(cfg)
 	if f.cfg.OnPeer != nil {
 		f.cfg.OnPeer(cand)
 	}
@@ -160,6 +209,131 @@ func (f *Fleet) Peer(key PeerKey) *FleetPeer {
 	go cand.run()
 	f.logf("fleet: peer %s created", key)
 	return cand
+}
+
+// wireObserver composes the fleet's aggregate accounting and the
+// user's FleetObserver with whatever Observer the engine factory set.
+// Every hook runs while the peer lock is held (engines only run under
+// it), so the peer-local rerouting flag needs no extra synchronization.
+func (f *Fleet) wireObserver(p *FleetPeer, user swiftengine.Observer) swiftengine.Observer {
+	return swiftengine.Observer{
+		OnBurstStart: func(at time.Duration, withdrawals int) {
+			if f.cfg.Observer.OnBurstStart != nil {
+				f.cfg.Observer.OnBurstStart(p.key, at, withdrawals)
+			}
+			if user.OnBurstStart != nil {
+				user.OnBurstStart(at, withdrawals)
+			}
+		},
+		OnDecision: func(d swiftengine.Decision) {
+			f.decisions.Add(1)
+			f.rules.Add(int64(d.RulesInstalled))
+			if !p.rerouting {
+				p.rerouting = true
+				f.rerouting.Add(1)
+			}
+			if f.cfg.Observer.OnDecision != nil {
+				f.cfg.Observer.OnDecision(p.key, d)
+			}
+			if user.OnDecision != nil {
+				user.OnDecision(d)
+			}
+		},
+		OnBurstEnd: func(at time.Duration, received int) {
+			if p.rerouting {
+				p.rerouting = false
+				f.rerouting.Add(-1)
+			}
+			if f.cfg.Observer.OnBurstEnd != nil {
+				f.cfg.Observer.OnBurstEnd(p.key, at, received)
+			}
+			if user.OnBurstEnd != nil {
+				user.OnBurstEnd(at, received)
+			}
+		},
+		OnProvision: func(info swiftengine.ProvisionInfo) {
+			if f.cfg.Observer.OnProvision != nil {
+				f.cfg.Observer.OnProvision(p.key, info)
+			}
+			if user.OnProvision != nil {
+				user.OnProvision(info)
+			}
+		},
+	}
+}
+
+// Apply demultiplexes one event batch across the pool — the Sink
+// surface that makes a Fleet and an Engine interchangeable behind any
+// Source. Events are routed on their Peer key (peers are created on
+// first use) and enqueued to the per-peer delivery goroutines; each
+// peer's relative event order is preserved. A full peer queue blocks —
+// backpressure, never loss. Apply reports ErrClosed after Close.
+func (f *Fleet) Apply(b event.Batch) error {
+	if len(b) == 0 {
+		return nil
+	}
+	// Fast path: sources flush per-peer batches, so a batch is almost
+	// always single-peer.
+	key := b[0].Peer
+	mixed := false
+	for i := 1; i < len(b); i++ {
+		if b[i].Peer != key {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		if !f.Peer(key).Enqueue(b) {
+			return ErrClosed
+		}
+		return nil
+	}
+	// Mixed batch: split per peer in first-seen order.
+	byPeer := make(map[PeerKey]event.Batch)
+	var order []PeerKey
+	for _, ev := range b {
+		if _, ok := byPeer[ev.Peer]; !ok {
+			order = append(order, ev.Peer)
+		}
+		byPeer[ev.Peer] = append(byPeer[ev.Peer], ev)
+	}
+	for _, k := range order {
+		if !f.Peer(k).Enqueue(byPeer[k]) {
+			return ErrClosed
+		}
+	}
+	return nil
+}
+
+// PeerSink binds the keyed peer's delivery queue as a dedicated sink —
+// the event.PeerSink fast path that lets per-peer sources (the BMP
+// station) skip the per-batch demux and map lookup of Apply.
+func (f *Fleet) PeerSink(peer PeerKey) event.Sink { return f.Peer(peer) }
+
+// Apply delivers one batch straight to this peer's queue — the
+// event.Sink surface of a bound peer. The batch must carry only this
+// peer's events; attribution is not re-checked.
+func (p *FleetPeer) Apply(b event.Batch) error {
+	if !p.Enqueue(b) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Learn installs one initial-table route on the keyed peer's primary
+// RIB — the event.Provisioner surface for table-transfer sources.
+func (f *Fleet) Learn(peer PeerKey, p netaddr.Prefix, path []uint32) {
+	f.Peer(peer).LearnPrimary(p, path)
+}
+
+// Provisioned reports whether the keyed peer's plan is compiled.
+func (f *Fleet) Provisioned(peer PeerKey) bool {
+	return f.Peer(peer).Provisioned()
+}
+
+// Provision compiles the keyed peer's plan from its loaded tables.
+func (f *Fleet) Provision(peer PeerKey) error {
+	return f.Peer(peer).Provision()
 }
 
 // Peers snapshots the pool, sorted by key for stable iteration.
@@ -202,7 +376,9 @@ type PeerDecision struct {
 }
 
 // Decisions aggregates every peer engine's decision log, ordered by
-// peer then decision time.
+// peer then decision time. Live consumers should prefer the push-based
+// FleetObserver.OnDecision hook; this accessor locks each engine in
+// turn and copies.
 func (f *Fleet) Decisions() []PeerDecision {
 	var out []PeerDecision
 	for _, p := range f.Peers() {
@@ -225,26 +401,21 @@ type FleetMetrics struct {
 	Rerouting      int // peers with fast-reroute rules installed now
 }
 
-// Metrics snapshots the fleet's aggregate counters.
+// Metrics snapshots the fleet's aggregate counters. The decision and
+// rule aggregates are push-fed by the per-engine observers, so the
+// snapshot never locks an engine or walks a decision log.
 func (f *Fleet) Metrics() FleetMetrics {
 	m := FleetMetrics{
-		Batches: f.batches.Load(),
-		Ops:     f.ops.Load(),
+		Batches:        f.batches.Load(),
+		Ops:            f.ops.Load(),
+		Decisions:      int(f.decisions.Load()),
+		RulesInstalled: int(f.rules.Load()),
+		Rerouting:      int(f.rerouting.Load()),
 	}
 	for _, p := range f.Peers() {
 		m.Peers++
 		m.Withdrawals += p.withdrawals.Load()
 		m.Announcements += p.announcements.Load()
-		p.mu.Lock()
-		ds := p.engine.Decisions()
-		m.Decisions += len(ds)
-		for _, d := range ds {
-			m.RulesInstalled += d.RulesInstalled
-		}
-		if p.engine.RerouteActive() {
-			m.Rerouting++
-		}
-		p.mu.Unlock()
 	}
 	return m
 }
@@ -289,48 +460,34 @@ func (f *Fleet) logf(format string, args ...any) {
 	}
 }
 
+// delivery is one hand-off to a peer goroutine: an event batch, or a
+// pure synchronization point (nil batch, done channel).
+type delivery struct {
+	batch event.Batch
+	done  chan<- struct{} // closed after the batch is applied (Sync)
+}
+
 // FleetPeer is one peer's engine plus its delivery queue. Streaming
-// observations arrive as Batches on a dedicated goroutine; setup calls
+// events arrive as event.Batches on a dedicated goroutine; setup calls
 // (Learn*, Provision) and inspection lock the engine directly.
 type FleetPeer struct {
 	key   PeerKey
 	fleet *Fleet
 
-	mu     sync.Mutex // guards engine
+	mu     sync.Mutex // guards engine (and rerouting, via the observer)
 	engine *swiftengine.Engine
+	// rerouting mirrors the engine's reroute state for the fleet's
+	// aggregate gauge. It is only touched by the wired observer, which
+	// runs under mu.
+	rerouting bool
 
 	chMu     sync.Mutex // guards ch against close-vs-send races
 	chClosed bool
-	ch       chan Batch
-
-	epochMu   sync.Mutex
-	epoch     time.Time
-	haveEpoch bool
+	ch       chan delivery
 
 	withdrawals   atomic.Uint64
 	announcements atomic.Uint64
-	lastAt        atomic.Int64 // time.Duration of the newest applied op
-}
-
-// StreamOffset converts a source timestamp (a BMP per-peer header
-// timestamp, or an arrival wall-clock for timestampless routers) into
-// this peer's engine stream offset. The epoch anchors at the first
-// timestamp ever seen and persists for the peer's lifetime — across
-// router reconnects — and the result never runs backwards past an
-// already-applied observation, so a flapping session or a router clock
-// step cannot rewind the engine clock and wedge the burst detector.
-func (p *FleetPeer) StreamOffset(ts time.Time) time.Duration {
-	p.epochMu.Lock()
-	defer p.epochMu.Unlock()
-	if !p.haveEpoch {
-		p.epoch = ts
-		p.haveEpoch = true
-	}
-	off := ts.Sub(p.epoch)
-	if last := time.Duration(p.lastAt.Load()); off < last {
-		off = last
-	}
-	return off
+	lastAt        atomic.Int64 // time.Duration of the newest applied event
 }
 
 // Key returns the peer's identity.
@@ -339,49 +496,67 @@ func (p *FleetPeer) Key() PeerKey { return p.key }
 // run applies delivered batches until the queue closes.
 func (p *FleetPeer) run() {
 	defer p.fleet.wg.Done()
-	for b := range p.ch {
-		p.mu.Lock()
-		for _, op := range b.Ops {
-			if op.Withdraw {
-				p.engine.ObserveWithdraw(op.At, op.Prefix)
-				p.withdrawals.Add(1)
-			} else {
-				p.engine.ObserveAnnounce(op.At, op.Prefix, op.Path)
-				p.announcements.Add(1)
+	for d := range p.ch {
+		if len(d.batch) > 0 {
+			var wd, ann uint64
+			last := time.Duration(-1)
+			for i := range d.batch {
+				switch d.batch[i].Kind {
+				case event.KindWithdraw:
+					wd++
+				case event.KindAnnounce:
+					ann++
+				default:
+					continue
+				}
+				last = d.batch[i].At
 			}
-			p.lastAt.Store(int64(op.At))
+			p.mu.Lock()
+			err := p.engine.Apply(d.batch)
+			p.mu.Unlock()
+			if err != nil {
+				p.fleet.logf("fleet: peer %s: %v", p.key, err)
+			}
+			p.withdrawals.Add(wd)
+			p.announcements.Add(ann)
+			p.fleet.ops.Add(wd + ann)
+			if last >= 0 {
+				p.lastAt.Store(int64(last))
+			}
 		}
-		if len(b.Ops) == 0 && b.At > 0 {
-			p.engine.Tick(b.At)
-		}
-		p.mu.Unlock()
-		if b.done != nil {
-			close(b.done)
+		if d.done != nil {
+			close(d.done)
 		}
 	}
 }
 
 // Enqueue hands a batch to the peer goroutine, blocking when the queue
 // is full (backpressure propagates to the router's TCP connection).
-// It reports false after the fleet has closed.
-func (p *FleetPeer) Enqueue(b Batch) bool {
+// It reports false after the fleet has closed. The batch is retained
+// until applied; callers must not reuse its backing array. The ops
+// counter (withdraw/announce events, ticks excluded) advances as the
+// peer goroutine applies the batch.
+func (p *FleetPeer) Enqueue(b event.Batch) bool {
 	p.chMu.Lock()
 	defer p.chMu.Unlock()
 	if p.chClosed {
 		return false
 	}
 	p.fleet.batches.Add(1)
-	p.fleet.ops.Add(uint64(len(b.Ops)))
-	p.ch <- b
+	p.ch <- delivery{batch: b}
 	return true
 }
 
 // Sync blocks until everything enqueued before it has been applied.
 func (p *FleetPeer) Sync() {
 	done := make(chan struct{})
-	if !p.Enqueue(Batch{done: done}) {
+	p.chMu.Lock()
+	if p.chClosed {
+		p.chMu.Unlock()
 		return
 	}
+	p.ch <- delivery{done: done}
+	p.chMu.Unlock()
 	<-done
 }
 
@@ -428,7 +603,7 @@ func (p *FleetPeer) Provision() error {
 func (p *FleetPeer) Decisions() []swiftengine.Decision {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return append([]swiftengine.Decision(nil), p.engine.Decisions()...)
+	return p.engine.Decisions()
 }
 
 // RerouteActive reports whether fast-reroute rules are installed.

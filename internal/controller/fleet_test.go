@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"swift/internal/event"
 	"swift/internal/netaddr"
 	swiftengine "swift/internal/swift"
 )
@@ -77,9 +78,7 @@ func TestFleetBatchDelivery(t *testing.T) {
 		t.Fatal("not provisioned after Provision")
 	}
 
-	if !p.Enqueue(Batch{At: time.Second, Ops: []Op{
-		{At: time.Second, Prefix: pfx, Path: []uint32{2, 6, 7}},
-	}}) {
+	if !p.Enqueue(event.Batch{event.Announce(time.Second, pfx, []uint32{2, 6, 7})}) {
 		t.Fatal("Enqueue refused on a live fleet")
 	}
 	p.Sync()
@@ -88,9 +87,7 @@ func TestFleetBatchDelivery(t *testing.T) {
 			t.Errorf("RIB path after announce = %v, want via 6", path)
 		}
 	})
-	if !p.Enqueue(Batch{At: 2 * time.Second, Ops: []Op{
-		{At: 2 * time.Second, Withdraw: true, Prefix: pfx},
-	}}) {
+	if !p.Enqueue(event.Batch{event.Withdraw(2*time.Second, pfx)}) {
 		t.Fatal("Enqueue refused")
 	}
 	p.Sync()
@@ -121,14 +118,17 @@ func TestFleetCloseSemantics(t *testing.T) {
 	p := f.Peer(key)
 	pfx := netaddr.MustParsePrefix("10.1.0.0/24")
 	for i := 0; i < 100; i++ {
-		if !p.Enqueue(Batch{Ops: []Op{{At: time.Duration(i), Prefix: pfx, Path: []uint32{3, 7}}}}) {
+		if !p.Enqueue(event.Batch{event.Announce(time.Duration(i), pfx, []uint32{3, 7})}) {
 			t.Fatal("Enqueue refused before Close")
 		}
 	}
 	f.Close()
 	f.Close() // idempotent
-	if p.Enqueue(Batch{Ops: []Op{{Withdraw: true, Prefix: pfx}}}) {
+	if p.Enqueue(event.Batch{event.Withdraw(0, pfx)}) {
 		t.Fatal("Enqueue accepted after Close")
+	}
+	if err := f.Apply(event.Batch{event.Withdraw(0, pfx)}); err != ErrClosed {
+		t.Fatalf("Apply after Close = %v, want ErrClosed", err)
 	}
 	if got := f.Metrics().Announcements; got != 100 {
 		t.Errorf("announcements = %d, want 100 (queue must drain before close)", got)

@@ -1,0 +1,81 @@
+package event
+
+import (
+	"testing"
+	"time"
+
+	"swift/internal/netaddr"
+)
+
+func TestConstructors(t *testing.T) {
+	p := netaddr.MustParsePrefix("192.0.2.0/24")
+	w := Withdraw(time.Second, p)
+	if w.Kind != KindWithdraw || w.At != time.Second || w.Prefix != p || w.Path != nil {
+		t.Errorf("Withdraw = %+v", w)
+	}
+	path := []uint32{2, 5, 6}
+	a := Announce(2*time.Second, p, path)
+	if a.Kind != KindAnnounce || a.At != 2*time.Second || len(a.Path) != 3 {
+		t.Errorf("Announce = %+v", a)
+	}
+	tk := Tick(3 * time.Second)
+	if tk.Kind != KindTick || tk.At != 3*time.Second || tk.Prefix != netaddr.Invalid {
+		t.Errorf("Tick = %+v", tk)
+	}
+	key := PeerKey{AS: 65010, BGPID: 7}
+	if got := w.WithPeer(key); got.Peer != key || got.Kind != KindWithdraw {
+		t.Errorf("WithPeer = %+v", got)
+	}
+	if w.Peer != (PeerKey{}) {
+		t.Error("WithPeer mutated the receiver")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindWithdraw: "withdraw",
+		KindAnnounce: "announce",
+		KindTick:     "tick",
+		Kind(9):      "Kind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := (PeerKey{AS: 65010, BGPID: 0x0a000001}).String(); got != "AS65010/0a000001" {
+		t.Errorf("PeerKey.String() = %q", got)
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	var got Batch
+	var s Sink = SinkFunc(func(b Batch) error {
+		got = b
+		return nil
+	})
+	b := Batch{Tick(time.Second)}
+	if err := s.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Kind != KindTick {
+		t.Errorf("sink saw %+v", got)
+	}
+}
+
+func TestStreamClockMonotonic(t *testing.T) {
+	var c StreamClock
+	t0 := time.Date(2016, 11, 1, 0, 0, 0, 0, time.UTC)
+	if off := c.Offset(t0); off != 0 {
+		t.Fatalf("first offset = %v, want 0", off)
+	}
+	if off := c.Offset(t0.Add(time.Minute)); off != time.Minute {
+		t.Fatalf("offset = %v, want 1m", off)
+	}
+	// A clock step backwards must clamp, never rewind.
+	if off := c.Offset(t0.Add(30 * time.Second)); off != time.Minute {
+		t.Fatalf("rewound offset = %v, want clamped 1m", off)
+	}
+	if off := c.Offset(t0.Add(2 * time.Minute)); off != 2*time.Minute {
+		t.Fatalf("offset after clamp = %v, want 2m", off)
+	}
+}

@@ -1,15 +1,14 @@
-package bmp
+package mrt_test
 
 import (
 	"bytes"
 	"io"
-	"net"
 	"testing"
 	"time"
 
 	"swift/internal/bgp"
 	"swift/internal/bgpsim"
-	"swift/internal/controller"
+	"swift/internal/event"
 	"swift/internal/inference"
 	"swift/internal/mrt"
 	"swift/internal/netaddr"
@@ -17,9 +16,7 @@ import (
 	"swift/internal/trace"
 )
 
-// replayEngineConfig is shared by both replay paths so any divergence
-// comes from the transport, not the tuning.
-func replayEngineConfig(vantage, neighbor uint32) swiftengine.Config {
+func sourceEngineConfig(vantage, neighbor uint32) swiftengine.Config {
 	cfg := swiftengine.Config{LocalAS: vantage, PrimaryNeighbor: neighbor}
 	cfg.Inference = inference.Default()
 	cfg.Inference.TriggerEvery = 500
@@ -28,10 +25,10 @@ func replayEngineConfig(vantage, neighbor uint32) swiftengine.Config {
 	return cfg
 }
 
-// traceToMRT materializes one synthetic session as collector archives:
-// a TABLE_DUMP_V2 RIB snapshot and a BGP4MP update file carrying its
-// bursts, spaced an hour apart.
-func traceToMRT(t *testing.T, ds *trace.Dataset, s trace.Session, bursts []*bgpsim.Burst, epoch time.Time) (rib, updates []byte) {
+// materializeMRT renders one synthetic session as collector archives: a
+// TABLE_DUMP_V2 RIB snapshot plus a BGP4MP update file carrying its
+// bursts an hour apart.
+func materializeMRT(t *testing.T, ds *trace.Dataset, s trace.Session, bursts []*bgpsim.Burst, epoch time.Time) (rib, updates []byte) {
 	t.Helper()
 	var ribBuf bytes.Buffer
 	w := mrt.NewWriter(&ribBuf)
@@ -102,11 +99,12 @@ func traceToMRT(t *testing.T, ds *trace.Dataset, s trace.Session, bursts []*bgps
 	return ribBuf.Bytes(), updBuf.Bytes()
 }
 
-// TestMRTReplayMatchesDirect is the transport-equivalence test: a
-// TABLE_DUMP_V2 snapshot plus a BGP4MP update archive replayed through
-// the BMP Station path must leave the per-peer engine with exactly the
-// decisions the direct Observe* path produces from the same bytes.
-func TestMRTReplayMatchesDirect(t *testing.T) {
+// TestSourceMatchesLegacyShims is the redesign's semantic-equivalence
+// gate: replaying the same MRT archives through mrt.Source →
+// Engine.Apply and through the legacy per-message Observe* shims must
+// yield identical Decisions() — the event-stream API changes no paper
+// semantics.
+func TestSourceMatchesLegacyShims(t *testing.T) {
 	ds := trace.Generate(trace.Config{
 		NumASes:           250,
 		AvgDegree:         7,
@@ -135,34 +133,46 @@ func TestMRTReplayMatchesDirect(t *testing.T) {
 		bursts = bursts[:2] // two bursts exercise burst-end + re-detection
 	}
 	epoch := time.Date(2016, 11, 1, 0, 0, 0, 0, time.UTC)
-	ribMRT, updMRT := traceToMRT(t, ds, sess, bursts, epoch)
+	ribMRT, updMRT := materializeMRT(t, ds, sess, bursts, epoch)
+	const finalTick = time.Hour
 
-	// Path 1: direct Observe* calls, exactly what the MRT bytes say.
-	direct := swiftengine.New(replayEngineConfig(sess.Vantage, sess.Neighbor))
-	r := mrt.NewReader(bytes.NewReader(ribMRT))
-	for {
-		rec, err := r.Next()
-		if err != nil {
-			break
-		}
-		if rec.Type != mrt.TypeTableDumpV2 || rec.Subtype != mrt.SubtypeRIBIPv4Unicast {
-			continue
-		}
-		rr, err := mrt.DecodeRIBIPv4(rec.Body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, e := range rr.Entries {
-			direct.LearnPrimary(rr.Prefix, e.Attrs.ASPath)
-		}
+	// Path 1: mrt.Source feeding Engine.Apply through a SessionSink
+	// (RIB loads via the Provisioner surface, updates stream as
+	// batches).
+	viaSource := swiftengine.New(sourceEngineConfig(sess.Vantage, sess.Neighbor))
+	src := &mrt.Source{
+		RIB:       bytes.NewReader(ribMRT),
+		Updates:   bytes.NewReader(updMRT),
+		Peer:      event.PeerKey{AS: sess.Neighbor, BGPID: sess.Neighbor},
+		FinalTick: finalTick,
 	}
-	if err := direct.Provision(); err != nil {
+	if err := src.Run(swiftengine.NewSessionSink(viaSource)); err != nil {
 		t.Fatal(err)
 	}
-	ur := mrt.NewReader(bytes.NewReader(updMRT))
+	if src.Routes == 0 || src.Events == 0 {
+		t.Fatalf("source replayed %d routes, %d events", src.Routes, src.Events)
+	}
+
+	// Path 2: the legacy per-message walk over the same bytes, through
+	// the deprecated Observe* shims.
+	legacy := swiftengine.New(sourceEngineConfig(sess.Vantage, sess.Neighbor))
+	if err := mrt.WalkRIBIPv4(bytes.NewReader(ribMRT), func(rr *mrt.RIBRecord) error {
+		for _, e := range rr.Entries {
+			legacy.LearnPrimary(rr.Prefix, e.Attrs.ASPath)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Provision(); err != nil {
+		t.Fatal(err)
+	}
+	r := mrt.NewReader(bytes.NewReader(updMRT))
 	var dec bgp.UpdateDecoder
+	var msgEpoch time.Time
+	lastAt := time.Duration(-1)
 	for {
-		m, err := ur.NextBGP4MP()
+		m, err := r.NextBGP4MP()
 		if err == io.EOF {
 			break
 		}
@@ -175,98 +185,29 @@ func TestMRTReplayMatchesDirect(t *testing.T) {
 		if err := dec.Decode(m.Body); err != nil {
 			t.Fatal(err)
 		}
-		at := m.Timestamp.Sub(epoch)
+		if msgEpoch.IsZero() {
+			msgEpoch = m.Timestamp
+		}
+		at := m.Timestamp.Sub(msgEpoch)
 		for _, p := range dec.Withdrawn {
-			direct.ObserveWithdraw(at, p)
+			legacy.ObserveWithdraw(at, p)
 		}
 		if len(dec.NLRI) > 0 {
 			path := append([]uint32(nil), dec.Attrs.ASPath...)
 			for _, p := range dec.NLRI {
-				direct.ObserveAnnounce(at, p, path)
+				legacy.ObserveAnnounce(at, p, path)
 			}
 		}
+		lastAt = at
 	}
+	legacy.Tick(lastAt + finalTick)
 
-	// Path 2: the same MRT bytes replayed as a BMP router into a
-	// station (table dump + End-of-RIB + timestamped updates).
-	fleet := controller.NewFleet(controller.FleetConfig{
-		Engine: func(controller.PeerKey) swiftengine.Config {
-			return replayEngineConfig(sess.Vantage, sess.Neighbor)
-		},
-	})
-	defer fleet.Close()
-	st := NewStation(StationConfig{Sink: fleet, TableSettle: time.Hour})
-	key := controller.PeerKey{AS: sess.Neighbor, BGPID: sess.Neighbor}
-
-	router := &bmpRouter{t: t, epoch: epoch}
-	router.send(&Initiation{SysName: "mrt-replay"})
-	router.peerUp(key)
-	rr := mrt.NewReader(bytes.NewReader(ribMRT))
-	for {
-		rec, err := rr.Next()
-		if err != nil {
-			break
-		}
-		if rec.Type != mrt.TypeTableDumpV2 || rec.Subtype != mrt.SubtypeRIBIPv4Unicast {
-			continue
-		}
-		rib, err := mrt.DecodeRIBIPv4(rec.Body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, e := range rib.Entries {
-			router.routeMonitoring(key, epoch, &bgp.Update{
-				Attrs: e.Attrs,
-				NLRI:  []netaddr.Prefix{rib.Prefix},
-			})
-		}
-	}
-	router.routeMonitoring(key, epoch, &bgp.Update{}) // End-of-RIB
-	ur2 := mrt.NewReader(bytes.NewReader(updMRT))
-	for {
-		m, err := ur2.NextBGP4MP()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			t.Fatal(err)
-		}
-		var u bgp.Update
-		if err := u.Decode(m.Body); err != nil {
-			t.Fatal(err)
-		}
-		router.routeMonitoring(key, m.Timestamp, &u)
-	}
-	router.send(&Termination{Reason: ReasonAdminClose})
-
-	conn, collector := net.Pipe()
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- st.ServeConn(collector) }()
-	go func() {
-		conn.Write(router.wire)
-		conn.Close()
-	}()
-	select {
-	case err := <-serveErr:
-		if err != nil {
-			t.Fatalf("ServeConn: %v", err)
-		}
-	case <-time.After(120 * time.Second):
-		t.Fatal("ServeConn did not finish")
-	}
-	fleet.Sync()
-
-	h, ok := fleet.Lookup(key)
-	if !ok {
-		t.Fatal("replay peer missing from fleet")
-	}
-	got := h.Decisions()
-	want := direct.Decisions()
+	got, want := viaSource.Decisions(), legacy.Decisions()
 	if len(want) == 0 {
-		t.Fatalf("direct path made no decisions (burst sizes %d); test is vacuous", bursts[0].Size)
+		t.Fatalf("legacy path made no decisions (burst sizes %d); test is vacuous", bursts[0].Size)
 	}
 	if len(got) != len(want) {
-		t.Fatalf("station path made %d decisions, direct path %d", len(got), len(want))
+		t.Fatalf("source path made %d decisions, legacy path %d", len(got), len(want))
 	}
 	for i := range want {
 		g, w := got[i], want[i]
@@ -287,5 +228,46 @@ func TestMRTReplayMatchesDirect(t *testing.T) {
 		if g.RulesInstalled != w.RulesInstalled {
 			t.Errorf("decision %d: %d rules, want %d", i, g.RulesInstalled, w.RulesInstalled)
 		}
+	}
+}
+
+// TestSourcePeerAttribution checks the per-record fallback attribution
+// and the explicit override.
+func TestSourcePeerAttribution(t *testing.T) {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	p := netaddr.MustParsePrefix("192.0.2.0/24")
+	ts := time.Date(2016, 11, 1, 0, 0, 0, 0, time.UTC)
+	u := &bgp.Update{Attrs: bgp.Attrs{ASPath: []uint32{65010, 3356}, HasNextHop: true, NextHop: 1}, NLRI: []netaddr.Prefix{p}}
+	if err := w.WriteBGP4MP(ts, 65010, 65001, 0x0a000001, 0x0a000002, u); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+
+	collect := func(src *mrt.Source) event.Batch {
+		var got event.Batch
+		if err := src.Run(event.SinkFunc(func(b event.Batch) error {
+			got = append(got, b...)
+			return nil
+		})); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	got := collect(&mrt.Source{Updates: bytes.NewReader(wire)})
+	if len(got) != 1 || got[0].Peer != (event.PeerKey{AS: 65010, BGPID: 0x0a000001}) {
+		t.Errorf("record attribution = %+v", got)
+	}
+	override := event.PeerKey{AS: 7, BGPID: 9}
+	got = collect(&mrt.Source{Updates: bytes.NewReader(wire), Peer: override})
+	if len(got) != 1 || got[0].Peer != override {
+		t.Errorf("override attribution = %+v", got)
+	}
+	if got[0].Kind != event.KindAnnounce || got[0].Prefix != p || got[0].At != 0 {
+		t.Errorf("event = %+v", got[0])
 	}
 }

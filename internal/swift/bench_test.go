@@ -1,0 +1,155 @@
+package swift
+
+import (
+	"testing"
+	"time"
+
+	"swift/internal/event"
+	"swift/internal/netaddr"
+)
+
+// benchBurstCycle builds a self-restoring 10k-event burst: 3,000
+// withdrawals open a burst and trigger an inference, the same prefixes
+// re-announce (BGP reconverging onto a new path), ~4k steady-state
+// refreshes drain the window, and a final tick closes the burst so the
+// engine falls back and re-provisions. The engine ends every cycle in
+// its starting state, so one engine serves every benchmark iteration —
+// the timer sees only the pipeline, not setup.
+func benchBurstCycle(prefixes []netaddr.Prefix) event.Batch {
+	const nEvents = 10000
+	const wd = 3000
+	batch := make(event.Batch, 0, nEvents)
+	at := time.Duration(0)
+	for i := 0; i < wd; i++ {
+		at += time.Millisecond
+		batch = append(batch, event.Withdraw(at, prefixes[i]))
+	}
+	newPath := []uint32{2, 9, 6} // one shared slice, as a real source emits
+	for i := 0; i < wd; i++ {
+		at += time.Millisecond
+		batch = append(batch, event.Announce(at, prefixes[i], newPath))
+	}
+	oldPath := []uint32{2, 5, 6}
+	for len(batch) < nEvents-1 {
+		at += time.Millisecond
+		batch = append(batch, event.Announce(at, prefixes[len(batch)%len(prefixes)], oldPath))
+	}
+	batch = append(batch, event.Tick(at+time.Hour))
+	return batch
+}
+
+func benchEngine(tb testing.TB, prefixes []netaddr.Prefix) *Engine {
+	cfg := Config{LocalAS: 1, PrimaryNeighbor: 2}
+	cfg.Inference.TriggerEvery = 2000
+	cfg.Inference.UseHistory = false
+	cfg.Burst.StartThreshold = 1500
+	cfg.Encoding.MinPrefixes = 1000
+	e := New(cfg)
+	for _, p := range prefixes {
+		e.LearnPrimary(p, []uint32{2, 5, 6})
+		e.LearnAlternate(3, p, []uint32{3, 6})
+	}
+	if err := e.Provision(); err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
+// shiftBatch advances every event's stream offset by span so
+// back-to-back cycles keep the engine clock monotonic.
+func shiftBatch(b event.Batch, span time.Duration) {
+	for i := range b {
+		b[i].At += span
+	}
+}
+
+// BenchmarkEngineApplyBatch compares the two delivery modes over the
+// same 10k-event burst cycle (detect → infer → reroute → reconverge →
+// fall back): one Apply call per batch versus the deprecated
+// per-message Observe* shims (each a one-event batch). Both make
+// identical decisions — the batched mode only amortizes the
+// per-delivery setup — so the gap is pure API overhead.
+func BenchmarkEngineApplyBatch(b *testing.B) {
+	prefixes := make([]netaddr.Prefix, 4096)
+	for i := range prefixes {
+		prefixes[i] = netaddr.PrefixFor(8, i)
+	}
+	base := benchBurstCycle(prefixes)
+	span := base[len(base)-1].At + time.Hour
+
+	modes := []struct {
+		name string
+		run  func(e *Engine, batch event.Batch)
+	}{
+		{"batched", func(e *Engine, batch event.Batch) {
+			if err := e.Apply(batch); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"shim", func(e *Engine, batch event.Batch) {
+			for i := range batch {
+				ev := &batch[i]
+				switch ev.Kind {
+				case event.KindWithdraw:
+					e.ObserveWithdraw(ev.At, ev.Prefix)
+				case event.KindAnnounce:
+					e.ObserveAnnounce(ev.At, ev.Prefix, ev.Path)
+				default:
+					e.Tick(ev.At)
+				}
+			}
+		}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			batch := append(event.Batch(nil), base...)
+			e := benchEngine(b, prefixes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.run(e, batch)
+				shiftBatch(batch, span)
+			}
+			b.StopTimer()
+			if e.NumDecisions() != b.N {
+				b.Fatalf("made %d decisions over %d cycles; the workload is vacuous", e.NumDecisions(), b.N)
+			}
+			b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkEngineApplySteadyState measures pure delivery overhead with
+// no burst machinery: announce refreshes of known prefixes, the
+// collector steady state.
+func BenchmarkEngineApplySteadyState(b *testing.B) {
+	const nEvents = 4096
+	prefixes := make([]netaddr.Prefix, nEvents)
+	for i := range prefixes {
+		prefixes[i] = netaddr.PrefixFor(8, i)
+	}
+	e := benchEngine(b, prefixes)
+	path := []uint32{2, 5, 6}
+	batch := make(event.Batch, 0, nEvents)
+	for i, p := range prefixes {
+		batch = append(batch, event.Announce(time.Duration(i)*time.Microsecond, p, path))
+	}
+	for _, mode := range []string{"batched", "shim"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if mode == "batched" {
+					if err := e.Apply(batch); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					for j := range batch {
+						ev := &batch[j]
+						e.ObserveAnnounce(ev.At, ev.Prefix, ev.Path)
+					}
+				}
+			}
+			b.ReportMetric(float64(nEvents)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

@@ -1,21 +1,25 @@
 // Package swift implements the SWIFT engine — the paper's core
 // contribution assembled from its parts (§3's workflow): it consumes a
-// BGP session's message stream, maintains the session RIB, detects
+// BGP session's event stream, maintains the session RIB, detects
 // withdrawal bursts, runs the inference algorithm at the adaptive
 // triggers, and installs tag-based reroute rules into the two-stage
 // forwarding table, falling back to BGP's own routes once the burst is
 // over and BGP has reconverged.
 //
 // One Engine serves one BGP session; a router runs one engine per
-// session, in parallel, exactly as §4.1 prescribes.
+// session, in parallel, exactly as §4.1 prescribes. The engine is a
+// stream sink: feeds deliver ordered event.Batches through Apply, and
+// live consumers subscribe to the Observer hooks instead of polling.
 package swift
 
 import (
+	"errors"
 	"time"
 
 	"swift/internal/burst"
 	"swift/internal/dataplane"
 	"swift/internal/encoding"
+	"swift/internal/event"
 	"swift/internal/inference"
 	"swift/internal/netaddr"
 	"swift/internal/reroute"
@@ -39,15 +43,43 @@ type Config struct {
 	ReroutePolicy *reroute.Policy
 	// RuleUpdateCost models the FIB write latency.
 	RuleUpdateCost time.Duration
+	// Observer receives push notifications at the engine's lifecycle
+	// points (burst start/end, decisions, provisioning).
+	Observer Observer
 	// Logf, when set, receives one line per engine decision.
 	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
-	if c.Inference.WWS == 0 && c.Inference.WPS == 0 {
-		h := c.Inference.UseHistory
-		c.Inference = inference.Default()
-		c.Inference.UseHistory = h || c.Inference.UseHistory
+	// Per-field inference defaulting, so callers can override one knob
+	// without zeroing the rest (the encoding block below set the
+	// pattern). UseHistory is a bool whose false value is meaningful,
+	// so it only takes the paper's default when the whole block was
+	// left untouched.
+	idef := inference.Default()
+	inf := &c.Inference
+	untouched := inf.WWS <= 0 && inf.WPS <= 0 && inf.TriggerEvery <= 0 &&
+		inf.AcceptAlways <= 0 && inf.Plausibility == nil && inf.TieEpsilon <= 0
+	if inf.WWS <= 0 {
+		inf.WWS = idef.WWS
+	}
+	if inf.WPS <= 0 {
+		inf.WPS = idef.WPS
+	}
+	if inf.TriggerEvery <= 0 {
+		inf.TriggerEvery = idef.TriggerEvery
+	}
+	if inf.AcceptAlways <= 0 {
+		inf.AcceptAlways = idef.AcceptAlways
+	}
+	if inf.Plausibility == nil {
+		inf.Plausibility = idef.Plausibility
+	}
+	if inf.TieEpsilon <= 0 {
+		inf.TieEpsilon = idef.TieEpsilon
+	}
+	if untouched {
+		inf.UseHistory = inf.UseHistory || idef.UseHistory
 	}
 	// Per-field encoding defaults so callers can override one knob.
 	def := encoding.Default()
@@ -85,6 +117,42 @@ type Decision struct {
 	DataplaneTime time.Duration
 }
 
+// ProvisionInfo describes one successful Provision pass.
+type ProvisionInfo struct {
+	// At is the stream offset of a burst-end re-provision; zero for the
+	// initial out-of-band provisioning.
+	At time.Duration
+	// Fallback is true when the pass re-derived the plan against the
+	// converged RIB after a burst ended (§3's fallback).
+	Fallback bool
+	// TaggedPrefixes, PathBitsUsed, EncodedLinks and NextHops summarize
+	// the compiled encoding.
+	TaggedPrefixes int
+	PathBitsUsed   int
+	EncodedLinks   int
+	NextHops       int
+}
+
+// Observer is the engine's push-notification surface. Each hook, when
+// non-nil, is called synchronously on the goroutine applying the stream
+// — hooks must be fast and must not call back into the engine. It
+// replaces log-line scraping and Decisions() polling for live
+// consumers.
+type Observer struct {
+	// OnBurstStart fires when the detector opens a burst.
+	OnBurstStart func(at time.Duration, withdrawals int)
+	// OnDecision fires for every accepted inference, right after its
+	// rules hit the data plane.
+	OnDecision func(d Decision)
+	// OnBurstEnd fires when the detector closes a burst, before the
+	// engine falls back to BGP's converged routes. received is the
+	// burst's total withdrawal count.
+	OnBurstEnd func(at time.Duration, received int)
+	// OnProvision fires after every successful Provision pass — the
+	// initial one and every burst-end fallback re-provision.
+	OnProvision func(info ProvisionInfo)
+}
+
 // Engine is the per-session SWIFT pipeline.
 type Engine struct {
 	cfg      Config
@@ -97,6 +165,14 @@ type Engine struct {
 	scheme   *encoding.Scheme
 	fib      *dataplane.FIB
 
+	// triggerEvery caches cfg.Inference.TriggerEvery (always positive
+	// after withDefaults) off the per-withdrawal path.
+	triggerEvery int
+	// shim backs the deprecated Observe* wrappers with an allocation-
+	// free one-event batch. The engine is single-goroutine by contract,
+	// so reuse is safe.
+	shim [1]event.Event
+
 	lastWithdrawal time.Duration
 	lastTriggerAt  int // tracker count at the previous inference attempt
 	rerouteActive  bool
@@ -104,16 +180,20 @@ type Engine struct {
 	deferred       int // inferences rejected by the plausibility gate
 }
 
+// Engine is a stream sink.
+var _ event.Sink = (*Engine)(nil)
+
 // New builds an engine. Routes must then be loaded with LearnPrimary /
 // LearnAlternate, followed by one Provision call before streaming.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:     cfg,
-		table:   rib.New(cfg.LocalAS),
-		alts:    make(map[uint32]*rib.Table),
-		history: &burst.History{},
-		fib:     dataplane.New(dataplane.Config{RuleUpdateCost: cfg.RuleUpdateCost}),
+		cfg:          cfg,
+		table:        rib.New(cfg.LocalAS),
+		alts:         make(map[uint32]*rib.Table),
+		history:      &burst.History{},
+		fib:          dataplane.New(dataplane.Config{RuleUpdateCost: cfg.RuleUpdateCost}),
+		triggerEvery: cfg.Inference.TriggerEvery,
 	}
 	e.tracker = inference.NewTracker(cfg.Inference, e.table)
 	e.detector = burst.NewDetector(cfg.Burst, e.history)
@@ -141,7 +221,9 @@ func (e *Engine) LearnAlternate(neighbor uint32, p netaddr.Prefix, path []uint32
 // RIBs and fills both forwarding stages — the "before the outage" half
 // of Fig. 3. It must be called after the initial routes are loaded and
 // may be called again after BGP reconverges.
-func (e *Engine) Provision() error {
+func (e *Engine) Provision() error { return e.provision(0, false) }
+
+func (e *Engine) provision(at time.Duration, fallback bool) error {
 	e.plan = reroute.Compute(e.cfg.LocalAS, e.table, e.alts, e.cfg.ReroutePolicy, e.cfg.Encoding.MaxDepth)
 	scheme, err := encoding.Build(e.cfg.Encoding, e.table, e.plan)
 	if err != nil {
@@ -157,8 +239,19 @@ func (e *Engine) Provision() error {
 	// Provisioning happens in steady state; the accounting should
 	// measure failure reactions only.
 	e.fib.ResetAccounting()
+	stats := scheme.Stats()
 	e.logf("provisioned: %d prefixes tagged, %d path bits, %d next-hops",
-		scheme.Stats().TaggedPrefixes, scheme.Stats().PathBitsUsed, scheme.Stats().NextHops)
+		stats.TaggedPrefixes, stats.PathBitsUsed, stats.NextHops)
+	if e.cfg.Observer.OnProvision != nil {
+		e.cfg.Observer.OnProvision(ProvisionInfo{
+			At:             at,
+			Fallback:       fallback,
+			TaggedPrefixes: stats.TaggedPrefixes,
+			PathBitsUsed:   stats.PathBitsUsed,
+			EncodedLinks:   stats.EncodedLinks,
+			NextHops:       stats.NextHops,
+		})
+	}
 	return nil
 }
 
@@ -174,8 +267,20 @@ func (e *Engine) Plan() *reroute.Plan { return e.plan }
 // Scheme exposes the compiled encoding.
 func (e *Engine) Scheme() *encoding.Scheme { return e.scheme }
 
-// Decisions returns every accepted inference so far.
-func (e *Engine) Decisions() []Decision { return e.decisions }
+// Decisions returns a snapshot of every accepted inference so far. The
+// returned slice is the caller's to keep: it never aliases engine
+// state, so it cannot be corrupted by (or race with) later stream
+// deliveries.
+func (e *Engine) Decisions() []Decision {
+	if len(e.decisions) == 0 {
+		return nil
+	}
+	return append([]Decision(nil), e.decisions...)
+}
+
+// NumDecisions returns the count of accepted inferences without
+// snapshotting them.
+func (e *Engine) NumDecisions() int { return len(e.decisions) }
 
 // Deferred returns how many inferences the plausibility gate rejected.
 func (e *Engine) Deferred() int { return e.deferred }
@@ -183,9 +288,74 @@ func (e *Engine) Deferred() int { return e.deferred }
 // RerouteActive reports whether fast-reroute rules are installed.
 func (e *Engine) RerouteActive() bool { return e.rerouteActive }
 
+// Apply consumes one ordered batch of stream events — the engine's
+// only hot path; everything else funnels into it. Batching amortizes
+// the per-delivery setup (call overhead, config loads, the one-event
+// shim churn of the deprecated Observe* wrappers) across the batch, and
+// announce events of one UPDATE share a single path slice instead of
+// copying per prefix. Per-event semantics are exactly the paper's:
+// burst detection, adaptive triggers and fallback fire at the same
+// message they would under one-call-per-message delivery, so a batched
+// replay and a per-message replay make identical decisions.
+//
+// The returned error reports burst-end re-provision failures; the
+// stream itself is always fully consumed. Engines are single-session
+// state machines: Apply must not be called concurrently (wrap the
+// engine in a SessionSink, or front it with a Fleet, for concurrent
+// feeds).
+func (e *Engine) Apply(b event.Batch) error {
+	var errs []error
+	for i := range b {
+		ev := &b[i]
+		switch ev.Kind {
+		case event.KindWithdraw:
+			e.observeWithdraw(ev.At, ev.Prefix)
+		case event.KindAnnounce:
+			if err := e.observeAnnounce(ev.At, ev.Prefix, ev.Path); err != nil {
+				errs = append(errs, err)
+			}
+		case event.KindTick:
+			if e.detector.Tick(ev.At) == burst.Ended {
+				if err := e.endBurst(ev.At); err != nil {
+					errs = append(errs, err)
+				}
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // ObserveWithdraw feeds one withdrawal from the session at stream
 // offset at.
+//
+// Deprecated: deliver event.Batches through Apply. Per-call delivery
+// pays the batch setup on every message.
 func (e *Engine) ObserveWithdraw(at time.Duration, p netaddr.Prefix) {
+	e.shim[0] = event.Withdraw(at, p)
+	e.Apply(e.shim[:])
+}
+
+// ObserveAnnounce feeds one announcement from the session.
+//
+// Deprecated: deliver event.Batches through Apply. Per-call delivery
+// pays the batch setup on every message.
+func (e *Engine) ObserveAnnounce(at time.Duration, p netaddr.Prefix, path []uint32) {
+	e.shim[0] = event.Announce(at, p, path)
+	e.Apply(e.shim[:])
+}
+
+// Tick advances time without a message (timer-driven), closing bursts
+// whose window drained.
+//
+// Deprecated: deliver event.Batches through Apply. Per-call delivery
+// pays the batch setup on every message.
+func (e *Engine) Tick(at time.Duration) {
+	e.shim[0] = event.Tick(at)
+	e.Apply(e.shim[:])
+}
+
+// observeWithdraw processes one withdrawal event.
+func (e *Engine) observeWithdraw(at time.Duration, p netaddr.Prefix) {
 	// A lone withdrawal long after the last one is background noise:
 	// drop stale burst state so W(t) reflects the current event.
 	if e.detector.State() == burst.Quiet && e.tracker.Received() > 0 &&
@@ -197,35 +367,27 @@ func (e *Engine) ObserveWithdraw(at time.Duration, p netaddr.Prefix) {
 	tr := e.detector.ObserveWithdrawal(at)
 	if tr == burst.Started {
 		e.logf("burst started at %v with %d withdrawals in window", at, e.detector.BurstCount())
+		if e.cfg.Observer.OnBurstStart != nil {
+			e.cfg.Observer.OnBurstStart(at, e.detector.BurstCount())
+		}
 	}
 	if e.detector.State() == burst.InBurst {
 		e.maybeInfer(at)
 	}
 }
 
-// ObserveAnnounce feeds one announcement from the session.
-func (e *Engine) ObserveAnnounce(at time.Duration, p netaddr.Prefix, path []uint32) {
+// observeAnnounce processes one announcement event.
+func (e *Engine) observeAnnounce(at time.Duration, p netaddr.Prefix, path []uint32) error {
 	e.tracker.ObserveAnnounce(p, path)
 	if e.detector.Tick(at) == burst.Ended {
-		e.endBurst(at)
+		return e.endBurst(at)
 	}
-}
-
-// Tick advances time without a message (timer-driven), closing bursts
-// whose window drained.
-func (e *Engine) Tick(at time.Duration) {
-	if e.detector.Tick(at) == burst.Ended {
-		e.endBurst(at)
-	}
+	return nil
 }
 
 // maybeInfer runs the inference at the adaptive trigger points.
 func (e *Engine) maybeInfer(at time.Duration) {
-	every := e.cfg.Inference.TriggerEvery
-	if every <= 0 {
-		every = inference.Default().TriggerEvery
-	}
-	if e.tracker.Received()-e.lastTriggerAt < every {
+	if e.tracker.Received()-e.lastTriggerAt < e.triggerEvery {
 		return
 	}
 	e.lastTriggerAt = e.tracker.Received()
@@ -273,6 +435,9 @@ func (e *Engine) applyReroute(at time.Duration, res inference.Result) {
 	e.decisions = append(e.decisions, d)
 	e.logf("reroute at %v: links %v, %d prefixes predicted, %d rules (%v)",
 		at, res.Links, len(d.Predicted), d.RulesInstalled, d.DataplaneTime)
+	if e.cfg.Observer.OnDecision != nil {
+		e.cfg.Observer.OnDecision(d)
+	}
 }
 
 func dataplaneCost(c time.Duration) time.Duration {
@@ -289,18 +454,24 @@ const reroutePriority = 10
 // endBurst is SWIFT's fallback (§3): BGP has converged, the RIB holds
 // the post-failure routes, so remove the override rules and re-derive
 // the steady-state plan and tags.
-func (e *Engine) endBurst(at time.Duration) {
-	e.logf("burst ended at %v: %d withdrawals total", at, e.tracker.Received())
+func (e *Engine) endBurst(at time.Duration) error {
+	received := e.tracker.Received()
+	e.logf("burst ended at %v: %d withdrawals total", at, received)
+	if e.cfg.Observer.OnBurstEnd != nil {
+		e.cfg.Observer.OnBurstEnd(at, received)
+	}
 	e.tracker.Reset()
 	e.lastTriggerAt = 0
 	if e.rerouteActive {
 		e.fib.RemoveRulesAt(reroutePriority)
 		e.rerouteActive = false
 		// Re-provision tags against the converged RIB.
-		if err := e.Provision(); err != nil {
+		if err := e.provision(at, true); err != nil {
 			e.logf("re-provisioning failed: %v", err)
+			return err
 		}
 	}
+	return nil
 }
 
 // InferredLinks returns the links of the most recent decision (nil when

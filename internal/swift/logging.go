@@ -1,0 +1,30 @@
+package swift
+
+import "time"
+
+// LoggingObserver builds the standard reporting Observer: one log line
+// per burst start, decision, burst end and provision pass. The daemons
+// and replay tools share it so their output (which the verification
+// recipe greps for) stays in one place.
+func LoggingObserver(logf func(format string, args ...any)) Observer {
+	return Observer{
+		OnBurstStart: func(at time.Duration, withdrawals int) {
+			logf("burst started at %v (%d withdrawals in window)", at, withdrawals)
+		},
+		OnDecision: func(d Decision) {
+			logf("reroute at %v: links %v, %d prefixes predicted, %d rules (%v)",
+				d.At, d.Result.Links, len(d.Predicted), d.RulesInstalled, d.DataplaneTime)
+		},
+		OnBurstEnd: func(at time.Duration, received int) {
+			logf("burst ended at %v: %d withdrawals total", at, received)
+		},
+		OnProvision: func(info ProvisionInfo) {
+			mode := "provisioned"
+			if info.Fallback {
+				mode = "re-provisioned after fallback"
+			}
+			logf("%s: %d prefixes tagged, %d path bits, %d next-hops",
+				mode, info.TaggedPrefixes, info.PathBitsUsed, info.NextHops)
+		},
+	}
+}

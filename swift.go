@@ -3,24 +3,38 @@
 // Vissicchio, Dainotti, Vanbever: "SWIFT: Predictive Fast Reroute",
 // SIGCOMM 2017).
 //
-// A SWIFTED router feeds each BGP session's message stream into an
-// Engine. The engine maintains the session RIB, watches for withdrawal
+// The paper's workflow (§3) is a pipeline, and the API is shaped like
+// one: every BGP feed reduces to one Event vocabulary (withdraw /
+// announce / tick), Sources push ordered Batches of those events into
+// Sinks, and Sinks report what they did through push-based Observer
+// hooks. A SWIFTED router feeds each BGP session's stream into an
+// Engine; the engine maintains the session RIB, watches for withdrawal
 // bursts, infers the failed AS link(s) from the first few thousand
 // messages, and installs a handful of tag-based rules into a two-stage
-// forwarding table that reroute every affected prefix at once:
+// forwarding table that reroutes every affected prefix at once:
 //
 //	cfg := swift.Config{LocalAS: 65001, PrimaryNeighbor: 65010}
+//	cfg.Observer.OnDecision = func(d swift.Decision) { log.Println(d.Result.Links) }
 //	engine := swift.New(cfg)
 //	// table transfer
 //	engine.LearnPrimary(prefix, asPath)
 //	engine.LearnAlternate(neighborAS, prefix, asPath)
 //	engine.Provision()
-//	// live stream
-//	engine.ObserveWithdraw(at, prefix)
-//	engine.ObserveAnnounce(at, prefix, newPath)
+//	// live stream: any Source, or hand-built batches
+//	engine.Apply(swift.Batch{
+//		swift.WithdrawEvent(at, prefix),
+//		swift.AnnounceEvent(at, prefix, newPath),
+//	})
 //	// inspect
 //	engine.Decisions()              // accepted inferences + installed rules
 //	engine.FIB().ForwardPrefix(p)   // where a packet goes right now
+//
+// Engine and Fleet both satisfy Sink, so single-session and
+// collector-scale deployments are interchangeable behind the same
+// Sources: a BMPStation demuxes live RFC 7854 feeds, an MRTSource
+// replays collector archives, and synthetic burst generators emit the
+// same events. Events carry their session's PeerKey — an Engine
+// ignores it, a Fleet routes on it.
 //
 // The subsystems the engine composes are exported for advanced use:
 // inference (the Fit-Score algorithm of §4), encoding (the tag scheme of
@@ -32,26 +46,80 @@
 package swift
 
 import (
+	"time"
+
 	"swift/internal/bmp"
 	"swift/internal/burst"
 	"swift/internal/controller"
 	"swift/internal/encoding"
+	"swift/internal/event"
 	"swift/internal/inference"
+	"swift/internal/mrt"
 	"swift/internal/netaddr"
 	"swift/internal/reroute"
 	swiftengine "swift/internal/swift"
 	"swift/internal/topology"
 )
 
+// Event-stream vocabulary: every feed in the system speaks it.
+type (
+	// Event is one observation on a BGP session's stream: a withdraw,
+	// an announce, or a clock tick.
+	Event = event.Event
+	// EventKind discriminates the event flavours.
+	EventKind = event.Kind
+	// Batch is an ordered group of events applied in one hand-off.
+	Batch = event.Batch
+	// Sink consumes event batches; Engine and Fleet both satisfy it.
+	Sink = event.Sink
+	// Source pushes event batches into a Sink; BMPStation, MRTSource
+	// and the synthetic generators satisfy it.
+	Source = event.Source
+	// Provisioner is the optional table-transfer surface of a Sink.
+	Provisioner = event.Provisioner
+	// PeerKey identifies the session an event was observed on.
+	PeerKey = event.PeerKey
+	// StreamClock converts wall-clock timestamps into monotonic stream
+	// offsets.
+	StreamClock = event.StreamClock
+)
+
+// Event kinds.
+const (
+	KindWithdraw = event.KindWithdraw
+	KindAnnounce = event.KindAnnounce
+	KindTick     = event.KindTick
+)
+
+// WithdrawEvent builds a withdrawal event.
+func WithdrawEvent(at time.Duration, p Prefix) Event { return event.Withdraw(at, p) }
+
+// AnnounceEvent builds an announcement event (the path is retained, not
+// copied).
+func AnnounceEvent(at time.Duration, p Prefix, path []uint32) Event {
+	return event.Announce(at, p, path)
+}
+
+// TickEvent builds a clock-advance event.
+func TickEvent(at time.Duration) Event { return event.Tick(at) }
+
 // Core engine types.
 type (
-	// Engine is the per-session SWIFT pipeline (§3's workflow).
+	// Engine is the per-session SWIFT pipeline (§3's workflow). It is a
+	// Sink: feed it event Batches through Apply.
 	Engine = swiftengine.Engine
 	// Config assembles the engine's tunables; zero values select the
 	// paper's defaults.
 	Config = swiftengine.Config
+	// Observer is the engine's push-notification surface.
+	Observer = swiftengine.Observer
+	// ProvisionInfo describes one successful Provision pass.
+	ProvisionInfo = swiftengine.ProvisionInfo
 	// Decision records one accepted inference and its data-plane action.
 	Decision = swiftengine.Decision
+	// SessionSink is a concurrency-safe, peer-agnostic view of one
+	// Engine, for feeding it from multi-peer Sources.
+	SessionSink = swiftengine.SessionSink
 )
 
 // Algorithm configuration types.
@@ -85,40 +153,44 @@ type (
 // peer — the paper's "one engine per session, in parallel" at
 // collector scale.
 type (
-	// Fleet is a lock-striped pool of per-peer engines.
+	// Fleet is a lock-striped pool of per-peer engines. It is a Sink
+	// (events route on their PeerKey) and a Provisioner.
 	Fleet = controller.Fleet
 	// FleetConfig parameterizes a Fleet.
 	FleetConfig = controller.FleetConfig
+	// FleetObserver is the fleet's peer-attributed Observer surface.
+	FleetObserver = controller.FleetObserver
 	// FleetPeer is one peer's engine plus its batched delivery queue.
 	FleetPeer = controller.FleetPeer
 	// FleetMetrics is an aggregate snapshot across the pool.
 	FleetMetrics = controller.FleetMetrics
-	// PeerKey identifies a monitored peer (AS, BGP identifier).
-	PeerKey = controller.PeerKey
 	// PeerDecision is one engine decision attributed to its peer.
 	PeerDecision = controller.PeerDecision
-	// Batch is a group of observations delivered to a peer engine.
-	Batch = controller.Batch
-	// Op is one observation inside a Batch.
-	Op = controller.Op
-	// BMPStation accepts BMP router connections and feeds a Fleet.
+	// BMPStation accepts BMP router connections and feeds a Sink.
 	BMPStation = bmp.Station
 	// BMPStationConfig parameterizes a BMPStation.
 	BMPStationConfig = bmp.StationConfig
 	// BMPStationMetrics snapshots a station's ingestion counters.
 	BMPStationMetrics = bmp.StationMetrics
+	// MRTSource replays MRT collector archives (RIB snapshot + update
+	// stream) into any Sink.
+	MRTSource = mrt.Source
 )
 
 // New builds an Engine. Load routes with LearnPrimary/LearnAlternate,
-// call Provision, then stream messages.
+// call Provision, then stream event batches through Apply.
 func New(cfg Config) *Engine { return swiftengine.New(cfg) }
+
+// NewSessionSink wraps an Engine for concurrent multi-peer Sources.
+func NewSessionSink(e *Engine) *SessionSink { return swiftengine.NewSessionSink(e) }
 
 // NewFleet builds an empty engine fleet; peers are created on first
 // use from the configured engine factory.
 func NewFleet(cfg FleetConfig) *Fleet { return controller.NewFleet(cfg) }
 
-// NewBMPStation builds a BMP collector over an existing fleet. Drive
-// it with Serve (a TCP listener) or ServeConn (any net.Conn).
+// NewBMPStation builds a BMP collector over an existing Sink (a Fleet,
+// or a SessionSink for single-engine deployments). Drive it with Serve
+// (a TCP listener) or ServeConn (any net.Conn).
 func NewBMPStation(cfg BMPStationConfig) *BMPStation { return bmp.NewStation(cfg) }
 
 // DefaultInference returns the paper's inference configuration

@@ -92,24 +92,45 @@ func TestFleetFacade(t *testing.T) {
 	defer fleet.Close()
 
 	key := swift.PeerKey{AS: 2, BGPID: 7}
-	peer := fleet.Peer(key)
+	// The fleet is a Provisioner: table transfer goes through the same
+	// surface a BMP table dump or an MRT RIB snapshot would use.
 	p := swift.MustParsePrefix("192.0.2.0/24")
-	peer.LearnPrimary(p, []uint32{2, 5, 6})
-	if err := peer.Provision(); err != nil {
+	fleet.Learn(key, p, []uint32{2, 5, 6})
+	if err := fleet.Provision(key); err != nil {
 		t.Fatal(err)
 	}
-	peer.Enqueue(swift.Batch{At: time.Second, Ops: []swift.Op{
-		{At: time.Second, Withdraw: true, Prefix: p},
-	}})
+	// And a Sink: events route on their peer key.
+	if err := fleet.Apply(swift.Batch{swift.WithdrawEvent(time.Second, p).WithPeer(key)}); err != nil {
+		t.Fatal(err)
+	}
 	fleet.Sync()
 	if m := fleet.Metrics(); m.Peers != 1 || m.Withdrawals != 1 {
 		t.Errorf("fleet metrics = %+v", m)
 	}
 
-	st := swift.NewBMPStation(swift.BMPStationConfig{Fleet: fleet})
-	if st.Fleet() != fleet {
+	st := swift.NewBMPStation(swift.BMPStationConfig{Sink: fleet})
+	if st.Sink() != swift.Sink(fleet) {
 		t.Error("station not wired to the fleet")
 	}
+}
+
+// TestEngineAndFleetAreSinks pins the redesign's core contract: the
+// single-session Engine and the collector-scale Fleet are
+// interchangeable behind the same Source.
+func TestEngineAndFleetAreSinks(t *testing.T) {
+	var sinks []swift.Sink
+	e := swift.New(swift.Config{LocalAS: 1, PrimaryNeighbor: 2})
+	fleet := swift.NewFleet(swift.FleetConfig{})
+	defer fleet.Close()
+	sinks = append(sinks, e, swift.NewSessionSink(e), fleet)
+	p := swift.MustParsePrefix("192.0.2.0/24")
+	for i, s := range sinks {
+		if err := s.Apply(swift.Batch{swift.AnnounceEvent(time.Second, p, []uint32{2, 5})}); err != nil {
+			t.Errorf("sink %d: %v", i, err)
+		}
+	}
+	var _ swift.Provisioner = fleet
+	var _ swift.Provisioner = swift.NewSessionSink(e)
 }
 
 func TestFacadeHelpers(t *testing.T) {
