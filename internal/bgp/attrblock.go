@@ -19,3 +19,24 @@ func DecodeAttrs(b []byte, a *Attrs) error {
 	a.Communities = append([]uint32(nil), d.Attrs.Communities...)
 	return nil
 }
+
+// DecodeAttrsReuse is DecodeAttrs recycling a's slice capacity (and
+// the caller's scratch decoder): nothing is freshly allocated once the
+// buffers are warm, so the decoded slices are only valid until the
+// next call with the same a. Use it when the consumer interns or
+// copies what it keeps — an interning RIB copies a path on first
+// sight only, making a table-dump walk garbage-free per entry.
+func DecodeAttrsReuse(b []byte, a *Attrs, d *UpdateDecoder) error {
+	d.Attrs = Attrs{
+		ASPath:      d.Attrs.ASPath[:0],
+		Communities: d.Attrs.Communities[:0],
+	}
+	if err := d.decodeAttrs(b); err != nil {
+		return err
+	}
+	asPath, communities := a.ASPath, a.Communities
+	*a = d.Attrs
+	a.ASPath = append(asPath[:0], d.Attrs.ASPath...)
+	a.Communities = append(communities[:0], d.Attrs.Communities...)
+	return nil
+}

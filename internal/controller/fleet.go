@@ -10,6 +10,7 @@ import (
 
 	"swift/internal/event"
 	"swift/internal/netaddr"
+	"swift/internal/rib"
 	swiftengine "swift/internal/swift"
 )
 
@@ -114,6 +115,7 @@ type fleetStripe struct {
 // and provision peers without knowing the pool exists.
 type Fleet struct {
 	cfg     FleetConfig
+	pool    *rib.Pool
 	stripes [fleetStripes]fleetStripe
 	wg      sync.WaitGroup
 	closed  atomic.Bool
@@ -137,14 +139,21 @@ var (
 	_ event.Sink        = (*FleetPeer)(nil)
 )
 
-// NewFleet builds an empty fleet.
+// NewFleet builds an empty fleet. All peer engines share one path/link
+// intern pool (unless the Engine factory supplies its own): peers
+// monitoring the same routing system announce heavily overlapping AS
+// paths, and interning stores each unique path once fleet-wide instead
+// of once per (peer, prefix).
 func NewFleet(cfg FleetConfig) *Fleet {
-	f := &Fleet{cfg: cfg}
+	f := &Fleet{cfg: cfg, pool: rib.NewPool()}
 	for i := range f.stripes {
 		f.stripes[i].peers = make(map[PeerKey]*FleetPeer)
 	}
 	return f
 }
+
+// Pool returns the fleet-shared path/link intern pool.
+func (f *Fleet) Pool() *rib.Pool { return f.pool }
 
 func (f *Fleet) stripe(key PeerKey) *fleetStripe {
 	h := key.AS*0x9e3779b9 ^ key.BGPID*0x85ebca6b
@@ -178,6 +187,9 @@ func (f *Fleet) Peer(key PeerKey) *FleetPeer {
 	cfg := swiftengine.Config{PrimaryNeighbor: key.AS}
 	if f.cfg.Engine != nil {
 		cfg = f.cfg.Engine(key)
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = f.pool
 	}
 	cand := &FleetPeer{
 		key:   key,
@@ -399,18 +411,26 @@ type FleetMetrics struct {
 	Decisions      int
 	RulesInstalled int
 	Rerouting      int // peers with fast-reroute rules installed now
+	// UniquePaths and UniqueLinks are the fleet pool's live
+	// cardinalities — the denominator of the interning win: total
+	// routes across peers divided by UniquePaths is the sharing factor.
+	UniquePaths int
+	UniqueLinks int
 }
 
 // Metrics snapshots the fleet's aggregate counters. The decision and
 // rule aggregates are push-fed by the per-engine observers, so the
 // snapshot never locks an engine or walks a decision log.
 func (f *Fleet) Metrics() FleetMetrics {
+	ps := f.pool.Stats()
 	m := FleetMetrics{
 		Batches:        f.batches.Load(),
 		Ops:            f.ops.Load(),
 		Decisions:      int(f.decisions.Load()),
 		RulesInstalled: int(f.rules.Load()),
 		Rerouting:      int(f.rerouting.Load()),
+		UniquePaths:    ps.Paths,
+		UniqueLinks:    ps.Links,
 	}
 	for _, p := range f.Peers() {
 		m.Peers++
@@ -450,8 +470,9 @@ func (f *Fleet) Close() {
 // Status renders a one-line fleet summary.
 func (f *Fleet) Status() string {
 	m := f.Metrics()
-	return fmt.Sprintf("peers=%d ops=%d (wd=%d ann=%d) decisions=%d rules=%d rerouting=%d",
-		m.Peers, m.Ops, m.Withdrawals, m.Announcements, m.Decisions, m.RulesInstalled, m.Rerouting)
+	return fmt.Sprintf("peers=%d ops=%d (wd=%d ann=%d) decisions=%d rules=%d rerouting=%d paths=%d links=%d",
+		m.Peers, m.Ops, m.Withdrawals, m.Announcements, m.Decisions, m.RulesInstalled, m.Rerouting,
+		m.UniquePaths, m.UniqueLinks)
 }
 
 func (f *Fleet) logf(format string, args ...any) {

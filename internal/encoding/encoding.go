@@ -153,12 +153,14 @@ func Build(cfg Config, table *rib.Table, plan *reroute.Plan) (*Scheme, error) {
 }
 
 // buildNHDict collects every next-hop that appears as a primary or
-// backup, most used first, keeping at most 2^NHBits-1.
+// backup, most used first, keeping at most 2^NHBits-1. Primary use is
+// summed per unique path (the next-hop is a property of the path, not
+// the prefix).
 func (s *Scheme) buildNHDict(table *rib.Table, plan *reroute.Plan) {
 	use := make(map[uint32]int)
-	table.ForEach(func(_ netaddr.Prefix, path []uint32) {
+	table.ForEachPath(func(path []uint32, prefixes []netaddr.Prefix) {
 		if len(path) > 0 {
-			use[path[0]]++
+			use[path[0]] += len(prefixes)
 		}
 	})
 	if plan != nil {
@@ -200,19 +202,21 @@ func (s *Scheme) buildLinkDicts(table *rib.Table) {
 		load  int
 	}
 	// Load per (link, depth) pair: a link may appear at several depths.
+	// One pass per unique path, charging its whole prefix group at
+	// once: the positional decomposition is a path property.
 	loads := make(map[topology.Link][]int) // per link, count at each depth
-	var buf [16]topology.Link
+	var buf []topology.Link
 	local := table.LocalAS()
-	table.ForEach(func(_ netaddr.Prefix, path []uint32) {
-		links := rib.PathLinks(buf[:0], local, path)
-		for d := 2; d <= s.cfg.MaxDepth && d <= len(links); d++ {
-			l := links[d-1]
+	table.ForEachPath(func(path []uint32, prefixes []netaddr.Prefix) {
+		buf = rib.PathLinks(buf[:0], local, path)
+		for d := 2; d <= s.cfg.MaxDepth && d <= len(buf); d++ {
+			l := buf[d-1]
 			arr := loads[l]
 			if arr == nil {
 				arr = make([]int, s.cfg.MaxDepth-1)
 				loads[l] = arr
 			}
-			arr[d-2]++
+			arr[d-2] += len(prefixes)
 		}
 	})
 	var cands []cand
@@ -288,33 +292,39 @@ func (s *Scheme) layout() {
 	}
 }
 
-// assignTags computes every prefix's tag.
+// assignTags computes every prefix's tag. The path part — link groups
+// and primary next-hop — is identical for every prefix sharing a path,
+// so it is assembled once per unique path; only the per-depth backup
+// groups vary per prefix (the reroute plan is per-prefix).
 func (s *Scheme) assignTags(table *rib.Table, plan *reroute.Plan) {
-	var buf [16]topology.Link
+	var buf []topology.Link
 	local := table.LocalAS()
-	table.ForEach(func(p netaddr.Prefix, path []uint32) {
-		var t Tag
-		links := rib.PathLinks(buf[:0], local, path)
-		for d := 2; d <= s.cfg.MaxDepth && d <= len(links); d++ {
-			if id, ok := s.linkIDs[d-2][links[d-1]]; ok {
-				t |= s.linkGroups[d-2].place(id)
+	table.ForEachPath(func(path []uint32, prefixes []netaddr.Prefix) {
+		var pathPart Tag
+		buf = rib.PathLinks(buf[:0], local, path)
+		for d := 2; d <= s.cfg.MaxDepth && d <= len(buf); d++ {
+			if id, ok := s.linkIDs[d-2][buf[d-1]]; ok {
+				pathPart |= s.linkGroups[d-2].place(id)
 			}
 		}
 		if len(path) > 0 {
 			if id, ok := s.nhIDs[path[0]]; ok {
-				t |= s.primary.place(id)
+				pathPart |= s.primary.place(id)
 			}
 		}
-		if plan != nil {
-			for d := 1; d <= len(s.backups); d++ {
-				if nh := plan.BackupFor(p, d); nh != 0 {
-					if id, ok := s.nhIDs[nh]; ok {
-						t |= s.backups[d-1].place(id)
+		for _, p := range prefixes {
+			t := pathPart
+			if plan != nil {
+				for d := 1; d <= len(s.backups); d++ {
+					if nh := plan.BackupFor(p, d); nh != 0 {
+						if id, ok := s.nhIDs[nh]; ok {
+							t |= s.backups[d-1].place(id)
+						}
 					}
 				}
 			}
+			s.tags[p] = t
 		}
-		s.tags[p] = t
 	})
 }
 

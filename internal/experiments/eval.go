@@ -116,6 +116,15 @@ func (st *sessionState) evalBurst(b *bgpsim.Burst, cfg inference.Config, keepRIB
 	table := st.master.Clone()
 	startLen := table.Len()
 	tracker := inference.NewTracker(cfg, table)
+	// The working clone and the tracker's burst state hold references
+	// into the session's shared path pool; return them when the burst
+	// evaluation is done so a many-burst run doesn't pin every path it
+	// ever withdrew. (The RIBAtInference snapshot, when kept, retains
+	// its own references for the encoding experiment's lifetime.)
+	defer func() {
+		tracker.Reset()
+		table.Release()
+	}()
 
 	ev := BurstEval{Size: b.Size, Duration: b.Duration(), Missed: true}
 

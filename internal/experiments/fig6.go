@@ -161,6 +161,11 @@ func SimLocalization(ds *trace.Dataset, sessions []trace.Session, minBurst, earl
 			if safe {
 				res.SafeBackups++
 			}
+
+			// Return the burst clone's path references to the shared
+			// pool (the master table and later bursts keep theirs).
+			tr.Reset()
+			table.Release()
 		}
 	}
 	return res

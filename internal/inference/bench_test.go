@@ -28,6 +28,33 @@ func BenchmarkObserveWithdraw(b *testing.B) {
 	}
 }
 
+// BenchmarkObserveWithdrawHot keeps the RIB full by re-announcing each
+// withdrawn prefix, so every iteration measures a live withdrawal (the
+// table never drains into the miss path) plus the matching
+// re-announce; the periodic Reset bounds burst state the way the
+// engine's burst lifecycle does.
+func BenchmarkObserveWithdrawHot(b *testing.B) {
+	cfg := Default()
+	cfg.UseHistory = false
+	table := rib.New(1)
+	const n = 1 << 16
+	path := []uint32{2, 5, 6, 8}
+	for i := 0; i < n; i++ {
+		table.Announce(netaddr.PrefixFor(8, i), path)
+	}
+	tr := NewTracker(cfg, table)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := netaddr.PrefixFor(8, i%n)
+		tr.ObserveWithdraw(p)
+		tr.ObserveAnnounce(p, path)
+		if tr.Received() >= 20000 {
+			tr.Reset()
+		}
+	}
+}
+
 // BenchmarkInfer measures one inference over a burst state with many
 // charged links.
 func BenchmarkInfer(b *testing.B) {

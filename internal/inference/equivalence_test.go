@@ -1,0 +1,509 @@
+package inference
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"swift/internal/netaddr"
+	"swift/internal/rib"
+	"swift/internal/stats"
+	"swift/internal/topology"
+)
+
+// This file pins the interned RIB/tracker to a naive map-based
+// reference model: a RIB as map[Prefix]path with a map[Link]set[Prefix]
+// inverted index, and a tracker whose W state is map[Link][]Prefix —
+// the pre-interning data layout. Under random Announce/Withdraw/Infer
+// sequences (with path prepending, >16-hop paths and re-withdrawals
+// after path exploration) both must produce identical counters, scores
+// and inference decisions.
+
+// refTable is the naive model RIB. Each (prefix, link) pair counts
+// once, matching Table's counter semantics.
+type refTable struct {
+	localAS uint32
+	routes  map[netaddr.Prefix][]uint32
+	byLink  map[topology.Link]map[netaddr.Prefix]struct{}
+}
+
+func newRefTable(localAS uint32) *refTable {
+	return &refTable{
+		localAS: localAS,
+		routes:  make(map[netaddr.Prefix][]uint32),
+		byLink:  make(map[topology.Link]map[netaddr.Prefix]struct{}),
+	}
+}
+
+// linkSetOf returns the deduplicated links of path seen from localAS.
+func linkSetOf(localAS uint32, path []uint32) []topology.Link {
+	var out []topology.Link
+	for _, l := range rib.PathLinks(nil, localAS, path) {
+		dup := false
+		for _, x := range out {
+			if x == l {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func (t *refTable) announce(p netaddr.Prefix, path []uint32) {
+	if old, ok := t.routes[p]; ok {
+		for _, l := range linkSetOf(t.localAS, old) {
+			delete(t.byLink[l], p)
+			if len(t.byLink[l]) == 0 {
+				delete(t.byLink, l)
+			}
+		}
+	}
+	t.routes[p] = append([]uint32(nil), path...)
+	for _, l := range linkSetOf(t.localAS, path) {
+		set := t.byLink[l]
+		if set == nil {
+			set = make(map[netaddr.Prefix]struct{})
+			t.byLink[l] = set
+		}
+		set[p] = struct{}{}
+	}
+}
+
+func (t *refTable) withdraw(p netaddr.Prefix) ([]uint32, bool) {
+	old, ok := t.routes[p]
+	if !ok {
+		return nil, false
+	}
+	for _, l := range linkSetOf(t.localAS, old) {
+		delete(t.byLink[l], p)
+		if len(t.byLink[l]) == 0 {
+			delete(t.byLink, l)
+		}
+	}
+	delete(t.routes, p)
+	return old, true
+}
+
+// refTracker is the naive model tracker.
+type refTracker struct {
+	cfg    Config
+	table  *refTable
+	wOn    map[topology.Link][]netaddr.Prefix
+	totalW int
+}
+
+func newRefTracker(cfg Config, table *refTable) *refTracker {
+	return &refTracker{cfg: cfg, table: table, wOn: make(map[topology.Link][]netaddr.Prefix)}
+}
+
+func (t *refTracker) observeWithdraw(p netaddr.Prefix) {
+	t.totalW++
+	old, ok := t.table.withdraw(p)
+	if !ok {
+		return
+	}
+	for _, l := range linkSetOf(t.table.localAS, old) {
+		t.wOn[l] = append(t.wOn[l], p)
+	}
+}
+
+func (t *refTracker) observeAnnounce(p netaddr.Prefix, path []uint32) {
+	t.table.announce(p, path)
+}
+
+func (t *refTracker) reset() {
+	t.wOn = make(map[topology.Link][]netaddr.Prefix)
+	t.totalW = 0
+}
+
+func (t *refTracker) scores() []LinkScore {
+	if t.totalW == 0 {
+		return nil
+	}
+	out := make([]LinkScore, 0, len(t.wOn))
+	for l, wps := range t.wOn {
+		w := len(wps)
+		p := len(t.table.byLink[l])
+		ws := float64(w) / float64(t.totalW)
+		ps := float64(w) / float64(w+p)
+		fs := stats.WeightedGeoMean([]float64{ws, ps}, []float64{t.cfg.WWS, t.cfg.WPS})
+		out = append(out, LinkScore{Link: l, W: w, P: p, WS: ws, PS: ps, FS: fs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FS != out[j].FS {
+			return out[i].FS > out[j].FS
+		}
+		if out[i].Link.A != out[j].Link.A {
+			return out[i].Link.A < out[j].Link.A
+		}
+		return out[i].Link.B < out[j].Link.B
+	})
+	return out
+}
+
+func (t *refTracker) setFS(links []topology.Link) float64 {
+	if t.totalW == 0 {
+		return 0
+	}
+	var w, p int
+	if len(links) == 1 {
+		w = len(t.wOn[links[0]])
+		p = len(t.table.byLink[links[0]])
+	} else {
+		wUnion := make(map[netaddr.Prefix]struct{})
+		pUnion := make(map[netaddr.Prefix]struct{})
+		for _, l := range links {
+			for _, wp := range t.wOn[l] {
+				wUnion[wp] = struct{}{}
+			}
+			for pp := range t.table.byLink[l] {
+				pUnion[pp] = struct{}{}
+			}
+		}
+		w, p = len(wUnion), len(pUnion)
+	}
+	if w+p == 0 {
+		return 0
+	}
+	ws := float64(w) / float64(t.totalW)
+	ps := float64(w) / float64(w+p)
+	return stats.WeightedGeoMean([]float64{ws, ps}, []float64{t.cfg.WWS, t.cfg.WPS})
+}
+
+func (t *refTracker) pickLinks(scores []LinkScore) []topology.Link {
+	top := scores[0]
+	links := []topology.Link{top.Link}
+	for _, s := range scores[1:] {
+		if top.FS-s.FS <= t.cfg.TieEpsilon*math.Max(1, top.FS) {
+			links = append(links, s.Link)
+		} else {
+			break
+		}
+	}
+	best := links
+	bestFS := t.setFS(links)
+	for _, endpoint := range []uint32{top.Link.A, top.Link.B} {
+		set := append([]topology.Link(nil), links...)
+		shares := true
+		for _, l := range set {
+			if !l.Has(endpoint) {
+				shares = false
+				break
+			}
+		}
+		if !shares {
+			continue
+		}
+		cur := bestFS
+		for _, s := range scores[1:] {
+			if !s.Link.Has(endpoint) || inSet(set, s.Link) {
+				continue
+			}
+			cand := append(append([]topology.Link(nil), set...), s.Link)
+			fs := t.setFS(cand)
+			if fs > cur {
+				set, cur = cand, fs
+			}
+		}
+		if cur > bestFS {
+			best, bestFS = set, cur
+		}
+	}
+	return best
+}
+
+func (t *refTracker) infer() Result {
+	scores := t.scores()
+	if len(scores) == 0 {
+		return Result{}
+	}
+	links := t.pickLinks(scores)
+	pred := make(map[netaddr.Prefix]struct{})
+	for _, l := range links {
+		for p := range t.table.byLink[l] {
+			pred[p] = struct{}{}
+		}
+	}
+	res := Result{
+		Links:     links,
+		FS:        t.setFS(links),
+		Predicted: len(pred),
+		Received:  t.totalW,
+		Accepted:  true,
+	}
+	if t.cfg.UseHistory {
+		if r := res.Received; r >= t.cfg.AcceptAlways {
+			res.Accepted = true
+		} else {
+			maxPred := -1
+			for _, rule := range t.cfg.Plausibility {
+				if r >= rule.Received {
+					maxPred = rule.MaxPredicted
+				}
+			}
+			if maxPred < 0 && len(t.cfg.Plausibility) > 0 {
+				maxPred = t.cfg.Plausibility[0].MaxPredicted
+			}
+			if maxPred >= 0 {
+				res.Accepted = res.Predicted <= maxPred
+			}
+		}
+	}
+	return res
+}
+
+// randomPath draws a path biased toward overlap (shared trunks),
+// occasionally with prepending runs and occasionally longer than the
+// old 16-link scratch buffers.
+func randomPath(rng *rand.Rand) []uint32 {
+	var path []uint32
+	// Shared trunk through AS 2 or 3 most of the time.
+	trunk := [][]uint32{{2, 5, 6}, {2, 5}, {3, 6}, {2, 9}, {4}}[rng.Intn(5)]
+	path = append(path, trunk...)
+	hops := rng.Intn(4)
+	if rng.Intn(20) == 0 {
+		hops = 18 + rng.Intn(6) // >16 links end to end
+	}
+	last := path[len(path)-1]
+	for i := 0; i < hops; i++ {
+		next := 10 + uint32(rng.Intn(30))
+		if next == last {
+			continue
+		}
+		path = append(path, next)
+		if rng.Intn(5) == 0 { // prepending run
+			for k := 0; k < rng.Intn(3)+1; k++ {
+				path = append(path, next)
+			}
+		}
+		last = next
+	}
+	return path
+}
+
+func sameScores(a, b []LinkScore) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Link != b[i].Link || a[i].W != b[i].W || a[i].P != b[i].P {
+			return false
+		}
+		if math.Abs(a[i].FS-b[i].FS) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func sameLinks(a, b []topology.Link) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func samePrefixes(a, b []netaddr.Prefix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestInternedTrackerMatchesReferenceModel is the model-based property
+// test: random op sequences, decision-for-decision equality.
+func TestInternedTrackerMatchesReferenceModel(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Default()
+		cfg.UseHistory = seed%2 == 0
+		cfg.Plausibility = []PlausibilityRule{{Received: 5, MaxPredicted: 30}, {Received: 20, MaxPredicted: 200}}
+		cfg.AcceptAlways = 60
+
+		pool := rib.NewPool()
+		table := rib.NewWithPool(1, pool)
+		tr := NewTracker(cfg, table)
+		ref := newRefTracker(cfg, newRefTable(1))
+
+		for op := 0; op < 600; op++ {
+			p := netaddr.PrefixFor(uint32(2+rng.Intn(8)), rng.Intn(25))
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3:
+				path := randomPath(rng)
+				tr.ObserveAnnounce(p, path)
+				ref.observeAnnounce(p, path)
+			case 4, 5, 6, 7:
+				tr.ObserveWithdraw(p)
+				ref.observeWithdraw(p)
+			case 8:
+				if tr.Received() != ref.totalW {
+					t.Fatalf("seed %d op %d: received %d vs %d", seed, op, tr.Received(), ref.totalW)
+				}
+				if !sameScores(tr.Scores(), ref.scores()) {
+					t.Fatalf("seed %d op %d: scores diverge\n got %+v\nwant %+v",
+						seed, op, tr.Scores(), ref.scores())
+				}
+				got, want := tr.Infer(), ref.infer()
+				if !sameLinks(got.Links, want.Links) {
+					t.Fatalf("seed %d op %d: links %v vs %v", seed, op, got.Links, want.Links)
+				}
+				if math.Abs(got.FS-want.FS) > 1e-12 || got.Predicted != want.Predicted ||
+					got.Received != want.Received || got.Accepted != want.Accepted {
+					t.Fatalf("seed %d op %d: result %+v vs %+v", seed, op, got, want)
+				}
+				if len(got.Links) > 0 {
+					gp, wp := tr.PredictedPrefixes(got), refPredicted(ref, want.Links)
+					if !samePrefixes(gp, wp) {
+						t.Fatalf("seed %d op %d: predicted prefixes %v vs %v", seed, op, gp, wp)
+					}
+					gw, ww := tr.WithdrawnOn(got.Links), refWithdrawnOn(ref, want.Links)
+					if !samePrefixes(gw, ww) {
+						t.Fatalf("seed %d op %d: withdrawn-on %v vs %v", seed, op, gw, ww)
+					}
+				}
+			case 9:
+				if rng.Intn(4) == 0 {
+					tr.Reset()
+					ref.reset()
+				}
+			}
+		}
+
+		// Leak check: drain everything, reset the burst, pool must be
+		// empty again.
+		var all []netaddr.Prefix
+		table.ForEach(func(p netaddr.Prefix, _ []uint32) { all = append(all, p) })
+		for _, p := range all {
+			tr.ObserveWithdraw(p)
+		}
+		tr.Reset()
+		if table.Len() != 0 {
+			t.Fatalf("seed %d: table not drained", seed)
+		}
+		if pool.Len() != 0 {
+			t.Fatalf("seed %d: pool leaks %d paths after drain+reset", seed, pool.Len())
+		}
+	}
+}
+
+func refPredicted(ref *refTracker, links []topology.Link) []netaddr.Prefix {
+	seen := make(map[netaddr.Prefix]struct{})
+	for _, l := range links {
+		for p := range ref.table.byLink[l] {
+			seen[p] = struct{}{}
+		}
+	}
+	out := make([]netaddr.Prefix, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	netaddr.Sort(out)
+	return out
+}
+
+func refWithdrawnOn(ref *refTracker, links []topology.Link) []netaddr.Prefix {
+	seen := make(map[netaddr.Prefix]struct{})
+	for _, l := range links {
+		for _, p := range ref.wOn[l] {
+			seen[p] = struct{}{}
+		}
+	}
+	out := make([]netaddr.Prefix, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	netaddr.Sort(out)
+	return out
+}
+
+// TestTrackerHoldsBurstRefs checks the refcount contract mid-burst:
+// withdrawn paths stay pooled (their PathIDs pinned) until Reset.
+func TestTrackerHoldsBurstRefs(t *testing.T) {
+	pool := rib.NewPool()
+	table := rib.NewWithPool(1, pool)
+	cfg := Default()
+	cfg.UseHistory = false
+	tr := NewTracker(cfg, table)
+	for i := 0; i < 10; i++ {
+		table.Announce(netaddr.PrefixFor(8, i), []uint32{2, 5, 6, 8})
+	}
+	if pool.Len() != 1 {
+		t.Fatalf("pool = %d, want 1", pool.Len())
+	}
+	for i := 0; i < 10; i++ {
+		tr.ObserveWithdraw(netaddr.PrefixFor(8, i))
+	}
+	// Every route is gone but the burst still references the path.
+	if table.Len() != 0 {
+		t.Fatal("routes should be withdrawn")
+	}
+	if pool.Len() != 1 {
+		t.Fatalf("pool = %d mid-burst, want 1 (tracker must pin withdrawn paths)", pool.Len())
+	}
+	if res := tr.Infer(); len(res.Links) == 0 {
+		t.Fatal("burst state must still drive inference")
+	}
+	tr.Reset()
+	if pool.Len() != 0 {
+		t.Fatalf("pool = %d after Reset, want 0", pool.Len())
+	}
+}
+
+// TestPathExplorationReWithdrawal covers the withdraw → re-announce →
+// withdraw sequence (BGP path exploration): the second withdrawal
+// charges the new path, and unions dedup the prefix exactly once.
+func TestPathExplorationReWithdrawal(t *testing.T) {
+	cfg := Default()
+	cfg.UseHistory = false
+	table := rib.New(1)
+	tr := NewTracker(cfg, table)
+	ref := newRefTracker(cfg, newRefTable(1))
+
+	p := netaddr.PrefixFor(8, 0)
+	for _, step := range []struct {
+		announce bool
+		path     []uint32
+	}{
+		{true, []uint32{2, 5, 6}},
+		{false, nil},
+		{true, []uint32{3, 6}},
+		{false, nil},
+		{true, []uint32{2, 5, 6}}, // back on the original path
+		{false, nil},
+	} {
+		if step.announce {
+			tr.ObserveAnnounce(p, step.path)
+			ref.observeAnnounce(p, step.path)
+		} else {
+			tr.ObserveWithdraw(p)
+			ref.observeWithdraw(p)
+		}
+	}
+	if !sameScores(tr.Scores(), ref.scores()) {
+		t.Fatalf("scores diverge:\n got %+v\nwant %+v", tr.Scores(), ref.scores())
+	}
+	// Multi-link union across both paths' links: p counts once.
+	links := []topology.Link{topology.MakeLink(5, 6), topology.MakeLink(3, 6)}
+	got, want := tr.setFS(links), ref.setFS(links)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("setFS = %v, want %v", got, want)
+	}
+	if wd := tr.WithdrawnOn(links); len(wd) != 1 || wd[0] != p {
+		t.Fatalf("WithdrawnOn = %v, want [%v] exactly once", wd, p)
+	}
+}

@@ -3,6 +3,13 @@
 // mean Fit Score, greedy aggregation of links sharing an endpoint (for
 // concurrent failures such as router outages), and the adaptive
 // triggering policy that trades speed for plausibility against history.
+//
+// The tracker runs on the interned RIB core: withdrawn paths are kept
+// alive by reference for the duration of a burst, W(l, t) is a dense
+// per-LinkID counter, withdrawn prefixes are grouped per PathID, and
+// every set union the aggregation step needs is computed by testing the
+// handful of unique paths against the link set instead of folding
+// per-prefix hash sets. Steady-state observation allocates nothing.
 package inference
 
 import (
@@ -80,22 +87,48 @@ type LinkScore struct {
 type Tracker struct {
 	cfg Config
 	rib *rib.Table
-	// wOn records, per link, the prefixes withdrawn during the burst
-	// whose path crossed the link (append-only: a prefix is withdrawn
-	// at most once per burst while it holds a route). Its lengths are
-	// the W(l, t) counters; set unions over it drive the multi-link
-	// aggregation of §4.2.
-	wOn map[topology.Link][]netaddr.Prefix
 	// totalW counts withdrawals received in the burst, including those
 	// for prefixes the RIB did not know (they contribute to W(t) — the
 	// denominator — as in the paper, where every received withdrawal is
 	// information).
 	totalW int
+
+	// wCount is W(l, t) by dense LinkID; wLinks lists the links with a
+	// non-zero counter (the burst's touched set). Both persist across
+	// Reset — counters are zeroed through the touched list, never
+	// reallocated.
+	wCount []int32
+	wLinks []rib.LinkID
+
+	// wPaths holds one owned reference per unique path withdrawn this
+	// burst, pinning its PathID for the burst's lifetime; wByPath groups
+	// the withdrawn prefixes by that PathID (slices are truncated, not
+	// dropped, on Reset). Set unions over withdrawn prefixes — the
+	// multi-link aggregation of §4.2 — test each of these few paths
+	// against the link set and sum group sizes.
+	wPaths  []rib.PathHandle
+	wByPath [][]netaddr.Prefix
+
+	// wSeen records each withdrawn prefix's path; multi lists, for the
+	// rare prefix withdrawn more than once in a burst (path exploration:
+	// withdraw, re-announce, withdraw), every path it was withdrawn
+	// with. Unions dedup exactly with it, without per-prefix hash sets.
+	wSeen map[netaddr.Prefix]rib.PathHandle
+	multi map[netaddr.Prefix][]rib.PathHandle
+
+	// scratch
+	idBuf []rib.LinkID
+	set   rib.LinkSet
 }
 
 // NewTracker wraps a session RIB.
 func NewTracker(cfg Config, table *rib.Table) *Tracker {
-	return &Tracker{cfg: cfg, rib: table, wOn: make(map[topology.Link][]netaddr.Prefix)}
+	return &Tracker{
+		cfg:   cfg,
+		rib:   table,
+		wSeen: make(map[netaddr.Prefix]rib.PathHandle),
+		multi: make(map[netaddr.Prefix][]rib.PathHandle),
+	}
 }
 
 // RIB returns the underlying table.
@@ -105,23 +138,70 @@ func (t *Tracker) RIB() *rib.Table { return t.rib }
 func (t *Tracker) Received() int { return t.totalW }
 
 // Reset clears burst state (on burst end, or after rerouting when BGP
-// has reconverged).
+// has reconverged), reusing every buffer: counters are zeroed through
+// the touched lists, prefix groups are truncated in place, and the
+// held path references go back to the pool.
 func (t *Tracker) Reset() {
-	t.wOn = make(map[topology.Link][]netaddr.Prefix)
+	for _, id := range t.wLinks {
+		t.wCount[id] = 0
+	}
+	t.wLinks = t.wLinks[:0]
+	for _, h := range t.wPaths {
+		t.wByPath[h.ID()] = t.wByPath[h.ID()][:0]
+		t.rib.ReleaseHandle(h)
+	}
+	t.wPaths = t.wPaths[:0]
+	clear(t.wSeen)
+	clear(t.multi)
 	t.totalW = 0
 }
 
 // ObserveWithdraw processes one withdrawal: it charges the prefix's
-// current links with the withdrawal and removes the route.
+// current links with the withdrawal and removes the route. Steady
+// state this allocates nothing — the withdrawn path's links come
+// precomputed from the pool and land in reused counters and groups.
 func (t *Tracker) ObserveWithdraw(p netaddr.Prefix) {
 	t.totalW++
-	old := t.rib.Withdraw(p)
-	if old == nil {
+	h, ok := t.rib.WithdrawHandle(p)
+	if !ok {
 		return
 	}
-	var buf [16]topology.Link
-	for _, l := range rib.PathLinks(buf[:0], t.rib.LocalAS(), old) {
-		t.wOn[l] = append(t.wOn[l], p)
+	t.idBuf = t.rib.AppendPathLinkIDs(t.idBuf[:0], h)
+	for _, id := range t.idBuf {
+		t.growW(id)
+		if t.wCount[id] == 0 {
+			t.wLinks = append(t.wLinks, id)
+		}
+		t.wCount[id]++
+	}
+	pid := int(h.ID())
+	if pid >= len(t.wByPath) {
+		grown := make([][]netaddr.Prefix, pid+1+pid/2)
+		copy(grown, t.wByPath)
+		t.wByPath = grown
+	}
+	if len(t.wByPath[pid]) == 0 {
+		t.wPaths = append(t.wPaths, h) // first touch: keep the reference
+	} else {
+		t.rib.ReleaseHandle(h) // burst already holds one
+	}
+	t.wByPath[pid] = append(t.wByPath[pid], p)
+
+	// Duplicate-withdrawal bookkeeping for exact unions.
+	if lst, ok := t.multi[p]; ok {
+		t.multi[p] = append(lst, h)
+	} else if prev, ok := t.wSeen[p]; ok {
+		t.multi[p] = []rib.PathHandle{prev, h}
+	} else {
+		t.wSeen[p] = h
+	}
+}
+
+func (t *Tracker) growW(id rib.LinkID) {
+	if int(id) >= len(t.wCount) {
+		grown := make([]int32, int(id)+1+int(id)/2)
+		copy(grown, t.wCount)
+		t.wCount = grown
 	}
 }
 
@@ -139,14 +219,14 @@ func (t *Tracker) Scores() []LinkScore {
 	if t.totalW == 0 {
 		return nil
 	}
-	out := make([]LinkScore, 0, len(t.wOn))
-	for l, wps := range t.wOn {
-		w := len(wps)
-		p := t.rib.OnLink(l)
+	out := make([]LinkScore, 0, len(t.wLinks))
+	for _, id := range t.wLinks {
+		w := int(t.wCount[id])
+		p := t.rib.OnLinkID(id)
 		ws := float64(w) / float64(t.totalW)
 		ps := float64(w) / float64(w+p)
-		fs := stats.WeightedGeoMean([]float64{ws, ps}, []float64{t.cfg.WWS, t.cfg.WPS})
-		out = append(out, LinkScore{Link: l, W: w, P: p, WS: ws, PS: ps, FS: fs})
+		fs := stats.WeightedGeoMean2(ws, t.cfg.WWS, ps, t.cfg.WPS)
+		out = append(out, LinkScore{Link: t.rib.LinkByID(id), W: w, P: p, WS: ws, PS: ps, FS: fs})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].FS != out[j].FS {
@@ -182,23 +262,22 @@ func (t *Tracker) PredictedPrefixes(r Result) []netaddr.Prefix {
 	return t.rib.PrefixesOnAny(r.Links)
 }
 
-// WithdrawnOn returns the union of prefixes already withdrawn in this
-// burst whose pre-withdrawal path crossed any of the links. Together
-// with PredictedPrefixes it forms the W′ set of §6.2's evaluation: all
-// prefixes whose paths traversed the inferred links.
+// WithdrawnOn returns the sorted union of prefixes already withdrawn in
+// this burst whose pre-withdrawal path crossed any of the links.
+// Together with PredictedPrefixes it forms the W′ set of §6.2's
+// evaluation: all prefixes whose paths traversed the inferred links.
 func (t *Tracker) WithdrawnOn(links []topology.Link) []netaddr.Prefix {
-	seen := make(map[netaddr.Prefix]struct{})
-	for _, l := range links {
-		for _, p := range t.wOn[l] {
-			seen[p] = struct{}{}
+	t.rib.FillLinkSet(&t.set, links)
+	var out []netaddr.Prefix
+	for _, h := range t.wPaths {
+		if t.rib.PathCrossesSet(h, &t.set) {
+			out = append(out, t.wByPath[h.ID()]...)
 		}
 	}
-	out := make([]netaddr.Prefix, 0, len(seen))
-	for p := range seen {
-		out = append(out, p)
-	}
 	netaddr.Sort(out)
-	return out
+	// A prefix withdrawn more than once (with different paths both
+	// crossing the set) appears twice; compact.
+	return netaddr.DedupSorted(out)
 }
 
 // Infer runs the algorithm against the current burst state. With
@@ -210,22 +289,11 @@ func (t *Tracker) Infer() Result {
 		return Result{}
 	}
 	links := t.pickLinks(scores)
-	pred := 0
-	{
-		seen := make(map[netaddr.Prefix]struct{})
-		var buf []netaddr.Prefix
-		for _, l := range links {
-			buf = t.rib.PrefixesOn(buf[:0], l)
-			for _, p := range buf {
-				seen[p] = struct{}{}
-			}
-		}
-		pred = len(seen)
-	}
+	t.rib.FillLinkSet(&t.set, links)
 	res := Result{
 		Links:     links,
 		FS:        t.setFS(links),
-		Predicted: pred,
+		Predicted: t.rib.CountOnSet(&t.set),
 		Received:  t.totalW,
 		Accepted:  true,
 	}
@@ -327,38 +395,52 @@ func inSet(set []topology.Link, l topology.Link) bool {
 // setFS computes the aggregate Fit Score of a link set (§4.2, with set
 // unions in place of sums — see pickLinks):
 // WS(S) = |∪ W(l)| / W(t);  PS(S) = |∪ W(l)| / (|∪ W(l)| + |∪ P(l)|).
+//
+// Both unions come from per-path groups: a unique path is tested
+// against the set once and contributes its whole group, so the cost is
+// O(unique paths), not O(prefixes). Prefixes withdrawn more than once
+// are deduplicated through the multi index.
 func (t *Tracker) setFS(links []topology.Link) float64 {
 	if t.totalW == 0 {
 		return 0
 	}
 	var w, p int
 	if len(links) == 1 {
-		l := links[0]
-		w = len(t.wOn[l])
-		p = t.rib.OnLink(l)
+		if id, ok := t.rib.LookupLinkID(links[0]); ok {
+			if int(id) < len(t.wCount) {
+				w = int(t.wCount[id])
+			}
+			p = t.rib.OnLinkID(id)
+		}
 	} else {
-		wUnion := make(map[netaddr.Prefix]struct{})
-		for _, l := range links {
-			for _, wp := range t.wOn[l] {
-				wUnion[wp] = struct{}{}
+		t.rib.FillLinkSet(&t.set, links)
+		for _, h := range t.wPaths {
+			if t.rib.PathCrossesSet(h, &t.set) {
+				w += len(t.wByPath[h.ID()])
 			}
 		}
-		pUnion := make(map[netaddr.Prefix]struct{})
-		var buf []netaddr.Prefix
-		for _, l := range links {
-			buf = t.rib.PrefixesOn(buf[:0], l)
-			for _, pp := range buf {
-				pUnion[pp] = struct{}{}
+		// Subtract the over-count from prefixes withdrawn with several
+		// paths that cross the set: each contributes 1, not its
+		// crossing-path count.
+		for _, hs := range t.multi {
+			c := 0
+			for _, h := range hs {
+				if t.rib.PathCrossesSet(h, &t.set) {
+					c++
+				}
+			}
+			if c > 1 {
+				w -= c - 1
 			}
 		}
-		w, p = len(wUnion), len(pUnion)
+		p = t.rib.CountOnSet(&t.set)
 	}
 	if w+p == 0 {
 		return 0
 	}
 	ws := float64(w) / float64(t.totalW)
 	ps := float64(w) / float64(w+p)
-	return stats.WeightedGeoMean([]float64{ws, ps}, []float64{t.cfg.WWS, t.cfg.WPS})
+	return stats.WeightedGeoMean2(ws, t.cfg.WWS, ps, t.cfg.WPS)
 }
 
 // CommonEndpoint returns the endpoint shared by every link in the set,

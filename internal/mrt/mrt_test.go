@@ -3,6 +3,7 @@ package mrt
 import (
 	"bytes"
 	"io"
+	"reflect"
 	"testing"
 	"time"
 
@@ -302,5 +303,73 @@ func TestWalkRIBIPv4(t *testing.T) {
 		return nil
 	}); err == nil {
 		t.Error("truncated stream walked without error")
+	}
+}
+
+// TestWalkRIBIPv4ReuseMatchesFresh pins the buffer-reusing walker to
+// the fresh-record walker: same records, same order, same attributes —
+// across records with different path lengths and entry counts, so slot
+// and buffer resurrection is exercised.
+func TestWalkRIBIPv4ReuseMatchesFresh(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ts := time.Unix(1700000000, 0).UTC()
+	if err := w.WritePeerIndexTable(ts, 1, []PeerEntry{{ID: 2, IP: 3, AS: 65002}}); err != nil {
+		t.Fatal(err)
+	}
+	recs := []*RIBRecord{
+		{Sequence: 0, Prefix: netaddr.MustParsePrefix("192.0.2.0/24"), Entries: []RIBEntry{
+			{Originated: ts, Attrs: bgp.Attrs{ASPath: []uint32{65002, 65003, 65004, 65005}, HasNextHop: true, NextHop: 3}},
+			{Originated: ts, Attrs: bgp.Attrs{ASPath: []uint32{65002, 65010}, HasNextHop: true, NextHop: 3}},
+		}},
+		{Sequence: 1, Prefix: netaddr.MustParsePrefix("198.51.100.0/24"), Entries: []RIBEntry{
+			{Originated: ts, Attrs: bgp.Attrs{ASPath: []uint32{65002}, HasNextHop: true, NextHop: 3, Communities: []uint32{7, 9}}},
+		}},
+		{Sequence: 2, Prefix: netaddr.MustParsePrefix("203.0.113.0/24"), Entries: []RIBEntry{
+			{Originated: ts, Attrs: bgp.Attrs{ASPath: []uint32{65002, 65020, 65021}, HasNextHop: true, NextHop: 3}},
+			{Originated: ts, Attrs: bgp.Attrs{ASPath: []uint32{65002, 65030}, HasNextHop: true, NextHop: 3}},
+			{Originated: ts, Attrs: bgp.Attrs{ASPath: []uint32{65002}, HasNextHop: true, NextHop: 3}},
+		}},
+	}
+	for _, r := range recs {
+		if err := w.WriteRIBIPv4(ts, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	type flat struct {
+		seq    uint32
+		prefix netaddr.Prefix
+		path   []uint32
+		comms  []uint32
+	}
+	collect := func(walk func(io.Reader, func(*RIBRecord) error) error) []flat {
+		var out []flat
+		err := walk(bytes.NewReader(buf.Bytes()), func(rr *RIBRecord) error {
+			for i := range rr.Entries {
+				out = append(out, flat{
+					seq:    rr.Sequence,
+					prefix: rr.Prefix,
+					path:   append([]uint32(nil), rr.Entries[i].Attrs.ASPath...),
+					comms:  append([]uint32(nil), rr.Entries[i].Attrs.Communities...),
+				})
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	fresh, reused := collect(WalkRIBIPv4), collect(WalkRIBIPv4Reuse)
+	if !reflect.DeepEqual(fresh, reused) {
+		t.Fatalf("walkers disagree:\nfresh  %+v\nreused %+v", fresh, reused)
+	}
+	if len(fresh) != 6 {
+		t.Fatalf("flattened %d entries, want 6", len(fresh))
 	}
 }

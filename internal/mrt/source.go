@@ -145,7 +145,13 @@ func (s *Source) Run(sink event.Sink) error {
 }
 
 // loadRIB drains the TABLE_DUMP_V2 snapshot into the sink's
-// Provisioner surface and compiles the peer's plan.
+// Provisioner surface and compiles the peer's plan. Each record's
+// decoded AS path is handed to Learn, which interns it into the
+// engine's path pool: a full-table dump provisions as one canonical
+// copy per unique path (plus the Prefix→PathID route map), not one
+// slice per prefix, and the per-record decode allocations die young.
+// Fleet sinks share one pool across peers, so replaying several
+// vantage dumps stores their overlapping paths once.
 func (s *Source) loadRIB(sink event.Sink) error {
 	if s.Peer == (event.PeerKey{}) {
 		return errors.New("mrt: Source.RIB requires explicit Peer attribution")
@@ -154,7 +160,11 @@ func (s *Source) loadRIB(sink event.Sink) error {
 	if !ok {
 		return fmt.Errorf("mrt: sink %T cannot load a RIB snapshot (no Provisioner surface)", sink)
 	}
-	err := WalkRIBIPv4(s.RIB, func(rr *RIBRecord) error {
+	// The reusing walker recycles record and attribute buffers across
+	// records; Learn interns each path into the sink's pool, copying it
+	// only on first sight, so provisioning a full-table dump costs one
+	// canonical path copy per unique path.
+	err := WalkRIBIPv4Reuse(s.RIB, func(rr *RIBRecord) error {
 		for i := range rr.Entries {
 			prov.Learn(s.Peer, rr.Prefix, rr.Entries[i].Attrs.ASPath)
 			s.Routes++

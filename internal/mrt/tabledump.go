@@ -80,7 +80,7 @@ func (w *Writer) WriteRIBIPv4(ts time.Time, rec *RIBRecord) error {
 // WalkRIBIPv4 streams every RIB_IPV4_UNICAST record of a TABLE_DUMP_V2
 // file to fn, skipping other record types. It stops at end of stream
 // (returning nil), on a decode error, or on the first error fn
-// returns.
+// returns. Each record is freshly decoded: fn may retain it.
 func WalkRIBIPv4(r io.Reader, fn func(*RIBRecord) error) error {
 	rd := NewReader(r)
 	for {
@@ -99,6 +99,38 @@ func WalkRIBIPv4(r io.Reader, fn func(*RIBRecord) error) error {
 			return err
 		}
 		if err := fn(rr); err != nil {
+			return err
+		}
+	}
+}
+
+// WalkRIBIPv4Reuse is WalkRIBIPv4 recycling one RIBRecord — entry
+// slots, AS-path and community buffers included — across callbacks:
+// once the buffers are warm, walking a full-table dump generates no
+// per-entry garbage. fn must not retain the record or any slice in it
+// past the call. Safe for any consumer that interns or copies what it
+// keeps, which is exactly what the provisioning path does: Learn hands
+// each path to the RIB's intern pool, so only the first occurrence of
+// a path is ever copied.
+func WalkRIBIPv4Reuse(r io.Reader, fn func(*RIBRecord) error) error {
+	rd := NewReader(r)
+	var rr RIBRecord
+	var dec bgp.UpdateDecoder
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if rec.Type != TypeTableDumpV2 || rec.Subtype != SubtypeRIBIPv4Unicast {
+			continue
+		}
+		if err := decodeRIBIPv4Into(rec.Body, &rr, &dec); err != nil {
+			return err
+		}
+		if err := fn(&rr); err != nil {
 			return err
 		}
 	}
@@ -150,42 +182,67 @@ func DecodePeerIndexTable(body []byte) (collectorID uint32, peers []PeerEntry, e
 	return collectorID, peers, nil
 }
 
-// DecodeRIBIPv4 decodes a RIB_IPV4_UNICAST body.
+// DecodeRIBIPv4 decodes a RIB_IPV4_UNICAST body into a fresh record
+// the caller may retain.
 func DecodeRIBIPv4(body []byte) (*RIBRecord, error) {
-	if len(body) < 5 {
-		return nil, ErrTruncated
+	rec := &RIBRecord{}
+	var dec bgp.UpdateDecoder
+	if err := decodeRIBIPv4Into(body, rec, &dec); err != nil {
+		return nil, err
 	}
-	rec := &RIBRecord{Sequence: binary.BigEndian.Uint32(body[0:4])}
+	return rec, nil
+}
+
+// decodeRIBIPv4Into decodes a RIB_IPV4_UNICAST body into rec, reusing
+// rec's entry slots (and each slot's attribute buffers) and dec as
+// scratch. Everything decoded is only valid until the next call with
+// the same rec.
+func decodeRIBIPv4Into(body []byte, rec *RIBRecord, dec *bgp.UpdateDecoder) error {
+	if len(body) < 5 {
+		return ErrTruncated
+	}
+	rec.Sequence = binary.BigEndian.Uint32(body[0:4])
 	b := body[4:]
 	p, n, err := parseWirePrefix(b)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	rec.Prefix = p
 	b = b[n:]
 	if len(b) < 2 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	count := int(binary.BigEndian.Uint16(b[0:2]))
 	b = b[2:]
+	if count <= cap(rec.Entries) {
+		// Resurrected slots keep their attribute buffers (truncation
+		// never zeroed them), so re-decoding into them is append-only.
+		rec.Entries = rec.Entries[:count]
+	} else {
+		grown := make([]RIBEntry, count)
+		copy(grown, rec.Entries[:cap(rec.Entries)])
+		rec.Entries = grown
+	}
 	for i := 0; i < count; i++ {
 		if len(b) < 8 {
-			return nil, ErrTruncated
+			rec.Entries = rec.Entries[:i]
+			return ErrTruncated
 		}
-		var e RIBEntry
+		e := &rec.Entries[i]
 		e.PeerIndex = binary.BigEndian.Uint16(b[0:2])
 		e.Originated = time.Unix(int64(binary.BigEndian.Uint32(b[2:6])), 0).UTC()
 		alen := int(binary.BigEndian.Uint16(b[6:8]))
 		if len(b) < 8+alen {
-			return nil, ErrTruncated
+			rec.Entries = rec.Entries[:i]
+			return ErrTruncated
 		}
-		if err := bgp.DecodeAttrs(b[8:8+alen], &e.Attrs); err != nil {
-			return nil, err
+		if err := bgp.DecodeAttrsReuse(b[8:8+alen], &e.Attrs, dec); err != nil {
+			rec.Entries = rec.Entries[:i]
+			return err
 		}
 		b = b[8+alen:]
-		rec.Entries = append(rec.Entries, e)
 	}
-	return rec, nil
+	return nil
 }
 
 // appendWirePrefix and parseWirePrefix use the RFC 4271 prefix encoding,

@@ -130,6 +130,23 @@ func Sort(ps []Prefix) {
 	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
 }
 
+// DedupSorted compacts equal neighbors of a sorted slice in place and
+// returns the shortened slice — the allocation-free union finisher the
+// reroute-path set materializations use (append, Sort, DedupSorted).
+func DedupSorted(ps []Prefix) []Prefix {
+	if len(ps) < 2 {
+		return ps
+	}
+	w := 1
+	for i := 1; i < len(ps); i++ {
+		if ps[i] != ps[w-1] {
+			ps[w] = ps[i]
+			w++
+		}
+	}
+	return ps[:w]
+}
+
 // BlockFor deterministically derives the i-th /24 prefix belonging to an
 // origin AS. Every synthetic workload in this repository draws its
 // address space through this function so that a (origin, index) pair

@@ -114,10 +114,21 @@ func Compute(localAS uint32, primary *rib.Table, alternates map[uint32]*rib.Tabl
 	})
 	netaddr.Sort(prefixes)
 
-	var linkBuf [16]topology.Link
+	// Paths are interned, so the positional link decomposition is
+	// computed once per unique path, not once per prefix (real tables
+	// carry orders of magnitude more prefixes than paths).
+	linksByPath := make(map[rib.PathID][]topology.Link)
 	for _, p := range prefixes {
-		path := primary.Path(p)
-		links := rib.PathLinks(linkBuf[:0], localAS, path)
+		h, ok := primary.HandleOf(p)
+		if !ok {
+			continue
+		}
+		path := h.Path()
+		links, memoized := linksByPath[h.ID()]
+		if !memoized {
+			links = rib.PathLinks(nil, localAS, path)
+			linksByPath[h.ID()] = links
+		}
 		n := depth
 		if len(links) < n {
 			n = len(links)

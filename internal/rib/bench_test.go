@@ -4,9 +4,10 @@ import (
 	"testing"
 
 	"swift/internal/netaddr"
+	"swift/internal/topology"
 )
 
-// BenchmarkAnnounce measures route installation with link indexing.
+// BenchmarkAnnounce measures route installation with link counting.
 func BenchmarkAnnounce(b *testing.B) {
 	t := New(1)
 	path := []uint32{2, 5, 6, 8}
@@ -17,7 +18,24 @@ func BenchmarkAnnounce(b *testing.B) {
 	}
 }
 
-// BenchmarkWithdraw measures removal including index cleanup.
+// BenchmarkAnnounceRefresh measures the steady-state fast path: a
+// re-announcement of the current route (the dominant message on a
+// quiet collector session).
+func BenchmarkAnnounceRefresh(b *testing.B) {
+	t := New(1)
+	path := []uint32{2, 5, 6, 8}
+	const n = 4096
+	for i := 0; i < n; i++ {
+		t.Announce(netaddr.PrefixFor(8, i), path)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Announce(netaddr.PrefixFor(8, i%n), path)
+	}
+}
+
+// BenchmarkWithdraw measures removal including counter cleanup.
 func BenchmarkWithdraw(b *testing.B) {
 	t := New(1)
 	path := []uint32{2, 5, 6, 8}
@@ -32,5 +50,97 @@ func BenchmarkWithdraw(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Withdraw(netaddr.PrefixFor(8, i%n))
+	}
+}
+
+// BenchmarkWithdrawAnnounceCycle keeps the table full so every
+// withdrawal is a live-route removal (BenchmarkWithdraw drains the
+// table, after which most iterations measure the miss path).
+func BenchmarkWithdrawAnnounceCycle(b *testing.B) {
+	t := New(1)
+	path := []uint32{2, 5, 6, 8}
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		t.Announce(netaddr.PrefixFor(8, i), path)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := netaddr.PrefixFor(8, i%n)
+		t.Withdraw(p)
+		t.Announce(p, path)
+	}
+}
+
+// BenchmarkIntern measures a pool hit — the per-announcement interning
+// cost once a path has been seen.
+func BenchmarkIntern(b *testing.B) {
+	pool := NewPool()
+	path := []uint32{2, 5, 6, 8, 11, 13}
+	h := pool.Intern(path)
+	defer pool.Release(h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Release(pool.Intern(path))
+	}
+}
+
+// benchTableForUnions builds a 200k-prefix table: 50 unique paths over
+// a shared trunk, 4k prefixes each — full-table shape at 1/3 scale.
+func benchTableForUnions() *Table {
+	t := New(1)
+	for g := uint32(0); g < 50; g++ {
+		path := []uint32{2, 5, 600 + g, 700 + g}
+		for i := 0; i < 4000; i++ {
+			t.Announce(netaddr.PrefixFor(100+g, i), path)
+		}
+	}
+	return t
+}
+
+// BenchmarkPrefixesOnAny measures the reroute-path materialization: the
+// union of prefixes across an inferred link set, built by grouping per
+// path and expanding only matching groups (it must fit §6's 2s budget).
+func BenchmarkPrefixesOnAny(b *testing.B) {
+	t := benchTableForUnions()
+	links := []topology.Link{topology.MakeLink(5, 600), topology.MakeLink(5, 601)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps := t.PrefixesOnAny(links)
+		if len(ps) != 8000 {
+			b.Fatalf("union = %d, want 8000", len(ps))
+		}
+	}
+}
+
+// BenchmarkPrefixesOnAnyWide is the worst case: the shared trunk link,
+// crossed by every path, materializing the whole table.
+func BenchmarkPrefixesOnAnyWide(b *testing.B) {
+	t := benchTableForUnions()
+	links := []topology.Link{topology.MakeLink(2, 5)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps := t.PrefixesOnAny(links)
+		if len(ps) != 200000 {
+			b.Fatalf("union = %d, want 200000", len(ps))
+		}
+	}
+}
+
+// BenchmarkCountOnSet measures the counting form the inference layer
+// uses for Predicted: no materialization at all.
+func BenchmarkCountOnSet(b *testing.B) {
+	t := benchTableForUnions()
+	var set LinkSet
+	t.FillLinkSet(&set, []topology.Link{topology.MakeLink(5, 600), topology.MakeLink(5, 601)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := t.CountOnSet(&set); n != 8000 {
+			b.Fatalf("count = %d", n)
+		}
 	}
 }

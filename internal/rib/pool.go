@@ -1,0 +1,311 @@
+package rib
+
+import (
+	"sync"
+
+	"swift/internal/topology"
+)
+
+// PathID is a dense identifier for one canonical interned AS path.
+// IDs are pool-scoped: every Table sharing a Pool agrees on them, which
+// is what lets per-table state (prefix groups, counters) live in plain
+// slices indexed by PathID. ID 0 is reserved and never names a path.
+type PathID uint32
+
+// LinkID is a dense identifier for one AS link. Like PathID it is
+// pool-scoped, so per-link counters are array lookups instead of map
+// probes. ID 0 is reserved; links are never freed (their cardinality is
+// bounded by the topology, not the table size).
+type LinkID uint32
+
+// pathEntry is one canonical interned path. The path and links fields
+// are written once under the pool lock before any handle escapes and
+// never mutated while a reference is held, so holders may read them
+// without locking.
+type pathEntry struct {
+	id   PathID
+	refs int32
+	// path is the canonical AS sequence (neighbor first). It is dropped
+	// (not recycled) when the entry is freed, so slices handed out while
+	// the entry was live can never be overwritten by a later intern.
+	path []uint32
+	// links are the path's interior AS links — MakeLink over consecutive
+	// distinct ASes of path, deduplicated — as dense IDs. The local
+	// first-hop link (localAS, path[0]) is per-table (tables differ in
+	// localAS) and therefore not part of the shared entry; Table
+	// resolves it through its firstLink cache.
+	links []LinkID
+}
+
+// PathHandle is a borrowed or owned reference to an interned path.
+// Handles returned by Pool.Intern and Table.WithdrawHandle own one
+// reference and must be released exactly once; handles returned by
+// Table.HandleOf borrow the table's reference and are valid only while
+// the route stays installed.
+type PathHandle struct{ e *pathEntry }
+
+// Valid reports whether the handle names a path.
+func (h PathHandle) Valid() bool { return h.e != nil }
+
+// ID returns the dense path identifier.
+func (h PathHandle) ID() PathID { return h.e.id }
+
+// Path returns the canonical AS path. The slice is owned by the pool
+// and immutable while the handle's reference is held.
+func (h PathHandle) Path() []uint32 { return h.e.path }
+
+// Head returns the first AS of the path (the session neighbor), or
+// false for the empty path.
+func (h PathHandle) Head() (uint32, bool) {
+	if len(h.e.path) == 0 {
+		return 0, false
+	}
+	return h.e.path[0], true
+}
+
+// InteriorLinkIDs returns the path's interior links (everything except
+// the per-table local first-hop link), deduplicated. The slice is owned
+// by the pool and immutable while the handle's reference is held.
+func (h PathHandle) InteriorLinkIDs() []LinkID { return h.e.links }
+
+// Pool deduplicates AS paths and AS links into refcounted, densely
+// numbered entries. Real tables carry far fewer unique paths than
+// prefixes, so one Pool shared across a fleet of per-peer tables stores
+// each path once regardless of how many prefixes — on how many peers —
+// announce it.
+//
+// All methods are safe for concurrent use; entry contents reachable
+// through a held PathHandle are immutable and may be read lock-free.
+type Pool struct {
+	mu      sync.Mutex
+	entries []*pathEntry // indexed by PathID; entries[0] is nil
+	free    []PathID     // freed entry slots awaiting reuse
+	byKey   map[string]PathID
+	live    int
+
+	links   []topology.Link // indexed by LinkID; links[0] is the zero Link
+	linkIDs map[topology.Link]LinkID
+
+	keyBuf []byte // scratch for allocation-free map probes
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{
+		entries: make([]*pathEntry, 1),
+		byKey:   make(map[string]PathID),
+		links:   make([]topology.Link, 1),
+		linkIDs: make(map[topology.Link]LinkID),
+	}
+}
+
+// pathKeyLocked encodes path into the scratch key buffer. The returned
+// slice is only valid until the next call.
+func (p *Pool) pathKeyLocked(path []uint32) []byte {
+	b := p.keyBuf[:0]
+	for _, as := range path {
+		b = append(b, byte(as), byte(as>>8), byte(as>>16), byte(as>>24))
+	}
+	p.keyBuf = b
+	return b
+}
+
+// Intern returns an owned handle for the canonical copy of path,
+// creating the entry on first sight. Interning an already-known path is
+// allocation-free: the probe key is built in a scratch buffer and the
+// canonical copy is shared. The caller's slice is never retained —
+// callers may reuse or mutate it freely afterwards.
+func (p *Pool) Intern(path []uint32) PathHandle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := p.pathKeyLocked(path)
+	if id, ok := p.byKey[string(key)]; ok {
+		e := p.entries[id]
+		e.refs++
+		return PathHandle{e}
+	}
+	var e *pathEntry
+	if n := len(p.free); n > 0 {
+		id := p.free[n-1]
+		p.free = p.free[:n-1]
+		e = p.entries[id]
+	} else {
+		e = &pathEntry{id: PathID(len(p.entries))}
+		p.entries = append(p.entries, e)
+	}
+	e.refs = 1
+	e.path = append([]uint32(nil), path...)
+	e.links = p.interiorLinksLocked(e.links[:0], e.path)
+	p.byKey[string(key)] = e.id
+	p.live++
+	return PathHandle{e}
+}
+
+// Retain adds n references to the handle's entry (Clone bulk-retains
+// one per copied route).
+func (p *Pool) Retain(h PathHandle, n int) {
+	p.mu.Lock()
+	h.e.refs += int32(n)
+	p.mu.Unlock()
+}
+
+// Release drops one reference. When the last reference goes, the entry
+// is unindexed and its slot queued for reuse; the canonical path slice
+// is abandoned to the garbage collector so previously returned slices
+// stay intact.
+func (p *Pool) Release(h PathHandle) { p.ReleaseN(h, 1) }
+
+// ReleaseN drops n references at once (Table.Release bulk-returns one
+// per dropped route).
+func (p *Pool) ReleaseN(h PathHandle, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := h.e
+	e.refs -= int32(n)
+	if e.refs > 0 {
+		return
+	}
+	if e.refs < 0 {
+		panic("rib: path over-released")
+	}
+	delete(p.byKey, string(p.pathKeyLocked(e.path)))
+	e.path = nil
+	p.free = append(p.free, e.id)
+	p.live--
+}
+
+// interiorLinksLocked appends the deduplicated interior links of path:
+// MakeLink over consecutive distinct ASes, skipping prepending runs.
+func (p *Pool) interiorLinksLocked(dst []LinkID, path []uint32) []LinkID {
+	if len(path) == 0 {
+		return dst
+	}
+	prev := path[0]
+	for _, as := range path[1:] {
+		if as == prev {
+			continue // AS-path prepending
+		}
+		id := p.linkIDLocked(topology.MakeLink(prev, as))
+		prev = as
+		if !containsLinkID(dst, id) {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+func containsLinkID(ids []LinkID, id LinkID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pool) linkIDLocked(l topology.Link) LinkID {
+	if id, ok := p.linkIDs[l]; ok {
+		return id
+	}
+	id := LinkID(len(p.links))
+	p.links = append(p.links, l)
+	p.linkIDs[l] = id
+	return id
+}
+
+// LinkID returns (creating if needed) the dense id of l.
+func (p *Pool) LinkID(l topology.Link) LinkID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.linkIDLocked(l)
+}
+
+// LookupLink returns the dense id of l without creating one.
+func (p *Pool) LookupLink(l topology.Link) (LinkID, bool) {
+	p.mu.Lock()
+	id, ok := p.linkIDs[l]
+	p.mu.Unlock()
+	return id, ok
+}
+
+// LinkAt returns the link named by id (the zero Link for id 0 or out of
+// range).
+func (p *Pool) LinkAt(id LinkID) topology.Link {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) >= len(p.links) {
+		return topology.Link{}
+	}
+	return p.links[id]
+}
+
+// Len returns the number of live (referenced) paths — the leak-check
+// observable: after every route referencing a path is withdrawn and
+// every tracker reset, Len returns to its baseline.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live
+}
+
+// NumLinks returns how many distinct links the pool has numbered.
+// Links are never freed.
+func (p *Pool) NumLinks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.links) - 1
+}
+
+// PoolStats summarizes a pool's occupancy for memory accounting.
+type PoolStats struct {
+	// Paths is the live (referenced) path count.
+	Paths int
+	// FreeSlots is how many freed entry slots await reuse.
+	FreeSlots int
+	// Links is the numbered link count (never shrinks).
+	Links int
+}
+
+// Stats snapshots the pool.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Paths: p.live, FreeSlots: len(p.free), Links: len(p.links) - 1}
+}
+
+// LinkSet is a reusable dense membership set over LinkIDs — the shape
+// the inference layer passes to the union/materialization queries so a
+// path's links test against an inferred set by array lookup.
+type LinkSet struct {
+	mark []bool
+	ids  []LinkID
+}
+
+// Reset empties the set, keeping capacity.
+func (s *LinkSet) Reset() {
+	for _, id := range s.ids {
+		s.mark[id] = false
+	}
+	s.ids = s.ids[:0]
+}
+
+// Add inserts id.
+func (s *LinkSet) Add(id LinkID) {
+	if int(id) >= len(s.mark) {
+		grown := make([]bool, int(id)+1)
+		copy(grown, s.mark)
+		s.mark = grown
+	}
+	if !s.mark[id] {
+		s.mark[id] = true
+		s.ids = append(s.ids, id)
+	}
+}
+
+// Has reports membership.
+func (s *LinkSet) Has(id LinkID) bool {
+	return int(id) < len(s.mark) && s.mark[id]
+}
+
+// Len returns the member count.
+func (s *LinkSet) Len() int { return len(s.ids) }

@@ -1,0 +1,203 @@
+package rib
+
+import (
+	"math/rand"
+	"testing"
+
+	"swift/internal/netaddr"
+	"swift/internal/topology"
+)
+
+// TestAnnounceDoesNotAliasCallerBuffer is the regression test for the
+// old aliasing footgun: Announce used to store the caller's slice, so a
+// buffer-reusing source (a BGP decoder) silently corrupted the RIB.
+// Interning makes storage canonical — mutating the buffer after
+// Announce must leave the table untouched.
+func TestAnnounceDoesNotAliasCallerBuffer(t *testing.T) {
+	tb := New(1)
+	p := netaddr.PrefixFor(8, 0)
+	buf := []uint32{2, 5, 6, 8}
+	tb.Announce(p, buf)
+
+	// Source reuses its buffer for the next message.
+	buf[0], buf[1], buf[2], buf[3] = 9, 9, 9, 9
+
+	got := tb.Path(p)
+	want := []uint32{2, 5, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("path = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("path = %v, want %v (caller's buffer mutation leaked in)", got, want)
+		}
+	}
+	// The link index must reflect the original path too.
+	if tb.OnLink(link(5, 6)) != 1 || tb.OnLink(link(9, 9)) != 0 {
+		t.Error("link counters follow the mutated buffer, not the canonical path")
+	}
+	// And a second prefix announcing the same (restored) content shares
+	// the canonical copy.
+	buf[0], buf[1], buf[2], buf[3] = 2, 5, 6, 8
+	p2 := netaddr.PrefixFor(8, 1)
+	tb.Announce(p2, buf)
+	if tb.Pool().Len() != 1 {
+		t.Errorf("pool holds %d paths, want 1 (identical paths must intern)", tb.Pool().Len())
+	}
+}
+
+func TestWithdrawnPathSurvivesEntryReuse(t *testing.T) {
+	tb := New(1)
+	p := netaddr.PrefixFor(8, 0)
+	tb.Announce(p, []uint32{2, 5, 6})
+	old := tb.Withdraw(p) // frees the entry slot
+	// Reuse the slot with a different path.
+	tb.Announce(p, []uint32{3, 9})
+	if len(old) != 3 || old[0] != 2 || old[1] != 5 || old[2] != 6 {
+		t.Fatalf("withdrawn path corrupted by slot reuse: %v", old)
+	}
+}
+
+func TestPoolRefcountLifecycle(t *testing.T) {
+	pool := NewPool()
+	a := NewWithPool(1, pool)
+	b := NewWithPool(1, pool)
+
+	// Two tables, overlapping paths: each unique path stored once.
+	for i := 0; i < 100; i++ {
+		a.Announce(netaddr.PrefixFor(8, i), []uint32{2, 5, 6, 8})
+		b.Announce(netaddr.PrefixFor(8, i), []uint32{2, 5, 6, 8})
+		b.Announce(netaddr.PrefixFor(7, i), []uint32{2, 5, 6, 7})
+	}
+	if got := pool.Len(); got != 2 {
+		t.Fatalf("pool.Len() = %d, want 2 unique paths", got)
+	}
+
+	// Withdrawing every route returns the pool to baseline.
+	for i := 0; i < 100; i++ {
+		a.Withdraw(netaddr.PrefixFor(8, i))
+		b.Withdraw(netaddr.PrefixFor(8, i))
+		b.Withdraw(netaddr.PrefixFor(7, i))
+	}
+	if got := pool.Len(); got != 0 {
+		t.Fatalf("pool.Len() = %d after withdrawing everything, want 0", got)
+	}
+	st := pool.Stats()
+	if st.FreeSlots != 2 {
+		t.Errorf("free slots = %d, want 2", st.FreeSlots)
+	}
+	// Links are never freed.
+	if st.Links == 0 {
+		t.Error("links must persist")
+	}
+}
+
+func TestCloneRetainsAndReleaseReturns(t *testing.T) {
+	pool := NewPool()
+	tb := NewWithPool(1, pool)
+	for i := 0; i < 50; i++ {
+		tb.Announce(netaddr.PrefixFor(8, i), []uint32{2, 5, 6})
+	}
+	cp := tb.Clone()
+	for i := 0; i < 50; i++ {
+		tb.Withdraw(netaddr.PrefixFor(8, i))
+	}
+	// The clone still references the path.
+	if pool.Len() != 1 {
+		t.Fatalf("pool.Len() = %d with live clone, want 1", pool.Len())
+	}
+	if cp.Len() != 50 || cp.OnLink(link(5, 6)) != 50 {
+		t.Error("clone lost state after original withdrew")
+	}
+	cp.Release()
+	if pool.Len() != 0 {
+		t.Fatalf("pool.Len() = %d after clone release, want 0", pool.Len())
+	}
+	if cp.Len() != 0 {
+		t.Error("released table must be empty")
+	}
+}
+
+func TestLongAndPrependedPaths(t *testing.T) {
+	tb := New(1)
+	// 24-hop path: longer than the old fixed 16-link scratch buffers.
+	long := make([]uint32, 24)
+	for i := range long {
+		long[i] = uint32(100 + i)
+	}
+	p := netaddr.PrefixFor(8, 0)
+	tb.Announce(p, long)
+	if got := len(tb.Links(p)); got != 24 {
+		t.Errorf("24-hop path yields %d links, want 24", got)
+	}
+	if tb.OnLink(topology.MakeLink(110, 111)) != 1 {
+		t.Error("deep link not counted")
+	}
+
+	// Prepending dedups: {2,2,2,5} crosses (1,2) and (2,5) only.
+	p2 := netaddr.PrefixFor(8, 1)
+	tb.Announce(p2, []uint32{2, 2, 2, 5})
+	if tb.OnLink(link(1, 2)) != 1 || tb.OnLink(link(2, 5)) != 1 {
+		t.Error("prepended path miscounted")
+	}
+	if tb.OnLink(link(2, 2)) != 0 {
+		t.Error("self-loop must not be a link")
+	}
+
+	// A path revisiting a link counts it once per prefix.
+	p3 := netaddr.PrefixFor(8, 2)
+	tb.Announce(p3, []uint32{2, 9, 2, 5})
+	if got := tb.OnLink(link(2, 9)); got != 1 {
+		t.Errorf("OnLink(2,9) = %d, want 1 (revisited link counted once)", got)
+	}
+}
+
+// TestHeadEqualsLocalAS covers paths starting at the table's own AS:
+// there is no local first-hop link to cross.
+func TestHeadEqualsLocalAS(t *testing.T) {
+	tb := New(1)
+	p := netaddr.PrefixFor(8, 0)
+	tb.Announce(p, []uint32{1, 2, 5})
+	if tb.OnLink(link(1, 2)) != 1 || tb.OnLink(link(2, 5)) != 1 {
+		t.Error("interior links of a local-headed path missing")
+	}
+	got := tb.PrefixesOnAny([]topology.Link{link(1, 2)})
+	if len(got) != 1 || got[0] != p {
+		t.Errorf("PrefixesOnAny = %v", got)
+	}
+}
+
+// TestRandomizedPoolBaseline announces and withdraws random routes,
+// then drains the table and checks the pool returns to empty — the
+// refcount-leak property on a messier schedule than the lifecycle test.
+func TestRandomizedPoolBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pool := NewPool()
+	tb := NewWithPool(1, pool)
+	paths := [][]uint32{
+		{2, 5, 6}, {2, 5, 6, 8}, {3, 6}, {3, 6, 8}, {2, 2, 5}, {4, 7, 9, 11},
+	}
+	for i := 0; i < 5000; i++ {
+		p := netaddr.PrefixFor(uint32(2+rng.Intn(6)), rng.Intn(40))
+		if rng.Intn(3) == 0 {
+			tb.Withdraw(p)
+		} else {
+			tb.Announce(p, paths[rng.Intn(len(paths))])
+		}
+	}
+	tb.ForEach(func(p netaddr.Prefix, _ []uint32) {}) // smoke: no corruption
+	var all []netaddr.Prefix
+	tb.ForEach(func(p netaddr.Prefix, _ []uint32) { all = append(all, p) })
+	for _, p := range all {
+		tb.Withdraw(p)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("table not drained: %d", tb.Len())
+	}
+	if pool.Len() != 0 {
+		t.Fatalf("pool leaks %d paths after drain", pool.Len())
+	}
+	for _, l := range tb.ActiveLinks() {
+		t.Errorf("active link %v on empty table", l)
+	}
+}

@@ -1,8 +1,14 @@
 // Package rib implements the per-session Adj-RIB-In a SWIFTED router
-// maintains: prefix → AS-path state plus an inverted index from AS link
-// to the prefixes currently routed across it. The index is the data
-// structure both the inference algorithm (W and P counters of §4.1) and
-// the encoding algorithm (per-link prefix loads of §5) are built on.
+// maintains, built on an interning core: AS paths and AS links are
+// deduplicated into a refcounted Pool of densely numbered entries
+// (real tables carry far fewer unique paths than prefixes), each table
+// stores Prefix → PathID plus per-PathID prefix groups, and the
+// inverted link index the inference algorithm (W and P counters of
+// §4.1) and the encoding algorithm (per-link prefix loads of §5) are
+// built on collapses to dense per-LinkID counters. Prefix sets are
+// materialized on demand — group by path, test the handful of inferred
+// links against each unique path once, expand the matching groups —
+// instead of being maintained for every link on every update.
 package rib
 
 import (
@@ -10,24 +16,74 @@ import (
 	"swift/internal/topology"
 )
 
-// Table is one BGP session's RIB with link indexing. It is not
-// concurrency-safe: the SWIFT engine owns one per session and serializes
-// access (the paper runs inference per session precisely to enable this
-// parallelism without sharing).
-type Table struct {
-	localAS uint32
-	routes  map[netaddr.Prefix][]uint32 // prefix -> announced path (neighbor first)
-	byLink  map[topology.Link]map[netaddr.Prefix]struct{}
+// routeRef locates one installed route: the interned path id plus the
+// prefix's position inside the table's per-path group (for O(1)
+// swap-removal). It is deliberately pointer-free — the routes map is
+// the table's only O(prefixes) structure, and a pointer-free map is
+// invisible to the garbage collector (the entry pointer lives in the
+// O(paths) perPath groups instead).
+type routeRef struct {
+	pid PathID
+	idx int32
 }
 
-// New returns an empty table for a session of localAS.
-func New(localAS uint32) *Table {
+// pathRoutes is one per-path prefix group. ent tracks the entry that
+// currently owns this PathID slot; the slice holds every prefix the
+// table routes over that path; pos is the group's index in the table's
+// live list while the group is non-empty.
+type pathRoutes struct {
+	ent      *pathEntry
+	prefixes []netaddr.Prefix
+	pos      int32
+}
+
+// Table is one BGP session's RIB with link counting. It is not
+// concurrency-safe: the SWIFT engine owns one per session and serializes
+// access (the paper runs inference per session precisely to enable this
+// parallelism without sharing). The Pool behind it IS safe to share —
+// a fleet of per-peer tables deduplicates overlapping paths through one
+// pool.
+type Table struct {
+	localAS uint32
+	pool    *Pool
+	routes  map[netaddr.Prefix]routeRef
+	// perPath groups the table's prefixes by PathID. The slice is
+	// indexed by pool-scoped ids, so with a fleet-shared pool it is
+	// sparse (32 bytes per id the pool has numbered, used or not);
+	// iteration never scans it — livePaths lists exactly the ids this
+	// table populates, keeping per-path queries O(table paths) however
+	// many paths the rest of the fleet interned.
+	perPath   []pathRoutes
+	livePaths []PathID
+	// onLink is P(l, t) by LinkID: how many prefixes' current path
+	// crosses the link (each prefix counted once per link).
+	onLink []int32
+	// firstLink caches the LinkID of (localAS, head) per first-hop AS —
+	// the only per-table piece of a path's link decomposition.
+	firstLink map[uint32]LinkID
+	// set is the scratch LinkSet behind the []topology.Link query
+	// surface.
+	set LinkSet
+}
+
+// New returns an empty table for a session of localAS with a private
+// pool.
+func New(localAS uint32) *Table { return NewWithPool(localAS, NewPool()) }
+
+// NewWithPool returns an empty table sharing pool — the fleet
+// configuration, where per-peer tables announce overlapping paths and
+// should store each once.
+func NewWithPool(localAS uint32, pool *Pool) *Table {
 	return &Table{
-		localAS: localAS,
-		routes:  make(map[netaddr.Prefix][]uint32),
-		byLink:  make(map[topology.Link]map[netaddr.Prefix]struct{}),
+		localAS:   localAS,
+		pool:      pool,
+		routes:    make(map[netaddr.Prefix]routeRef),
+		firstLink: make(map[uint32]LinkID),
 	}
 }
+
+// Pool returns the table's path/link pool.
+func (t *Table) Pool() *Pool { return t.pool }
 
 // LocalAS returns the AS that owns the table.
 func (t *Table) LocalAS() uint32 { return t.localAS }
@@ -35,13 +91,33 @@ func (t *Table) LocalAS() uint32 { return t.localAS }
 // Len returns the number of routed prefixes.
 func (t *Table) Len() int { return len(t.routes) }
 
-// Path returns the current AS path for p (nil when absent). The slice is
-// owned by the table.
-func (t *Table) Path(p netaddr.Prefix) []uint32 { return t.routes[p] }
+// Path returns the current AS path for p (nil when absent). The slice
+// is the pool's canonical copy: valid while the route stays installed,
+// never mutated.
+func (t *Table) Path(p netaddr.Prefix) []uint32 {
+	ref, ok := t.routes[p]
+	if !ok {
+		return nil
+	}
+	return t.perPath[ref.pid].ent.path
+}
+
+// HandleOf returns a borrowed handle for p's current path. The handle
+// is valid only while the route stays installed; callers needing it
+// longer must Retain it.
+func (t *Table) HandleOf(p netaddr.Prefix) (PathHandle, bool) {
+	ref, ok := t.routes[p]
+	if !ok {
+		return PathHandle{}, false
+	}
+	return PathHandle{t.perPath[ref.pid].ent}, true
+}
 
 // PathLinks appends to dst the links of path as seen from the local AS:
 // (local, n1), (n1, n2), ... Duplicate consecutive ASes (prepending) are
-// skipped, as are self-loops.
+// skipped, as are self-loops. The output is positional (links[d-1] is
+// the link at depth d), which is what the encoding layer's per-depth
+// dictionaries key on.
 func PathLinks(dst []topology.Link, localAS uint32, path []uint32) []topology.Link {
 	prev := localAS
 	for _, as := range path {
@@ -56,7 +132,7 @@ func PathLinks(dst []topology.Link, localAS uint32, path []uint32) []topology.Li
 
 // Links returns the links of p's current path (nil when absent).
 func (t *Table) Links(p netaddr.Prefix) []topology.Link {
-	path := t.routes[p]
+	path := t.Path(p)
 	if path == nil {
 		return nil
 	}
@@ -64,90 +140,291 @@ func (t *Table) Links(p netaddr.Prefix) []topology.Link {
 }
 
 // Announce installs or replaces the route for p, returning the previous
-// path (nil if p was new). The stored path aliases the argument; callers
-// that reuse buffers must pass a copy.
+// path (nil if p was new). The path is interned: storage is canonical
+// and never aliases the argument, so callers may reuse or mutate their
+// buffer immediately. Re-announcing the current path is a near-free
+// no-op.
 func (t *Table) Announce(p netaddr.Prefix, path []uint32) (old []uint32) {
-	old = t.routes[p]
-	if old != nil {
-		t.unindex(p, old)
+	ref, exists := t.routes[p]
+	if exists {
+		e := t.perPath[ref.pid].ent
+		old = e.path
+		if pathsEqual(old, path) {
+			return old // refresh of the current route
+		}
+		t.removeRoute(p, ref)
+		t.pool.Release(PathHandle{e})
 	}
-	t.routes[p] = path
-	t.index(p, path)
+	h := t.pool.Intern(path)
+	t.addRoute(p, h.e)
 	return old
 }
 
-// Withdraw removes the route for p, returning the withdrawn path (nil if
-// p was not routed).
+func pathsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, x := range a {
+		if x != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Withdraw removes the route for p, returning the withdrawn path (nil
+// if p was not routed). The returned slice is the canonical copy and
+// stays intact even if this was the path's last reference.
 func (t *Table) Withdraw(p netaddr.Prefix) (old []uint32) {
-	old = t.routes[p]
-	if old == nil {
+	h, ok := t.WithdrawHandle(p)
+	if !ok {
 		return nil
 	}
-	t.unindex(p, old)
-	delete(t.routes, p)
+	old = h.Path()
+	t.pool.Release(h)
 	return old
 }
 
-func (t *Table) index(p netaddr.Prefix, path []uint32) {
-	var buf [16]topology.Link
-	for _, l := range PathLinks(buf[:0], t.localAS, path) {
-		set := t.byLink[l]
-		if set == nil {
-			set = make(map[netaddr.Prefix]struct{})
-			t.byLink[l] = set
+// WithdrawHandle removes the route for p and transfers the route's
+// path reference to the caller, who must Release it (directly or via
+// ReleaseHandle). The inference tracker uses this to keep withdrawn
+// paths alive — and their PathIDs stable — for the duration of a burst
+// without copying anything.
+func (t *Table) WithdrawHandle(p netaddr.Prefix) (PathHandle, bool) {
+	ref, ok := t.routes[p]
+	if !ok {
+		return PathHandle{}, false
+	}
+	e := t.perPath[ref.pid].ent
+	t.removeRoute(p, ref)
+	delete(t.routes, p)
+	return PathHandle{e}, true
+}
+
+// ReleaseHandle returns a previously transferred path reference.
+func (t *Table) ReleaseHandle(h PathHandle) { t.pool.Release(h) }
+
+// addRoute indexes a new route whose path reference the caller already
+// holds; ownership of that reference moves to the table.
+func (t *Table) addRoute(p netaddr.Prefix, e *pathEntry) {
+	id := int(e.id)
+	if id >= len(t.perPath) {
+		grown := make([]pathRoutes, id+1+id/2)
+		copy(grown, t.perPath)
+		t.perPath = grown
+	}
+	g := &t.perPath[id]
+	g.ent = e
+	if len(g.prefixes) == 0 {
+		g.pos = int32(len(t.livePaths))
+		t.livePaths = append(t.livePaths, e.id)
+	}
+	t.routes[p] = routeRef{pid: e.id, idx: int32(len(g.prefixes))}
+	g.prefixes = append(g.prefixes, p)
+	t.linkDelta(e, +1)
+}
+
+// removeRoute unindexes p (group membership and link counters) without
+// touching the routes map entry or the path reference.
+func (t *Table) removeRoute(p netaddr.Prefix, ref routeRef) {
+	g := &t.perPath[ref.pid]
+	last := len(g.prefixes) - 1
+	if int(ref.idx) != last {
+		moved := g.prefixes[last]
+		g.prefixes[ref.idx] = moved
+		mref := t.routes[moved]
+		mref.idx = ref.idx
+		t.routes[moved] = mref
+	}
+	g.prefixes = g.prefixes[:last]
+	if last == 0 {
+		t.dropLivePath(g)
+	}
+	t.linkDelta(g.ent, -1)
+}
+
+// dropLivePath swap-removes an emptied group from the live list.
+func (t *Table) dropLivePath(g *pathRoutes) {
+	end := len(t.livePaths) - 1
+	if int(g.pos) != end {
+		movedID := t.livePaths[end]
+		t.livePaths[g.pos] = movedID
+		t.perPath[movedID].pos = g.pos
+	}
+	t.livePaths = t.livePaths[:end]
+}
+
+// linkDelta adjusts the per-link counters for one route across every
+// link of its path (first-hop link plus deduplicated interior links).
+func (t *Table) linkDelta(e *pathEntry, d int32) {
+	first, hasFirst := t.firstLinkID(e)
+	if hasFirst {
+		t.growLinks(first)
+		t.onLink[first] += d
+	}
+	for _, id := range e.links {
+		if hasFirst && id == first {
+			continue // path revisits the local link; count once
 		}
-		set[p] = struct{}{}
+		t.growLinks(id)
+		t.onLink[id] += d
 	}
 }
 
-func (t *Table) unindex(p netaddr.Prefix, path []uint32) {
-	var buf [16]topology.Link
-	for _, l := range PathLinks(buf[:0], t.localAS, path) {
-		if set := t.byLink[l]; set != nil {
-			delete(set, p)
-			if len(set) == 0 {
-				delete(t.byLink, l)
-			}
-		}
+func (t *Table) growLinks(id LinkID) {
+	if int(id) >= len(t.onLink) {
+		grown := make([]int32, int(id)+1+int(id)/2)
+		copy(grown, t.onLink)
+		t.onLink = grown
 	}
 }
 
-// OnLink returns the number of prefixes whose current path crosses l —
-// the P(l, t) of §4.1.
-func (t *Table) OnLink(l topology.Link) int { return len(t.byLink[l]) }
+// firstLinkID resolves the local first-hop link (localAS, head) of an
+// entry through the per-table cache. ok is false for the empty path and
+// for paths starting at the local AS (no local link to cross).
+func (t *Table) firstLinkID(e *pathEntry) (LinkID, bool) {
+	if len(e.path) == 0 {
+		return 0, false
+	}
+	head := e.path[0]
+	if head == t.localAS {
+		return 0, false
+	}
+	if id, ok := t.firstLink[head]; ok {
+		return id, true
+	}
+	id := t.pool.LinkID(topology.MakeLink(t.localAS, head))
+	t.firstLink[head] = id
+	return id, true
+}
 
-// PrefixesOn appends to dst every prefix currently routed across l. The
-// order is unspecified.
-func (t *Table) PrefixesOn(dst []netaddr.Prefix, l topology.Link) []netaddr.Prefix {
-	for p := range t.byLink[l] {
-		dst = append(dst, p)
+// AppendPathLinkIDs appends the dense link ids of h's path as seen from
+// this table's local AS (first-hop link plus interior), deduplicated —
+// each link once, matching the table's counter semantics.
+func (t *Table) AppendPathLinkIDs(dst []LinkID, h PathHandle) []LinkID {
+	first, hasFirst := t.firstLinkID(h.e)
+	if hasFirst {
+		dst = append(dst, first)
+	}
+	for _, id := range h.e.links {
+		if hasFirst && id == first {
+			continue
+		}
+		dst = append(dst, id)
 	}
 	return dst
 }
 
-// PrefixesOnAny returns the union of prefixes across the given links —
-// the set SWIFT reroutes after inferring that those links failed.
-func (t *Table) PrefixesOnAny(links []topology.Link) []netaddr.Prefix {
-	seen := make(map[netaddr.Prefix]struct{})
-	for _, l := range links {
-		for p := range t.byLink[l] {
-			seen[p] = struct{}{}
+// PathCrossesSet reports whether h's path (seen from this table's local
+// AS) crosses any link in set.
+func (t *Table) PathCrossesSet(h PathHandle, set *LinkSet) bool {
+	if first, ok := t.firstLinkID(h.e); ok && set.Has(first) {
+		return true
+	}
+	for _, id := range h.e.links {
+		if set.Has(id) {
+			return true
 		}
 	}
-	out := make([]netaddr.Prefix, 0, len(seen))
-	for p := range seen {
-		out = append(out, p)
+	return false
+}
+
+// OnLink returns the number of prefixes whose current path crosses l —
+// the P(l, t) of §4.1 — as a dense counter read.
+func (t *Table) OnLink(l topology.Link) int {
+	id, ok := t.pool.LookupLink(l)
+	if !ok {
+		return 0
 	}
+	return t.OnLinkID(id)
+}
+
+// OnLinkID is OnLink keyed by dense id — the inference hot path, one
+// array lookup.
+func (t *Table) OnLinkID(id LinkID) int {
+	if int(id) >= len(t.onLink) {
+		return 0
+	}
+	return int(t.onLink[id])
+}
+
+// LinkByID returns the link named by id.
+func (t *Table) LinkByID(id LinkID) topology.Link { return t.pool.LinkAt(id) }
+
+// LookupLinkID returns the dense id of l without creating one.
+func (t *Table) LookupLinkID(l topology.Link) (LinkID, bool) { return t.pool.LookupLink(l) }
+
+// FillLinkSet resets set and fills it with the ids of links, skipping
+// links the pool has never numbered (no path ever crossed them, so no
+// table state mentions them either).
+func (t *Table) FillLinkSet(set *LinkSet, links []topology.Link) {
+	set.Reset()
+	for _, l := range links {
+		if id, ok := t.pool.LookupLink(l); ok {
+			set.Add(id)
+		}
+	}
+}
+
+// CountOnSet returns the number of distinct prefixes whose current path
+// crosses any link in set — |∪ P(l)| computed by testing each unique
+// path once and summing group sizes, never touching per-prefix state.
+func (t *Table) CountOnSet(set *LinkSet) int {
+	if set.Len() == 0 {
+		return 0
+	}
+	n := 0
+	for _, id := range t.livePaths {
+		g := &t.perPath[id]
+		if t.PathCrossesSet(PathHandle{g.ent}, set) {
+			n += len(g.prefixes)
+		}
+	}
+	return n
+}
+
+// AppendPrefixesOnSet appends every prefix whose current path crosses
+// any link in set — materialization on demand, group by path then
+// expand. Each prefix appears exactly once; the order is unspecified.
+func (t *Table) AppendPrefixesOnSet(dst []netaddr.Prefix, set *LinkSet) []netaddr.Prefix {
+	if set.Len() == 0 {
+		return dst
+	}
+	for _, id := range t.livePaths {
+		g := &t.perPath[id]
+		if t.PathCrossesSet(PathHandle{g.ent}, set) {
+			dst = append(dst, g.prefixes...)
+		}
+	}
+	return dst
+}
+
+// PrefixesOn appends to dst every prefix currently routed across l. The
+// order is unspecified.
+func (t *Table) PrefixesOn(dst []netaddr.Prefix, l topology.Link) []netaddr.Prefix {
+	t.FillLinkSet(&t.set, []topology.Link{l})
+	return t.AppendPrefixesOnSet(dst, &t.set)
+}
+
+// PrefixesOnAny returns the sorted union of prefixes across the given
+// links — the set SWIFT reroutes after inferring that those links
+// failed. Group-by-path materialization yields each prefix once, so the
+// union is append + sort + in-place dedup with no set allocation.
+func (t *Table) PrefixesOnAny(links []topology.Link) []netaddr.Prefix {
+	t.FillLinkSet(&t.set, links)
+	out := t.AppendPrefixesOnSet(make([]netaddr.Prefix, 0, 64), &t.set)
 	netaddr.Sort(out)
-	return out
+	return netaddr.DedupSorted(out)
 }
 
 // ActiveLinks returns every link currently carrying at least one prefix.
 // The order is unspecified.
 func (t *Table) ActiveLinks() []topology.Link {
-	out := make([]topology.Link, 0, len(t.byLink))
-	for l := range t.byLink {
-		out = append(out, l)
+	var out []topology.Link
+	for id, n := range t.onLink {
+		if n > 0 {
+			out = append(out, t.pool.LinkAt(LinkID(id)))
+		}
 	}
 	return out
 }
@@ -155,25 +432,64 @@ func (t *Table) ActiveLinks() []topology.Link {
 // ForEach calls fn for every (prefix, path) pair. Iteration order is
 // unspecified; fn must not mutate the table.
 func (t *Table) ForEach(fn func(p netaddr.Prefix, path []uint32)) {
-	for p, path := range t.routes {
-		fn(p, path)
+	for p, ref := range t.routes {
+		fn(p, t.perPath[ref.pid].ent.path)
 	}
 }
 
-// Clone returns a deep copy of the table (paths are shared, both
-// index levels are fresh). The encoding layer snapshots the RIB this way
-// before recomputing tags.
-func (t *Table) Clone() *Table {
-	out := New(t.localAS)
-	for p, path := range t.routes {
-		out.routes[p] = path
+// ForEachPath calls fn once per unique path with the group of prefixes
+// currently routed over it — the shape provisioning-time consumers
+// (reroute planning, tag encoding) want, since per-path work is done
+// once instead of once per prefix. fn must not mutate the table or
+// retain either slice.
+func (t *Table) ForEachPath(fn func(path []uint32, prefixes []netaddr.Prefix)) {
+	for _, id := range t.livePaths {
+		g := &t.perPath[id]
+		fn(g.ent.path, g.prefixes)
 	}
-	for l, set := range t.byLink {
-		cp := make(map[netaddr.Prefix]struct{}, len(set))
-		for p := range set {
-			cp[p] = struct{}{}
+}
+
+// Clone returns a deep copy of the table sharing the same pool (paths
+// are interned, so the clone retains one reference per copied route).
+// The encoding layer snapshots the RIB this way before recomputing
+// tags.
+func (t *Table) Clone() *Table {
+	out := NewWithPool(t.localAS, t.pool)
+	out.routes = make(map[netaddr.Prefix]routeRef, len(t.routes))
+	for p, ref := range t.routes {
+		out.routes[p] = ref
+	}
+	out.perPath = make([]pathRoutes, len(t.perPath))
+	for _, id := range t.livePaths {
+		g := &t.perPath[id]
+		out.perPath[id] = pathRoutes{
+			ent:      g.ent,
+			prefixes: append([]netaddr.Prefix(nil), g.prefixes...),
+			pos:      g.pos,
 		}
-		out.byLink[l] = cp
+		t.pool.Retain(PathHandle{g.ent}, len(g.prefixes))
+	}
+	out.livePaths = append([]PathID(nil), t.livePaths...)
+	out.onLink = append([]int32(nil), t.onLink...)
+	for head, id := range t.firstLink {
+		out.firstLink[head] = id
 	}
 	return out
+}
+
+// Release drops every route, returning the table's path references to
+// the pool. A released table is empty and reusable; clones that are
+// done being inspected should be released so pooled paths can be
+// freed.
+func (t *Table) Release() {
+	for _, id := range t.livePaths {
+		g := &t.perPath[id]
+		t.pool.ReleaseN(PathHandle{g.ent}, len(g.prefixes))
+		g.prefixes = g.prefixes[:0]
+	}
+	t.livePaths = t.livePaths[:0]
+	clear(t.routes)
+	for i := range t.onLink {
+		t.onLink[i] = 0
+	}
 }

@@ -72,10 +72,28 @@ func Mean(xs []float64) float64 {
 // Median returns the 50th percentile.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
+// WeightedGeoMean2 is the two-value WeightedGeoMean: (x1^w1 · x2^w2)^(1/(w1+w2)).
+// It is the exact combinator of the SWIFT Fit Score — WS weighted
+// against PS — inlined for the inference hot loop, which calls it once
+// per scored link and must not allocate the two slices the general form
+// takes. Semantics match WeightedGeoMean: a non-positive x forces 0, as
+// does a zero weight sum.
+func WeightedGeoMean2(x1, w1, x2, w2 float64) float64 {
+	if x1 <= 0 || x2 <= 0 {
+		return 0
+	}
+	wSum := w1 + w2
+	if wSum == 0 {
+		return 0
+	}
+	return math.Exp((w1*math.Log(x1) + w2*math.Log(x2)) / wSum)
+}
+
 // WeightedGeoMean computes (Π x_i^{w_i})^{1/Σw_i}, the combinator used by
 // the SWIFT Fit Score. Any x_i == 0 forces the result to 0 (a link with
 // zero withdrawal share can never be the root cause); negative inputs are
-// invalid and also return 0.
+// invalid and also return 0. Hot callers with exactly two values use
+// WeightedGeoMean2, which allocates nothing.
 func WeightedGeoMean(xs, ws []float64) float64 {
 	if len(xs) == 0 || len(xs) != len(ws) {
 		return 0

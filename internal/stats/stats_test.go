@@ -65,6 +65,28 @@ func TestWeightedGeoMean(t *testing.T) {
 	}
 }
 
+func TestWeightedGeoMean2MatchesSliceForm(t *testing.T) {
+	// The two-value fast path must agree with the general form bit for
+	// bit across the Fit Score's input range, including the guards.
+	cases := []struct{ x1, w1, x2, w2 float64 }{
+		{4, 1, 9, 1},
+		{1, 3, 0.5, 1},
+		{0.004, 3, 0.17, 1},
+		{1e-9, 3, 1, 1},
+		{0, 3, 1, 1},
+		{1, 3, 0, 1},
+		{-1, 1, 2, 1},
+		{0.5, 0, 0.25, 0},
+	}
+	for _, c := range cases {
+		want := WeightedGeoMean([]float64{c.x1, c.x2}, []float64{c.w1, c.w2})
+		if got := WeightedGeoMean2(c.x1, c.w1, c.x2, c.w2); got != want {
+			t.Errorf("WeightedGeoMean2(%v,%v,%v,%v) = %v, slice form = %v",
+				c.x1, c.w1, c.x2, c.w2, got, want)
+		}
+	}
+}
+
 func TestWeightedGeoMeanZeroes(t *testing.T) {
 	if g := WeightedGeoMean([]float64{0, 1}, []float64{3, 1}); g != 0 {
 		t.Errorf("zero factor must force 0, got %v", g)

@@ -41,6 +41,11 @@ type Config struct {
 	Burst     burst.Config
 	// ReroutePolicy is the operator's backup-selection policy.
 	ReroutePolicy *reroute.Policy
+	// Pool is the path/link intern pool backing every RIB the engine
+	// owns (primary and alternates). Nil selects a private pool; a
+	// Fleet passes one shared pool so peers announcing overlapping
+	// paths store each path once.
+	Pool *rib.Pool
 	// RuleUpdateCost models the FIB write latency.
 	RuleUpdateCost time.Duration
 	// Observer receives push notifications at the engine's lifecycle
@@ -187,9 +192,12 @@ var _ event.Sink = (*Engine)(nil)
 // LearnAlternate, followed by one Provision call before streaming.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	if cfg.Pool == nil {
+		cfg.Pool = rib.NewPool()
+	}
 	e := &Engine{
 		cfg:          cfg,
-		table:        rib.New(cfg.LocalAS),
+		table:        rib.NewWithPool(cfg.LocalAS, cfg.Pool),
 		alts:         make(map[uint32]*rib.Table),
 		history:      &burst.History{},
 		fib:          dataplane.New(dataplane.Config{RuleUpdateCost: cfg.RuleUpdateCost}),
@@ -211,7 +219,7 @@ func (e *Engine) LearnPrimary(p netaddr.Prefix, path []uint32) {
 func (e *Engine) LearnAlternate(neighbor uint32, p netaddr.Prefix, path []uint32) {
 	t := e.alts[neighbor]
 	if t == nil {
-		t = rib.New(e.cfg.LocalAS)
+		t = rib.NewWithPool(e.cfg.LocalAS, e.cfg.Pool)
 		e.alts[neighbor] = t
 	}
 	t.Announce(p, path)
@@ -260,6 +268,9 @@ func (e *Engine) FIB() *dataplane.FIB { return e.fib }
 
 // RIB exposes the primary session RIB.
 func (e *Engine) RIB() *rib.Table { return e.table }
+
+// Pool exposes the path/link intern pool behind the engine's RIBs.
+func (e *Engine) Pool() *rib.Pool { return e.cfg.Pool }
 
 // Plan exposes the current backup plan.
 func (e *Engine) Plan() *reroute.Plan { return e.plan }
