@@ -1,9 +1,21 @@
-// Command benchjson converts `go test -bench` output on stdin into a
+// Command benchjson converts `go test -bench` output into a
 // machine-readable JSON file, so CI can publish the perf trajectory
 // (ns/op, B/op, allocs/op and custom metrics per benchmark) and future
 // changes diff against a recorded baseline instead of prose.
 //
+// Two modes. Filter mode parses stdin:
+//
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH.json
+//
+// Run mode drives `go test` itself — the -bench filter and packages
+// pass through — so a CI step is one line and the parallelism context
+// is captured from the environment it actually ran under:
+//
+//	GOMAXPROCS=4 benchjson -bench 'FleetApplyParallel' -pkg ./internal/controller -o BENCH.json
+//
+// Each result records the GOMAXPROCS the benchmark ran at (parsed from
+// the -N name suffix), so scaling benchmarks keep their parallelism
+// alongside their custom metrics (e.g. "peers", "events/s").
 //
 // Lines that are not benchmark results (headers, PASS/ok, logs) pass
 // through to stderr untouched, so the human-readable output survives in
@@ -15,7 +27,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
@@ -24,9 +38,13 @@ import (
 // Result is one benchmark's parsed measurements. Metrics holds custom
 // b.ReportMetric units (e.g. "events/s") verbatim.
 type Result struct {
-	Name       string  `json:"name"`
-	Package    string  `json:"package,omitempty"`
-	Iterations int64   `json:"iterations"`
+	Name       string `json:"name"`
+	Package    string `json:"package,omitempty"`
+	Iterations int64  `json:"iterations"`
+	// GOMAXPROCS is the -N suffix go test appends to benchmark names —
+	// the parallelism the run actually had, which is what makes the
+	// fleet-scaling numbers interpretable.
+	GOMAXPROCS int     `json:"gomaxprocs,omitempty"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	// BPerOp and AllocsOp keep explicit zeros: "0 allocs/op" is a
 	// result (the hot-path contract), not an absent measurement. They
@@ -38,11 +56,41 @@ type Result struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	bench := flag.String("bench", "", "run `go test -bench` with this filter instead of reading stdin")
+	pkgs := flag.String("pkg", "./...", "packages to benchmark (run mode, space-separated)")
+	benchtime := flag.String("benchtime", "", "passed through to go test -benchtime (run mode)")
 	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *bench != "" {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		args = append(args, strings.Fields(*pkgs)...)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := cmd.Wait(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: go test:", err)
+				os.Exit(1)
+			}
+		}()
+		in = pipe
+	}
 
 	var results []Result
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -93,16 +141,18 @@ func parseBenchLine(line, pkg string) (Result, bool) {
 		return Result{}, false
 	}
 	name := fields[0]
+	procs := 0
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i] // strip the GOMAXPROCS suffix
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = n
+			name = name[:i] // the suffix is GOMAXPROCS, recorded below
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: name, Package: pkg, Iterations: iters}
+	r := Result{Name: name, Package: pkg, Iterations: iters, GOMAXPROCS: procs}
 	// The rest is (value, unit) pairs.
 	seen := false
 	for i := 2; i+1 < len(fields); i += 2 {

@@ -22,6 +22,15 @@ type BurstSource struct {
 	// Peer attributes the emitted events (zero is fine for
 	// single-session sinks).
 	Peer event.PeerKey
+	// Peers, when non-empty, switches the source to multi-peer
+	// interleaved replay (Peer is then ignored): bursts are assigned
+	// round-robin across the peers, each wave of len(Peers) bursts
+	// shares one timeline, and the waves' events are merged by
+	// timestamp into mixed-peer batches — the event interleaving a
+	// fleet sees from concurrently-bursting sessions, rather than one
+	// synthetic peer's serial stream. Per-peer relative order is
+	// preserved; each peer gets its own closing tick.
+	Peers []event.PeerKey
 	// BatchEvents caps how many events one batch carries (default 512).
 	BatchEvents int
 	// FinalTick, when positive, emits one closing tick this far past
@@ -50,10 +59,14 @@ func (s *BurstSource) spacing() time.Duration {
 }
 
 // Run pushes every burst's withdrawals and announcements into sink as
-// ordered event batches.
+// ordered event batches. With Peers set, bursts replay concurrently in
+// waves across the peers (see Peers).
 func (s *BurstSource) Run(sink event.Sink) error {
 	if len(s.Bursts) == 0 {
 		return errors.New("bgpsim: BurstSource has no bursts")
+	}
+	if len(s.Peers) > 0 {
+		return s.runMultiPeer(sink)
 	}
 	s.Events = 0
 	batch := make(event.Batch, 0, s.batchEvents())
@@ -95,6 +108,82 @@ func (s *BurstSource) Run(sink event.Sink) error {
 	}
 	if tick > 0 {
 		return sink.Apply(event.Batch{event.Tick(last + tick).WithPeer(s.Peer)})
+	}
+	return nil
+}
+
+// runMultiPeer replays bursts round-robin across s.Peers: every wave of
+// len(Peers) bursts shares one base offset, and the wave's per-peer
+// streams are k-way merged by timestamp (ties broken by peer position)
+// into mixed-peer batches.
+func (s *BurstSource) runMultiPeer(sink event.Sink) error {
+	s.Events = 0
+	batch := make(event.Batch, 0, s.batchEvents())
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		b := batch
+		batch = make(event.Batch, 0, cap(b))
+		return sink.Apply(b)
+	}
+	var base, last time.Duration
+	for wave := 0; wave*len(s.Peers) < len(s.Bursts); wave++ {
+		if wave > 0 {
+			base = last + s.spacing()
+		}
+		bursts := s.Bursts[wave*len(s.Peers):]
+		if len(bursts) > len(s.Peers) {
+			bursts = bursts[:len(s.Peers)]
+		}
+		// K-way merge of the wave's streams by event timestamp.
+		idx := make([]int, len(bursts))
+		for {
+			pick := -1
+			var at time.Duration
+			for i, b := range bursts {
+				if idx[i] >= len(b.Events) {
+					continue
+				}
+				if evAt := base + b.Events[idx[i]].At; pick < 0 || evAt < at {
+					pick, at = i, evAt
+				}
+			}
+			if pick < 0 {
+				break
+			}
+			ev := bursts[pick].Events[idx[pick]]
+			idx[pick]++
+			peer := s.Peers[pick]
+			if ev.Kind == KindWithdraw {
+				batch = append(batch, event.Withdraw(at, ev.Prefix).WithPeer(peer))
+			} else {
+				batch = append(batch, event.Announce(at, ev.Prefix, ev.Path).WithPeer(peer))
+			}
+			s.Events++
+			if at > last {
+				last = at
+			}
+			if len(batch) >= s.batchEvents() {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	tick := s.FinalTick
+	if tick == 0 {
+		tick = time.Minute
+	}
+	if tick > 0 {
+		final := make(event.Batch, 0, len(s.Peers))
+		for _, peer := range s.Peers {
+			final = append(final, event.Tick(last+tick).WithPeer(peer))
+		}
+		return sink.Apply(final)
 	}
 	return nil
 }

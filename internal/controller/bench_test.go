@@ -1,0 +1,147 @@
+package controller
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"swift/internal/event"
+	"swift/internal/netaddr"
+	swiftengine "swift/internal/swift"
+)
+
+// fleetBurstCycle builds one peer's self-restoring 10k-event burst
+// cycle (the swift engine benchmark's workload, peer-attributed): 3,000
+// withdrawals open a burst and trigger an inference, the same prefixes
+// re-announce on a new path, steady-state refreshes drain the window,
+// and a final tick closes the burst so the engine falls back. The
+// engine ends every cycle in its starting state.
+func fleetBurstCycle(peer PeerKey, prefixes []netaddr.Prefix) event.Batch {
+	const nEvents = 10000
+	const wd = 3000
+	batch := make(event.Batch, 0, nEvents)
+	at := time.Duration(0)
+	for i := 0; i < wd; i++ {
+		at += time.Millisecond
+		batch = append(batch, event.Withdraw(at, prefixes[i]).WithPeer(peer))
+	}
+	newPath := []uint32{2, 9, 6}
+	for i := 0; i < wd; i++ {
+		at += time.Millisecond
+		batch = append(batch, event.Announce(at, prefixes[i], newPath).WithPeer(peer))
+	}
+	oldPath := []uint32{2, 5, 6}
+	for len(batch) < nEvents-1 {
+		at += time.Millisecond
+		batch = append(batch, event.Announce(at, prefixes[len(batch)%len(prefixes)], oldPath).WithPeer(peer))
+	}
+	return append(batch, event.Tick(at+time.Hour).WithPeer(peer))
+}
+
+func shiftFleetBatch(b event.Batch, span time.Duration) {
+	for i := range b {
+		b[i].At += span
+	}
+}
+
+// BenchmarkFleetApplyParallel measures aggregate fleet throughput as
+// engines are added over one shared path pool: every peer works the
+// same full burst cycle (detect → infer → reroute → reconverge → fall
+// back) concurrently, withdrawals and announcements interning against
+// the same sharded pool, deliveries crossing the lock-free enqueue
+// path. On a multi-core host aggregate events/s should scale
+// near-linearly 1→8 engines; on a starved one the flat line bounds the
+// coordination overhead.
+func BenchmarkFleetApplyParallel(b *testing.B) {
+	prefixes := make([]netaddr.Prefix, 4096)
+	for i := range prefixes {
+		prefixes[i] = netaddr.PrefixFor(8, i)
+	}
+	for _, engines := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("engines=%d", engines), func(b *testing.B) {
+			f := NewFleet(FleetConfig{
+				Engine: func(key PeerKey) swiftengine.Config {
+					cfg := swiftengine.Config{LocalAS: 1, PrimaryNeighbor: 2}
+					cfg.Inference.TriggerEvery = 2000
+					cfg.Inference.UseHistory = false
+					cfg.Burst.StartThreshold = 1500
+					cfg.Encoding.MinPrefixes = 1000
+					return cfg
+				},
+				OnPeer: func(p *FleetPeer) {
+					for _, pfx := range prefixes {
+						p.LearnPrimary(pfx, []uint32{2, 5, 6})
+						p.LearnAlternate(3, pfx, []uint32{3, 6})
+					}
+					if err := p.Provision(); err != nil {
+						b.Fatal(err)
+					}
+				},
+				QueueDepth: 32,
+			})
+			defer f.Close()
+
+			// Pre-build each peer's cycle, chunked the way a source
+			// flushes (512-event single-peer batches).
+			const chunk = 512
+			peers := make([]*FleetPeer, engines)
+			chunks := make([][]event.Batch, engines)
+			var span time.Duration
+			for i := 0; i < engines; i++ {
+				key := PeerKey{AS: 2, BGPID: uint32(i + 1)}
+				peers[i] = f.Peer(key)
+				cycle := fleetBurstCycle(key, prefixes)
+				span = cycle[len(cycle)-1].At + time.Hour
+				for lo := 0; lo < len(cycle); lo += chunk {
+					hi := lo + chunk
+					if hi > len(cycle) {
+						hi = len(cycle)
+					}
+					chunks[i] = append(chunks[i], cycle[lo:hi:hi])
+				}
+			}
+			events := 0
+			for _, c := range chunks[0] {
+				events += len(c)
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				var wg sync.WaitGroup
+				for i := 0; i < engines; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						for _, c := range chunks[i] {
+							if !peers[i].Enqueue(c) {
+								b.Error("enqueue refused")
+								return
+							}
+						}
+						peers[i].Sync()
+					}(i)
+				}
+				wg.Wait()
+				b.StopTimer()
+				for i := 0; i < engines; i++ {
+					for _, c := range chunks[i] {
+						shiftFleetBatch(c, span)
+					}
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			for i := 0; i < engines; i++ {
+				got := 0
+				peers[i].Do(func(e *swiftengine.Engine) { got = e.NumDecisions() })
+				if got != b.N {
+					b.Fatalf("peer %d made %d decisions over %d cycles; the workload is vacuous", i, got, b.N)
+				}
+			}
+			b.ReportMetric(float64(engines), "peers")
+			b.ReportMetric(float64(events*engines)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

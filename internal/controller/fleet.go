@@ -3,6 +3,7 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -195,6 +196,7 @@ func (f *Fleet) Peer(key PeerKey) *FleetPeer {
 		key:   key,
 		fleet: f,
 		ch:    make(chan delivery, f.cfg.queueDepth()),
+		dead:  make(chan struct{}),
 	}
 	cfg.Observer = f.wireObserver(cand, cfg.Observer)
 	cand.engine = swiftengine.New(cfg)
@@ -204,7 +206,11 @@ func (f *Fleet) Peer(key PeerKey) *FleetPeer {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if p, ok = s.peers[key]; ok {
-		return p // lost the creation race; cand is discarded
+		// Lost the creation race: discard cand, returning whatever pool
+		// references OnPeer loaded into its engine (an alternates RIB
+		// can be a full table's worth of interned paths).
+		cand.engine.Release()
+		return p
 	}
 	if f.closed.Load() {
 		// The fleet closed while we were creating: register the peer
@@ -212,7 +218,8 @@ func (f *Fleet) Peer(key PeerKey) *FleetPeer {
 		// never misses a running goroutine in its sweep. The closed
 		// store happens before Close takes this stripe's lock, so
 		// either we see it here or Close's sweep sees the map entry.
-		cand.chClosed = true
+		cand.closing.Store(true)
+		close(cand.dead)
 		s.peers[key] = cand
 		return cand
 	}
@@ -221,6 +228,28 @@ func (f *Fleet) Peer(key PeerKey) *FleetPeer {
 	go cand.run()
 	f.logf("fleet: peer %s created", key)
 	return cand
+}
+
+// ClosePeer tears one session down: the peer leaves the pool
+// immediately (later traffic for the key builds a fresh peer), its
+// queue drains on the delivery goroutine, and the engine's path
+// references are released back to the shared pool. It reports whether
+// the key named a live peer. Teardown is asynchronous; Close still
+// waits for every torn-down goroutine.
+func (f *Fleet) ClosePeer(key PeerKey) bool {
+	s := f.stripe(key)
+	s.mu.Lock()
+	p, ok := s.peers[key]
+	if ok {
+		delete(s.peers, key)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	p.close(true)
+	f.logf("fleet: peer %s closed", key)
+	return true
 }
 
 // wireObserver composes the fleet's aggregate accounting and the
@@ -295,10 +324,7 @@ func (f *Fleet) Apply(b event.Batch) error {
 		}
 	}
 	if !mixed {
-		if !f.Peer(key).Enqueue(b) {
-			return ErrClosed
-		}
-		return nil
+		return f.deliver(key, b)
 	}
 	// Mixed batch: split per peer in first-seen order.
 	byPeer := make(map[PeerKey]event.Batch)
@@ -310,11 +336,25 @@ func (f *Fleet) Apply(b event.Batch) error {
 		byPeer[ev.Peer] = append(byPeer[ev.Peer], ev)
 	}
 	for _, k := range order {
-		if !f.Peer(k).Enqueue(byPeer[k]) {
-			return ErrClosed
+		if err := f.deliver(k, byPeer[k]); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// deliver routes one single-peer batch, re-resolving the peer when a
+// concurrent ClosePeer tore it down mid-flight (the re-resolution
+// builds the key's next session).
+func (f *Fleet) deliver(key PeerKey, b event.Batch) error {
+	for {
+		if f.closed.Load() {
+			return ErrClosed
+		}
+		if f.Peer(key).Enqueue(b) {
+			return nil
+		}
+	}
 }
 
 // PeerSink binds the keyed peer's delivery queue as a dedicated sink —
@@ -449,19 +489,28 @@ func (f *Fleet) Sync() {
 }
 
 // Close stops every peer goroutine after its queue drains, then waits.
-// The engines stay inspectable afterwards. Peers created concurrently
-// with Close come out dead (Enqueue reports false) rather than leaked:
-// the closed flag is published before the sweep takes each stripe
-// lock, so every running goroutine is in some stripe's map by then.
+// The engines stay inspectable afterwards (unlike ClosePeer, Close does
+// not release them). Peers created concurrently with Close come out
+// dead (Enqueue reports false) rather than leaked: the closed flag is
+// published before the sweep takes each stripe lock, so every running
+// goroutine is in some stripe's map by then.
 func (f *Fleet) Close() {
 	if !f.closed.Swap(true) {
 		for i := range f.stripes {
+			// Snapshot under the stripe lock, close outside it: the
+			// stop-sentinel send can block on a full queue whose runner
+			// may be in an observer hook touching fleet accessors, and
+			// those must not deadlock against a held stripe lock.
 			s := &f.stripes[i]
 			s.mu.Lock()
+			peers := make([]*FleetPeer, 0, len(s.peers))
 			for _, p := range s.peers {
-				p.close()
+				peers = append(peers, p)
 			}
 			s.mu.Unlock()
+			for _, p := range peers {
+				p.close(false)
+			}
 		}
 	}
 	f.wg.Wait()
@@ -481,16 +530,26 @@ func (f *Fleet) logf(format string, args ...any) {
 	}
 }
 
-// delivery is one hand-off to a peer goroutine: an event batch, or a
-// pure synchronization point (nil batch, done channel).
+// delivery is one hand-off to a peer goroutine: an event batch, a pure
+// synchronization point (nil batch, done channel), or the teardown
+// sentinel.
 type delivery struct {
-	batch event.Batch
-	done  chan<- struct{} // closed after the batch is applied (Sync)
+	batch   event.Batch
+	done    chan<- struct{} // closed after the batch is applied (Sync)
+	stop    bool            // teardown sentinel: drain, then exit
+	release bool            // with stop: release the engine's pool refs
 }
 
 // FleetPeer is one peer's engine plus its delivery queue. Streaming
 // events arrive as event.Batches on a dedicated goroutine; setup calls
 // (Learn*, Provision) and inspection lock the engine directly.
+//
+// The delivery path is lock-free: Enqueue is an atomic in-flight count,
+// one closing-flag load and a channel send — no per-session mutex on
+// the demux path, so concurrent sources feeding different peers (or
+// even one peer) never serialize on anything but the queue itself.
+// Teardown closes dead, waits out the in-flight senders, then drains:
+// a batch either lands and is applied, or Enqueue reports false.
 type FleetPeer struct {
 	key   PeerKey
 	fleet *Fleet
@@ -502,9 +561,10 @@ type FleetPeer struct {
 	// runs under mu.
 	rerouting bool
 
-	chMu     sync.Mutex // guards ch against close-vs-send races
-	chClosed bool
-	ch       chan delivery
+	ch      chan delivery
+	dead    chan struct{} // closed by the runner once teardown begins
+	closing atomic.Bool   // set by close(); new senders refuse
+	senders atomic.Int64  // in-flight Enqueue/Sync calls
 
 	withdrawals   atomic.Uint64
 	announcements atomic.Uint64
@@ -514,80 +574,124 @@ type FleetPeer struct {
 // Key returns the peer's identity.
 func (p *FleetPeer) Key() PeerKey { return p.key }
 
-// run applies delivered batches until the queue closes.
+// run applies delivered batches until the teardown sentinel arrives.
 func (p *FleetPeer) run() {
 	defer p.fleet.wg.Done()
 	for d := range p.ch {
-		if len(d.batch) > 0 {
-			var wd, ann uint64
-			last := time.Duration(-1)
-			for i := range d.batch {
-				switch d.batch[i].Kind {
-				case event.KindWithdraw:
-					wd++
-				case event.KindAnnounce:
-					ann++
-				default:
-					continue
-				}
-				last = d.batch[i].At
-			}
-			p.mu.Lock()
-			err := p.engine.Apply(d.batch)
-			p.mu.Unlock()
-			if err != nil {
-				p.fleet.logf("fleet: peer %s: %v", p.key, err)
-			}
-			p.withdrawals.Add(wd)
-			p.announcements.Add(ann)
-			p.fleet.ops.Add(wd + ann)
-			if last >= 0 {
-				p.lastAt.Store(int64(last))
-			}
+		if d.stop {
+			p.shutdown(d.release)
+			return
 		}
-		if d.done != nil {
-			close(d.done)
+		p.apply(d)
+	}
+}
+
+// shutdown completes teardown on the runner: publish death, wait out
+// the in-flight senders (their batches either landed in the queue or
+// were refused), drain what landed, and optionally release the engine.
+func (p *FleetPeer) shutdown(release bool) {
+	close(p.dead)
+	for p.senders.Load() != 0 {
+		runtime.Gosched()
+	}
+	for {
+		select {
+		case d := <-p.ch:
+			if !d.stop {
+				p.apply(d)
+			}
+		default:
+			if release {
+				p.mu.Lock()
+				p.engine.Release()
+				p.mu.Unlock()
+			}
+			return
 		}
+	}
+}
+
+func (p *FleetPeer) apply(d delivery) {
+	if len(d.batch) > 0 {
+		var wd, ann uint64
+		last := time.Duration(-1)
+		for i := range d.batch {
+			switch d.batch[i].Kind {
+			case event.KindWithdraw:
+				wd++
+			case event.KindAnnounce:
+				ann++
+			default:
+				continue
+			}
+			last = d.batch[i].At
+		}
+		p.mu.Lock()
+		err := p.engine.Apply(d.batch)
+		p.mu.Unlock()
+		if err != nil {
+			p.fleet.logf("fleet: peer %s: %v", p.key, err)
+		}
+		p.withdrawals.Add(wd)
+		p.announcements.Add(ann)
+		p.fleet.ops.Add(wd + ann)
+		if last >= 0 {
+			p.lastAt.Store(int64(last))
+		}
+	}
+	if d.done != nil {
+		close(d.done)
 	}
 }
 
 // Enqueue hands a batch to the peer goroutine, blocking when the queue
 // is full (backpressure propagates to the router's TCP connection).
-// It reports false after the fleet has closed. The batch is retained
-// until applied; callers must not reuse its backing array. The ops
-// counter (withdraw/announce events, ticks excluded) advances as the
-// peer goroutine applies the batch.
+// It reports false after the peer (or its fleet) has closed; a false
+// return means the batch was NOT delivered. The batch is retained until
+// applied; callers must not reuse its backing array. The ops counter
+// (withdraw/announce events, ticks excluded) advances as the peer
+// goroutine applies the batch.
 func (p *FleetPeer) Enqueue(b event.Batch) bool {
-	p.chMu.Lock()
-	defer p.chMu.Unlock()
-	if p.chClosed {
+	p.senders.Add(1)
+	defer p.senders.Add(-1)
+	if p.closing.Load() {
 		return false
 	}
-	p.fleet.batches.Add(1)
-	p.ch <- delivery{batch: b}
-	return true
+	select {
+	case p.ch <- delivery{batch: b}:
+		p.fleet.batches.Add(1)
+		return true
+	case <-p.dead:
+		return false
+	}
 }
 
-// Sync blocks until everything enqueued before it has been applied.
+// Sync blocks until everything enqueued before it has been applied. It
+// returns immediately on a closed peer.
 func (p *FleetPeer) Sync() {
-	done := make(chan struct{})
-	p.chMu.Lock()
-	if p.chClosed {
-		p.chMu.Unlock()
+	p.senders.Add(1)
+	if p.closing.Load() {
+		p.senders.Add(-1)
 		return
 	}
-	p.ch <- delivery{done: done}
-	p.chMu.Unlock()
-	<-done
+	done := make(chan struct{})
+	select {
+	case p.ch <- delivery{done: done}:
+		p.senders.Add(-1)
+		<-done
+	case <-p.dead:
+		p.senders.Add(-1)
+	}
 }
 
-func (p *FleetPeer) close() {
-	p.chMu.Lock()
-	defer p.chMu.Unlock()
-	if !p.chClosed {
-		p.chClosed = true
-		close(p.ch)
+// close begins teardown: refuse new senders, then hand the runner the
+// stop sentinel (the runner is alive until it processes one, so the
+// send always completes). Idempotent.
+func (p *FleetPeer) close(release bool) {
+	if p.closing.Swap(true) {
+		return
 	}
+	p.ch <- delivery{stop: true, release: release}
 }
 
 // LearnPrimary installs a table-transfer route on the peer's primary

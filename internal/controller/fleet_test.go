@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -138,4 +139,107 @@ func TestFleetCloseSemantics(t *testing.T) {
 			t.Errorf("engine RIB len = %d, want 1", e.RIB().Len())
 		}
 	})
+}
+
+// TestFleetPeerChurnUnderLoad hammers the teardown path: feeder
+// goroutines stream batches at a small key space while a churner
+// connects and disconnects those same peers. The lock-free
+// Enqueue/close handshake must neither lose a session's goroutine, nor
+// deliver to a dead engine, nor leak pool references — after the dust
+// settles and every peer is closed, the shared pool drains to empty.
+// Run with -race: this is the close-vs-send regression test.
+func TestFleetPeerChurnUnderLoad(t *testing.T) {
+	f := testFleet()
+
+	const (
+		feeders = 4
+		keys    = 8
+		rounds  = 400
+	)
+	key := func(i int) PeerKey { return PeerKey{AS: uint32(2 + i%keys), BGPID: uint32(i % keys)} }
+
+	var wg sync.WaitGroup
+	for g := 0; g < feeders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			path := []uint32{uint32(2 + g), 50, 60}
+			for i := 0; i < rounds; i++ {
+				k := key(g + i)
+				b := event.Batch{
+					event.Announce(time.Duration(i)*time.Millisecond, netaddr.PrefixFor(8, i%64), path).WithPeer(k),
+					event.Withdraw(time.Duration(i)*time.Millisecond+time.Microsecond, netaddr.PrefixFor(8, i%64)).WithPeer(k),
+				}
+				if err := f.Apply(b); err != nil {
+					t.Errorf("Apply: %v", err)
+					return
+				}
+				// Direct peer enqueue races the churner too; a false
+				// return (peer torn down mid-flight) is the documented
+				// contract, not an error.
+				p := f.Peer(key(g + i + 1))
+				p.Enqueue(event.Batch{event.Tick(time.Duration(i) * time.Millisecond).WithPeer(p.Key())})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			f.ClosePeer(key(i))
+			if i%16 == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Tear every surviving peer down; the shared pool must drain (the
+	// engines' tables and tracker pins all release).
+	for _, p := range f.Peers() {
+		f.ClosePeer(p.Key())
+	}
+	f.Close()
+	if n := f.Pool().Len(); n != 0 {
+		t.Fatalf("shared pool leaks %d paths after full churn teardown", n)
+	}
+}
+
+// TestFleetClosePeerReleasesEngine pins the teardown contract: a closed
+// peer's engine returns its RIB references to the shared pool, and
+// later traffic for the key builds a fresh session.
+func TestFleetClosePeerReleasesEngine(t *testing.T) {
+	f := testFleet()
+	defer f.Close()
+
+	k := PeerKey{AS: 2, BGPID: 7}
+	p := f.Peer(k)
+	p.LearnPrimary(netaddr.PrefixFor(8, 1), []uint32{2, 5, 6})
+	p.LearnAlternate(3, netaddr.PrefixFor(8, 1), []uint32{3, 6})
+	if n := f.Pool().Len(); n != 2 {
+		t.Fatalf("pool = %d, want 2", n)
+	}
+	if !f.ClosePeer(k) {
+		t.Fatal("ClosePeer found no peer")
+	}
+	if f.ClosePeer(k) {
+		t.Fatal("double ClosePeer claimed a peer")
+	}
+	// Teardown is async on the delivery goroutine; closing the fleet's
+	// remaining work isn't needed — poll briefly for the drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Pool().Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool still holds %d paths after ClosePeer", f.Pool().Len())
+		}
+		runtime.Gosched()
+	}
+	// Fresh traffic re-creates the session.
+	p2 := f.Peer(k)
+	if p2 == p {
+		t.Fatal("ClosePeer left the dead peer resolvable")
+	}
+	if !p2.Enqueue(event.Batch{event.Tick(time.Second).WithPeer(k)}) {
+		t.Fatal("fresh peer refused delivery")
+	}
 }

@@ -85,6 +85,20 @@ func (f *FIB) SetTag(p netaddr.Prefix, t encoding.Tag) {
 	f.charge(1)
 }
 
+// ReplaceTags swaps in a complete stage-1 assignment, taking ownership
+// of m (the caller must not mutate it afterwards; shared reads are
+// fine). It charges one write per entry — the accounting a rebuild via
+// SetTag would produce — without the per-entry copy into a second map,
+// which is what makes burst-end re-provisioning cheap.
+func (f *FIB) ReplaceTags(m map[netaddr.Prefix]encoding.Tag) {
+	f.stage1 = m
+	f.lengths = [33]int{}
+	for p := range m {
+		f.lengths[p.Len()]++
+	}
+	f.charge(len(m))
+}
+
 // RemoveTag deletes p's stage-1 rule.
 func (f *FIB) RemoveTag(p netaddr.Prefix) {
 	if _, exists := f.stage1[p]; exists {

@@ -315,10 +315,15 @@ func (s *Scheme) assignTags(table *rib.Table, plan *reroute.Plan) {
 		for _, p := range prefixes {
 			t := pathPart
 			if plan != nil {
-				for d := 1; d <= len(s.backups); d++ {
-					if nh := plan.BackupFor(p, d); nh != 0 {
+				// One plan lookup per prefix; the row indexes by depth.
+				bs := plan.BackupsOf(p)
+				if len(bs) > len(s.backups) {
+					bs = bs[:len(s.backups)]
+				}
+				for d, nh := range bs {
+					if nh != 0 {
 						if id, ok := s.nhIDs[nh]; ok {
-							t |= s.backups[d-1].place(id)
+							t |= s.backups[d].place(id)
 						}
 					}
 				}

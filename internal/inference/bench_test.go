@@ -49,7 +49,7 @@ func BenchmarkObserveWithdrawHot(b *testing.B) {
 		p := netaddr.PrefixFor(8, i%n)
 		tr.ObserveWithdraw(p)
 		tr.ObserveAnnounce(p, path)
-		if tr.Received() >= 20000 {
+		if tr.Received() >= 15000 {
 			tr.Reset()
 		}
 	}
@@ -78,6 +78,90 @@ func BenchmarkInfer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := tr.Infer()
 		if len(res.Links) == 0 {
+			b.Fatal("no inference")
+		}
+	}
+}
+
+// BenchmarkInferRepeated measures the in-burst trigger cadence: a
+// withdrawal lands, then Infer re-runs. The incremental candidate order
+// re-ranks only the links that withdrawal dirtied and the pick runs on
+// reused buffers, so each call allocates (almost) nothing — the
+// acceptance bar is <= 10 allocs/op. The periodic Reset bounds burst
+// state the way the engine's burst lifecycle does.
+func BenchmarkInferRepeated(b *testing.B) {
+	cfg := Default()
+	cfg.UseHistory = false
+	table := rib.New(1)
+	const groups = 50
+	for g := uint32(0); g < groups; g++ {
+		for i := 0; i < 400; i++ {
+			table.Announce(netaddr.PrefixFor(100+g, i), []uint32{2, 500 + g, 600 + g, 100 + g})
+		}
+	}
+	tr := NewTracker(cfg, table)
+	seed := func() {
+		for g := uint32(0); g < groups; g++ {
+			for i := 0; i < 4+int(g%17); i++ {
+				p := netaddr.PrefixFor(100+g, i)
+				tr.ObserveWithdraw(p)
+				tr.ObserveAnnounce(p, []uint32{2, 500 + g, 600 + g, 100 + g})
+			}
+		}
+	}
+	seed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One more withdrawal dirties one path's links...
+		g := uint32(i % groups)
+		p := netaddr.PrefixFor(100+g, 20+(i/50)%380)
+		tr.ObserveWithdraw(p)
+		tr.ObserveAnnounce(p, []uint32{2, 500 + g, 600 + g, 100 + g})
+		// ...and the trigger re-infers.
+		if res := tr.Infer(); len(res.Links) == 0 {
+			b.Fatal("no inference")
+		}
+		if tr.Received() >= 15000 {
+			tr.Reset()
+			seed()
+		}
+	}
+}
+
+// BenchmarkInferWide measures the trigger cadence over a very wide
+// candidate set (6,000 touched links over 2,000 disjoint paths), the
+// shape that fans the re-keying and live-path counting out over the
+// worker pool on multi-core hosts; the incremental order keeps the
+// per-call cost at the dirty links, not the candidate-set width.
+func BenchmarkInferWide(b *testing.B) {
+	cfg := Default()
+	cfg.UseHistory = false
+	table := rib.New(1)
+	const groups = 2000
+	path := make([]uint32, 3)
+	for g := uint32(0); g < groups; g++ {
+		path[0], path[1], path[2] = 100000+g, 10000+g, 20000+g
+		for i := 0; i < 20; i++ {
+			table.Announce(netaddr.PrefixFor(2+g%250, int(g/250)*100+i), path)
+		}
+	}
+	tr := NewTracker(cfg, table)
+	for g := uint32(0); g < groups; g++ {
+		for k := 0; k < 1+int(g%7); k++ {
+			tr.ObserveWithdraw(netaddr.PrefixFor(2+g%250, int(g/250)*100+k))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Dirty one group, then re-infer.
+		g := uint32(i) % groups
+		p := netaddr.PrefixFor(2+g%250, int(g/250)*100+7+i%13)
+		path[0], path[1], path[2] = 100000+g, 10000+g, 20000+g
+		tr.ObserveWithdraw(p)
+		tr.ObserveAnnounce(p, path)
+		if res := tr.Infer(); len(res.Links) == 0 {
 			b.Fatal("no inference")
 		}
 	}

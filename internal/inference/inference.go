@@ -15,6 +15,7 @@ package inference
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"swift/internal/netaddr"
 	"swift/internal/rib"
@@ -116,18 +117,71 @@ type Tracker struct {
 	wSeen map[netaddr.Prefix]rib.PathHandle
 	multi map[netaddr.Prefix][]rib.PathHandle
 
+	// Incremental scoring state. ord keeps the burst's touched links
+	// sorted by kval, a totalW-free rank key (see keyOf) whose order
+	// equals Fit-Score order but does not move as more withdrawals
+	// arrive. Links whose W or P inputs changed since the last Infer are
+	// collected in dirty (dirtyOn dedups); an Infer re-scores only
+	// those and merges them back, so repeated in-burst inference stops
+	// recomputing the whole candidate set from scratch.
+	ord     []rib.LinkID
+	ord2    []rib.LinkID
+	kval    []float64
+	dirty   []rib.LinkID
+	dirtyOn []bool
+	ordered bool
+	sorter  ordSorter
+
+	// pickOrdered scratch: the tie set, one candidate set per endpoint,
+	// and the candidate-extension buffer. Reused across calls so a
+	// repeated in-burst Infer allocates only its Result.
+	linksA []topology.Link
+	linksB []topology.Link
+	linksC []topology.Link
+	cand   []topology.Link
+
 	// scratch
 	idBuf []rib.LinkID
 	set   rib.LinkSet
 }
 
-// NewTracker wraps a session RIB.
+// NewTracker wraps a session RIB and registers itself as the table's
+// link observer (a table feeds at most one tracker).
 func NewTracker(cfg Config, table *rib.Table) *Tracker {
-	return &Tracker{
+	t := &Tracker{
 		cfg:   cfg,
 		rib:   table,
 		wSeen: make(map[netaddr.Prefix]rib.PathHandle),
 		multi: make(map[netaddr.Prefix][]rib.PathHandle),
+	}
+	t.sorter.t = t
+	table.SetLinkObserver(t.linkTouched)
+	return t
+}
+
+// linkTouched is the RIB's P(l, t)-change hook: a burst-scored link
+// whose still-routed count moved must be re-ranked at the next Infer.
+func (t *Tracker) linkTouched(id rib.LinkID) {
+	if int(id) < len(t.wCount) && t.wCount[id] > 0 {
+		t.markDirty(id)
+	}
+}
+
+// markDirty queues id for re-scoring (deduplicated) and keeps the
+// dense per-link rank arrays sized.
+func (t *Tracker) markDirty(id rib.LinkID) {
+	if int(id) >= len(t.dirtyOn) {
+		n := int(id) + 1 + int(id)/2
+		grownB := make([]bool, n)
+		copy(grownB, t.dirtyOn)
+		t.dirtyOn = grownB
+		grownK := make([]float64, n)
+		copy(grownK, t.kval)
+		t.kval = grownK
+	}
+	if !t.dirtyOn[id] {
+		t.dirtyOn[id] = true
+		t.dirty = append(t.dirty, id)
 	}
 }
 
@@ -154,6 +208,16 @@ func (t *Tracker) Reset() {
 	clear(t.wSeen)
 	clear(t.multi)
 	t.totalW = 0
+	t.clearDirty()
+	t.ord = t.ord[:0]
+	t.ordered = false
+}
+
+func (t *Tracker) clearDirty() {
+	for _, id := range t.dirty {
+		t.dirtyOn[id] = false
+	}
+	t.dirty = t.dirty[:0]
 }
 
 // ObserveWithdraw processes one withdrawal: it charges the prefix's
@@ -173,6 +237,7 @@ func (t *Tracker) ObserveWithdraw(p netaddr.Prefix) {
 			t.wLinks = append(t.wLinks, id)
 		}
 		t.wCount[id]++
+		t.markDirty(id)
 	}
 	pid := int(h.ID())
 	if pid >= len(t.wByPath) {
@@ -213,14 +278,137 @@ func (t *Tracker) ObserveAnnounce(p netaddr.Prefix, path []uint32) {
 	t.rib.Announce(p, path)
 }
 
+// RankKey is the canonical candidate-ordering key: WWS·ln W(l) +
+// WPS·ln PS(l). The Fit Score is the monotone transform
+// exp((key − WWS·ln W(t)) / (WWS+WPS)), so ordering by key equals
+// ordering by Fit Score wherever two scores differ as real numbers —
+// but unlike the score itself, the key does not move as W(t) grows,
+// which is what lets clean links keep their sorted position across
+// Infer calls while only dirtied links re-rank. It is exported so model
+// tests order their reference scores by the exact same float
+// computation (small-integer W/P combinations produce mathematically
+// tied scores routinely; the key is the tie domain).
+func RankKey(wws, wps, w, p float64) float64 {
+	return wws*math.Log(w) + wps*math.Log(w/(w+p))
+}
+
+// keyOf evaluates RankKey on one link's counters.
+func (t *Tracker) keyOf(id rib.LinkID) float64 {
+	w := float64(t.wCount[id])
+	p := float64(t.rib.OnLinkID(id))
+	return RankKey(t.cfg.WWS, t.cfg.WPS, w, p)
+}
+
+// rankLess is the candidate order: rank key descending, ties by link
+// for determinism (the same tiebreak a Fit-Score sort uses, since equal
+// (W, P) inputs produce bitwise-equal keys and scores).
+func (t *Tracker) rankLess(a, b rib.LinkID) bool {
+	ka, kb := t.kval[a], t.kval[b]
+	if ka != kb {
+		return ka > kb
+	}
+	la, lb := t.rib.LinkByID(a), t.rib.LinkByID(b)
+	if la.A != lb.A {
+		return la.A < lb.A
+	}
+	return la.B < lb.B
+}
+
+// ordSorter sorts a LinkID slice by rankLess without allocating (the
+// tracker embeds one and hands sort.Sort its pointer).
+type ordSorter struct {
+	t   *Tracker
+	ids []rib.LinkID
+}
+
+func (s *ordSorter) Len() int           { return len(s.ids) }
+func (s *ordSorter) Swap(i, j int)      { s.ids[i], s.ids[j] = s.ids[j], s.ids[i] }
+func (s *ordSorter) Less(i, j int) bool { return s.t.rankLess(s.ids[i], s.ids[j]) }
+
+func (t *Tracker) sortIDs(ids []rib.LinkID) {
+	t.sorter.ids = ids
+	sort.Sort(&t.sorter)
+	t.sorter.ids = nil
+}
+
+// refreshOrder brings ord up to date: a full build on the first use of
+// a burst, then incremental — only links dirtied since the last call
+// are re-keyed (in parallel past the grain) and merged back into the
+// clean remainder.
+func (t *Tracker) refreshOrder() {
+	if !t.ordered {
+		t.ord = append(t.ord[:0], t.wLinks...)
+		for _, id := range t.ord {
+			t.markDirty(id) // sizes kval
+		}
+		parallelFor(len(t.ord), linkGrain, func(lo, hi int) {
+			for _, id := range t.ord[lo:hi] {
+				t.kval[id] = t.keyOf(id)
+			}
+		})
+		t.sortIDs(t.ord)
+		t.clearDirty()
+		t.ordered = true
+		return
+	}
+	if len(t.dirty) == 0 {
+		return
+	}
+	d := t.dirty
+	parallelFor(len(d), linkGrain, func(lo, hi int) {
+		for _, id := range d[lo:hi] {
+			t.kval[id] = t.keyOf(id)
+		}
+	})
+	// Drop the dirtied links from the clean order, sort just them, and
+	// merge the two runs.
+	keep := t.ord[:0]
+	for _, id := range t.ord {
+		if !t.dirtyOn[id] {
+			keep = append(keep, id)
+		}
+	}
+	t.sortIDs(d)
+	out := t.ord2[:0]
+	i, j := 0, 0
+	for i < len(keep) && j < len(d) {
+		if t.rankLess(d[j], keep[i]) {
+			out = append(out, d[j])
+			j++
+		} else {
+			out = append(out, keep[i])
+			i++
+		}
+	}
+	out = append(out, keep[i:]...)
+	out = append(out, d[j:]...)
+	t.ord2 = out
+	t.ord, t.ord2 = t.ord2, t.ord
+	t.clearDirty()
+}
+
+// fsOf materializes one ordered link's Fit Score at the current W(t).
+func (t *Tracker) fsOf(id rib.LinkID) float64 {
+	w := int(t.wCount[id])
+	p := t.rib.OnLinkID(id)
+	ws := float64(w) / float64(t.totalW)
+	ps := float64(w) / float64(w+p)
+	return stats.WeightedGeoMean2(ws, t.cfg.WWS, ps, t.cfg.WPS)
+}
+
 // Scores computes per-link metrics for every link touched by the burst,
-// sorted by Fit Score descending (ties by link order for determinism).
+// sorted by RankKey descending — Fit-Score order, with mathematically
+// tied scores broken by link for determinism. The slice is freshly
+// allocated; the order comes from the maintained incremental rank, so a
+// repeated call after few changes costs the re-rank of the dirty links
+// plus materialization.
 func (t *Tracker) Scores() []LinkScore {
 	if t.totalW == 0 {
 		return nil
 	}
-	out := make([]LinkScore, 0, len(t.wLinks))
-	for _, id := range t.wLinks {
+	t.refreshOrder()
+	out := make([]LinkScore, 0, len(t.ord))
+	for _, id := range t.ord {
 		w := int(t.wCount[id])
 		p := t.rib.OnLinkID(id)
 		ws := float64(w) / float64(t.totalW)
@@ -228,15 +416,6 @@ func (t *Tracker) Scores() []LinkScore {
 		fs := stats.WeightedGeoMean2(ws, t.cfg.WWS, ps, t.cfg.WPS)
 		out = append(out, LinkScore{Link: t.rib.LinkByID(id), W: w, P: p, WS: ws, PS: ps, FS: fs})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].FS != out[j].FS {
-			return out[i].FS > out[j].FS
-		}
-		if out[i].Link.A != out[j].Link.A {
-			return out[i].Link.A < out[j].Link.A
-		}
-		return out[i].Link.B < out[j].Link.B
-	})
 	return out
 }
 
@@ -262,6 +441,52 @@ func (t *Tracker) PredictedPrefixes(r Result) []netaddr.Prefix {
 	return t.rib.PrefixesOnAny(r.Links)
 }
 
+// AppendPredicted appends the prefixes an inference over links would
+// reroute — the unsorted form of PredictedPrefixes for hot-path
+// consumers that don't need canonical order. Each prefix appears once.
+func (t *Tracker) AppendPredicted(dst []netaddr.Prefix, links []topology.Link) []netaddr.Prefix {
+	t.rib.FillLinkSet(&t.set, links)
+	return t.rib.AppendPrefixesOnSet(dst, &t.set)
+}
+
+// AppendWithdrawnOn appends the burst's already-withdrawn prefixes
+// whose pre-withdrawal path crossed any of links — WithdrawnOn without
+// the sort, for the engine's decision path. Prefixes withdrawn several
+// times dedup through the multi index, so each appears exactly once;
+// the order is unspecified.
+func (t *Tracker) AppendWithdrawnOn(dst []netaddr.Prefix, links []topology.Link) []netaddr.Prefix {
+	t.rib.FillLinkSet(&t.set, links)
+	if len(t.multi) == 0 {
+		for _, h := range t.wPaths {
+			if t.rib.PathCrossesSet(h, &t.set) {
+				dst = append(dst, t.wByPath[h.ID()]...)
+			}
+		}
+		return dst
+	}
+	// Multi-withdrawn prefixes can sit in several path groups (and
+	// twice in one); emit them from the multi index instead, once.
+	for _, h := range t.wPaths {
+		if !t.rib.PathCrossesSet(h, &t.set) {
+			continue
+		}
+		for _, p := range t.wByPath[h.ID()] {
+			if _, ok := t.multi[p]; !ok {
+				dst = append(dst, p)
+			}
+		}
+	}
+	for p, hs := range t.multi {
+		for _, h := range hs {
+			if t.rib.PathCrossesSet(h, &t.set) {
+				dst = append(dst, p)
+				break
+			}
+		}
+	}
+	return dst
+}
+
 // WithdrawnOn returns the sorted union of prefixes already withdrawn in
 // this burst whose pre-withdrawal path crossed any of the links.
 // Together with PredictedPrefixes it forms the W′ set of §6.2's
@@ -283,17 +508,26 @@ func (t *Tracker) WithdrawnOn(links []topology.Link) []netaddr.Prefix {
 // Infer runs the algorithm against the current burst state. With
 // UseHistory set, Accepted applies §4.2's plausibility gate; otherwise
 // every inference is accepted.
+//
+// Inference is incremental across calls within one burst: the candidate
+// order is maintained (only links dirtied since the last call re-rank),
+// scoring runs on reused buffers, and the only allocation is the
+// returned link set. Large candidate or live-path sets fan the scoring
+// and counting loops out over the bounded worker pool.
 func (t *Tracker) Infer() Result {
-	scores := t.Scores()
-	if len(scores) == 0 {
+	if t.totalW == 0 {
 		return Result{}
 	}
-	links := t.pickLinks(scores)
+	t.refreshOrder()
+	if len(t.ord) == 0 {
+		return Result{}
+	}
+	links := t.pickOrdered()
 	t.rib.FillLinkSet(&t.set, links)
 	res := Result{
-		Links:     links,
+		Links:     append([]topology.Link(nil), links...),
 		FS:        t.setFS(links),
-		Predicted: t.rib.CountOnSet(&t.set),
+		Predicted: t.countOnSet(),
 		Received:  t.totalW,
 		Accepted:  true,
 	}
@@ -301,6 +535,21 @@ func (t *Tracker) Infer() Result {
 		res.Accepted = t.plausible(res)
 	}
 	return res
+}
+
+// countOnSet counts prefixes crossing t.set, splitting the live-path
+// scan across the worker pool when the table is large. Integer partial
+// sums keep the result exact regardless of the split.
+func (t *Tracker) countOnSet() int {
+	n := t.rib.NumLivePaths()
+	if n < 2*pathGrain {
+		return t.rib.CountOnSet(&t.set)
+	}
+	var total atomic.Int64
+	parallelFor(n, pathGrain, func(lo, hi int) {
+		total.Add(int64(t.rib.CountOnSetRange(&t.set, lo, hi)))
+	})
+	return int(total.Load())
 }
 
 // plausible applies the history gate: large predictions early in a
@@ -325,9 +574,11 @@ func (t *Tracker) plausible(r Result) bool {
 	return r.Predicted <= maxPred
 }
 
-// pickLinks returns the maximum-FS links, extended by greedy
+// pickOrdered returns the maximum-FS links, extended by greedy
 // same-endpoint aggregation when that increases the set score (the
-// concurrent-failure handling of §4.2).
+// concurrent-failure handling of §4.2). It walks the maintained rank
+// order on reused buffers; the returned slice aliases tracker scratch
+// and is only valid until the next pick.
 //
 // Aggregate WS and PS use set unions rather than the paper's printed
 // per-link sums: on a tree of paths seen from a single vantage, the
@@ -336,25 +587,31 @@ func (t *Tracker) plausible(r Result) bool {
 // sets. The union form is the de-duplicated equivalent and matches the
 // paper's worked examples (Fig. 4 aggregates nothing; a multi-homed
 // entry to a failed router aggregates its entry links).
-func (t *Tracker) pickLinks(scores []LinkScore) []topology.Link {
-	top := scores[0]
-	links := []topology.Link{top.Link}
+func (t *Tracker) pickOrdered() []topology.Link {
+	topID := t.ord[0]
+	topFS := t.fsOf(topID)
+	topLink := t.rib.LinkByID(topID)
+	links := append(t.linksA[:0], topLink)
 	// Ties at the maximum: conservative multi-link answer.
-	for _, s := range scores[1:] {
-		if top.FS-s.FS <= t.cfg.TieEpsilon*math.Max(1, top.FS) {
-			links = append(links, s.Link)
+	for _, id := range t.ord[1:] {
+		if topFS-t.fsOf(id) <= t.cfg.TieEpsilon*math.Max(1, topFS) {
+			links = append(links, t.rib.LinkByID(id))
 		} else {
 			break
 		}
 	}
+	t.linksA = links
 
 	// Greedy aggregation around each endpoint of the top link: extend
 	// the current set with incident links in FS-descending order while
-	// the set FS improves.
+	// the set FS improves. Each endpoint gets its own scratch set so
+	// the winner survives the other endpoint's pass.
 	best := links
 	bestFS := t.setFS(links)
-	for _, endpoint := range []uint32{top.Link.A, top.Link.B} {
-		set := append([]topology.Link(nil), links...)
+	endpointSets := [2]*[]topology.Link{&t.linksB, &t.linksC}
+	for ei, endpoint := range [2]uint32{topLink.A, topLink.B} {
+		set := append((*endpointSets[ei])[:0], links...)
+		*endpointSets[ei] = set
 		shares := true
 		for _, l := range set {
 			if !l.Has(endpoint) {
@@ -366,16 +623,18 @@ func (t *Tracker) pickLinks(scores []LinkScore) []topology.Link {
 			continue
 		}
 		cur := bestFS
-		for _, s := range scores[1:] {
-			if !s.Link.Has(endpoint) || inSet(set, s.Link) {
+		for _, id := range t.ord[1:] {
+			l := t.rib.LinkByID(id)
+			if !l.Has(endpoint) || inSet(set, l) {
 				continue
 			}
-			cand := append(append([]topology.Link(nil), set...), s.Link)
-			fs := t.setFS(cand)
-			if fs > cur {
-				set, cur = cand, fs
+			cand := append(append(t.cand[:0], set...), l)
+			t.cand = cand[:0]
+			if fs := t.setFS(cand); fs > cur {
+				set, cur = append(set[:0], cand...), fs
 			}
 		}
+		*endpointSets[ei] = set
 		if cur > bestFS {
 			best, bestFS = set, cur
 		}

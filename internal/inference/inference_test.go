@@ -367,3 +367,36 @@ func TestPredictedPrefixes(t *testing.T) {
 		t.Error("prediction must be non-empty mid-burst")
 	}
 }
+
+// TestInferParallelCounting forces the scoring worker pool on (the
+// 1-CPU CI fallback would otherwise run serial) over a table wide
+// enough to cross the parallel-counting grain, and checks the fanned
+// count agrees with the serial one. Under -race this is the regression
+// test for the CountOnSetRange workers racing on the table's inline
+// first-link cache.
+func TestInferParallelCounting(t *testing.T) {
+	oldWorkers := scoreWorkers
+	scoreWorkers = 4
+	defer func() { scoreWorkers = oldWorkers }()
+
+	cfg := Default()
+	cfg.UseHistory = false
+	table := rib.New(1)
+	const groups = 5000 // > 2*pathGrain live paths
+	path := make([]uint32, 3)
+	for g := uint32(0); g < groups; g++ {
+		path[0], path[1], path[2] = 100000+g, 10000+g, 20000+g
+		table.Announce(netaddr.PrefixFor(2+g%250, int(g/250)*100), path)
+	}
+	tr := NewTracker(cfg, table)
+	for g := uint32(0); g < groups; g += 7 {
+		tr.ObserveWithdraw(netaddr.PrefixFor(2+g%250, int(g/250)*100))
+	}
+	res := tr.Infer()
+	if len(res.Links) == 0 {
+		t.Fatal("no inference")
+	}
+	if want := len(tr.PredictedPrefixes(res)); res.Predicted != want {
+		t.Fatalf("parallel Predicted = %d, serial materialization = %d", res.Predicted, want)
+	}
+}

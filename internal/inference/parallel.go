@@ -1,0 +1,85 @@
+package inference
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The scoring worker pool. Candidate re-ranking and live-path counting
+// are embarrassingly parallel over disjoint index spans; for large sets
+// the tracker fans them out here. The pool is bounded — at most
+// GOMAXPROCS (capped) goroutines serve every tracker in the process —
+// so a fleet of engines inferring at once cannot multiply goroutines
+// past the core count; a saturated pool degrades to inline execution,
+// never to queue buildup.
+var scoreWorkers = func() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
+}()
+
+const (
+	// linkGrain is the minimum number of candidate links per worker —
+	// below 2 grains the handoff costs more than the exp/log re-keying.
+	linkGrain = 256
+	// pathGrain is the minimum number of live paths per counting
+	// worker.
+	pathGrain = 2048
+)
+
+var workers struct {
+	once sync.Once
+	jobs chan func()
+}
+
+func startWorkers() {
+	workers.jobs = make(chan func(), scoreWorkers)
+	for i := 0; i < scoreWorkers-1; i++ {
+		go func() {
+			for f := range workers.jobs {
+				f()
+			}
+		}()
+	}
+}
+
+// parallelFor splits [0, n) into per-worker spans and runs fn over them
+// on the bounded pool, running serially when the work is too small to
+// amortize the handoff. fn must be safe to run concurrently on disjoint
+// spans; parallelFor returns only after every span completed.
+func parallelFor(n, grain int, fn func(lo, hi int)) {
+	if scoreWorkers <= 1 || n < 2*grain {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	workers.once.Do(startWorkers)
+	w := (n + grain - 1) / grain
+	if w > scoreWorkers {
+		w = scoreWorkers
+	}
+	span := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := span; lo < n; lo += span {
+		hi := lo + span
+		if hi > n {
+			hi = n
+		}
+		lo := lo
+		wg.Add(1)
+		job := func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+		select {
+		case workers.jobs <- job:
+		default:
+			job() // pool saturated: run inline, never queue up
+		}
+	}
+	fn(0, span) // the caller takes the first span itself
+	wg.Wait()
+}

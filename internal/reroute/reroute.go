@@ -76,6 +76,51 @@ func (pl *Plan) BackupFor(p netaddr.Prefix, d int) uint32 {
 	return bs[d-1]
 }
 
+// BackupsOf returns p's whole backup row (index d-1 protects depth d) —
+// one map lookup instead of one per depth for tag-assembly consumers.
+// The slice is owned by the plan.
+func (pl *Plan) BackupsOf(p netaddr.Prefix) []uint32 { return pl.Backups[p] }
+
+// computeState carries one Compute invocation's working set: the
+// ordered neighbor list, their tables, and the per-(neighbor, depth)
+// viability caches the per-prefix loop hits instead of re-walking alt
+// paths.
+type computeState struct {
+	localAS   uint32
+	pol       *Policy
+	plan      *Plan
+	neighbors []uint32
+	alts      []*rib.Table
+	// assigned counts assignments per neighbor index — the capacity
+	// gauge, folded into plan.Assigned once at the end instead of a map
+	// update per (prefix, depth) hit.
+	assigned []int
+	// handles[i] is the current prefix's interned alt path per neighbor,
+	// resolved once per prefix instead of once per (depth, neighbor).
+	handles []rib.PathHandle
+	// verdicts[i*MaxDepth+(d-1)] caches the last (alt PathID → tier
+	// verdicts) seen for neighbor i at depth d. Alternate tables group
+	// prefixes over few unique paths and consecutive prefixes correlate,
+	// so this single-entry cache absorbs almost every probe; a miss just
+	// re-walks the alt path (the pre-cache cost).
+	verdicts []tierVerdict
+	// links is the per-group positional decomposition scratch.
+	links []topology.Link
+	// arena backs every backup row, one allocation per Compute.
+	arena []uint32
+}
+
+// tierVerdict is one cached viability answer: for alt path pid against
+// one protected link, whether it avoids both endpoints (tier 1) and
+// whether it avoids the link itself (tier 2).
+type tierVerdict struct {
+	pid          rib.PathID
+	link         topology.Link
+	valid        bool
+	endpointFree bool
+	linkFree     bool
+}
+
 // Compute builds the plan for the primary session's RIB given the
 // alternative routes offered by every neighbor session.
 //
@@ -83,67 +128,110 @@ func (pl *Plan) BackupFor(p netaddr.Prefix, d int) uint32 {
 // paths packets follow). alternates maps each neighbor AS — including
 // remote next-hops learned over iBGP tunnels (§3.2) — to the routes it
 // advertises. depth limits how many links per path are protected.
+//
+// The pass runs once per unique primary path group (the positional link
+// decomposition is a path property), resolves each prefix's alternate
+// paths once, and answers the per-(depth, neighbor) viability question
+// from a cache keyed by the alternate's interned PathID — re-walking an
+// alternate path only when a group actually switches paths. Prefixes
+// are visited in sorted order only when a capacity policy makes
+// admission order-dependent; without one the outcome is
+// order-independent and the sort is skipped.
 func Compute(localAS uint32, primary *rib.Table, alternates map[uint32]*rib.Table, pol *Policy, depth int) *Plan {
 	if depth <= 0 || depth > MaxDepth {
 		depth = MaxDepth
 	}
-	plan := &Plan{
-		LocalAS:  int(localAS),
-		Depth:    depth,
-		Backups:  make(map[netaddr.Prefix][]uint32, primary.Len()),
-		Assigned: make(map[uint32]int),
+	st := &computeState{
+		localAS: localAS,
+		pol:     pol,
+		plan: &Plan{
+			LocalAS:  int(localAS),
+			Depth:    depth,
+			Backups:  make(map[netaddr.Prefix][]uint32, primary.Len()),
+			Assigned: make(map[uint32]int),
+		},
+		arena: make([]uint32, 0, primary.Len()*depth),
 	}
 
 	// Deterministic neighbor ordering: by cost, then ASN.
-	neighbors := make([]uint32, 0, len(alternates))
 	for n := range alternates {
-		neighbors = append(neighbors, n)
+		st.neighbors = append(st.neighbors, n)
 	}
-	sort.Slice(neighbors, func(i, j int) bool {
-		ci, cj := pol.cost(neighbors[i]), pol.cost(neighbors[j])
+	sort.Slice(st.neighbors, func(i, j int) bool {
+		ci, cj := pol.cost(st.neighbors[i]), pol.cost(st.neighbors[j])
 		if ci != cj {
 			return ci < cj
 		}
-		return neighbors[i] < neighbors[j]
+		return st.neighbors[i] < st.neighbors[j]
 	})
-
-	// Deterministic prefix ordering so capacity admission is stable.
-	prefixes := make([]netaddr.Prefix, 0, primary.Len())
-	primary.ForEach(func(p netaddr.Prefix, _ []uint32) {
-		prefixes = append(prefixes, p)
-	})
-	netaddr.Sort(prefixes)
-
-	// Paths are interned, so the positional link decomposition is
-	// computed once per unique path, not once per prefix (real tables
-	// carry orders of magnitude more prefixes than paths).
-	linksByPath := make(map[rib.PathID][]topology.Link)
-	for _, p := range prefixes {
-		h, ok := primary.HandleOf(p)
-		if !ok {
-			continue
-		}
-		path := h.Path()
-		links, memoized := linksByPath[h.ID()]
-		if !memoized {
-			links = rib.PathLinks(nil, localAS, path)
-			linksByPath[h.ID()] = links
-		}
-		n := depth
-		if len(links) < n {
-			n = len(links)
-		}
-		backups := make([]uint32, n)
-		primaryNH := uint32(0)
-		if len(path) > 0 {
-			primaryNH = path[0]
-		}
-		for d := 1; d <= n; d++ {
-			backups[d-1] = pickBackup(p, links[d-1], primaryNH, neighbors, alternates, pol, plan, localAS)
-		}
-		plan.Backups[p] = backups
+	for _, n := range st.neighbors {
+		st.alts = append(st.alts, alternates[n])
 	}
-	return plan
+	st.handles = make([]rib.PathHandle, len(st.neighbors))
+	st.verdicts = make([]tierVerdict, len(st.neighbors)*MaxDepth)
+	st.assigned = make([]int, len(st.neighbors))
+	defer func() {
+		for i, n := range st.neighbors {
+			if st.assigned[i] > 0 {
+				st.plan.Assigned[n] = st.assigned[i]
+			}
+		}
+	}()
+
+	if pol != nil && len(pol.Capacity) > 0 {
+		// Capacity admission is first-come-first-served; visit prefixes
+		// in sorted order so the plan is deterministic.
+		prefixes := make([]netaddr.Prefix, 0, primary.Len())
+		primary.ForEach(func(p netaddr.Prefix, _ []uint32) {
+			prefixes = append(prefixes, p)
+		})
+		netaddr.Sort(prefixes)
+		for _, p := range prefixes {
+			h, ok := primary.HandleOf(p)
+			if !ok {
+				continue
+			}
+			st.links = rib.PathLinks(st.links[:0], localAS, h.Path())
+			st.planPrefix(p, h.Path(), depth)
+		}
+		return st.plan
+	}
+	primary.ForEachPath(func(path []uint32, prefixes []netaddr.Prefix) {
+		st.links = rib.PathLinks(st.links[:0], localAS, path)
+		for _, p := range prefixes {
+			st.planPrefix(p, path, depth)
+		}
+	})
+	return st.plan
+}
+
+// planPrefix fills one prefix's backup row from the current group's
+// link decomposition in st.links.
+func (st *computeState) planPrefix(p netaddr.Prefix, path []uint32, depth int) {
+	n := depth
+	if len(st.links) < n {
+		n = len(st.links)
+	}
+	primaryNH := uint32(0)
+	if len(path) > 0 {
+		primaryNH = path[0]
+	}
+	// Resolve the prefix's alternate paths once across all depths.
+	for i, alt := range st.alts {
+		st.handles[i] = rib.PathHandle{}
+		if alt != nil {
+			if h, ok := alt.HandleOf(p); ok {
+				st.handles[i] = h
+			}
+		}
+	}
+	start := len(st.arena)
+	st.arena = st.arena[:start+n]
+	backups := st.arena[start : start+n : start+n]
+	for d := 1; d <= n; d++ {
+		backups[d-1] = st.pickBackup(st.links[d-1], d, primaryNH)
+	}
+	st.plan.Backups[p] = backups
 }
 
 // pickBackup selects the most preferred viable backup neighbor for one
@@ -160,31 +248,36 @@ func Compute(localAS uint32, primary *rib.Table, alternates map[uint32]*rib.Tabl
 // Endpoint avoidance is impossible for prefixes whose every path goes
 // through an endpoint, and rerouting onto a link-free path is still no
 // worse than the blackhole it replaces (§3.3, Assumption 2 discussion).
-func pickBackup(p netaddr.Prefix, protected topology.Link, primaryNH uint32, neighbors []uint32, alternates map[uint32]*rib.Table, pol *Policy, plan *Plan, localAS uint32) uint32 {
-	for _, requireEndpointFree := range []bool{true, false} {
-		for _, n := range neighbors {
-			if n == primaryNH || pol.forbidden(n) {
+func (st *computeState) pickBackup(protected topology.Link, d int, primaryNH uint32) uint32 {
+	for _, requireEndpointFree := range [2]bool{true, false} {
+		for i, n := range st.neighbors {
+			if n == primaryNH || st.pol.forbidden(n) {
 				continue
 			}
-			if c := pol.capacity(n); c > 0 && plan.Assigned[n] >= c {
+			if c := st.pol.capacity(n); c > 0 && st.assigned[i] >= c {
 				continue
 			}
-			alt := alternates[n]
-			if alt == nil {
+			h := st.handles[i]
+			if !h.Valid() {
 				continue
 			}
-			path := alt.Path(p)
-			if path == nil {
-				continue
+			v := &st.verdicts[i*MaxDepth+(d-1)]
+			if !v.valid || v.pid != h.ID() || v.link != protected {
+				path := h.Path()
+				*v = tierVerdict{
+					pid:          h.ID(),
+					link:         protected,
+					valid:        true,
+					endpointFree: pathAvoids(path, protected),
+					linkFree:     pathAvoidsLink(path, st.localAS, protected),
+				}
 			}
-			ok := false
+			ok := v.linkFree
 			if requireEndpointFree {
-				ok = pathAvoids(path, protected)
-			} else {
-				ok = pathAvoidsLink(path, localAS, protected)
+				ok = v.endpointFree
 			}
 			if ok {
-				plan.Assigned[n]++
+				st.assigned[i]++
 				return n
 			}
 		}

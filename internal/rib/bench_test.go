@@ -144,3 +144,52 @@ func BenchmarkCountOnSet(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkInternParallel measures the fleet-shared intern hot path
+// under concurrency: every goroutine interns from the same overlapping
+// path set, the read-mostly sharded pool resolving hits lock-free. On a
+// multi-core host aggregate throughput should scale with GOMAXPROCS
+// instead of serializing behind one pool mutex.
+func BenchmarkInternParallel(b *testing.B) {
+	pool := NewPool()
+	paths := make([][]uint32, 64)
+	var warm []PathHandle
+	for i := range paths {
+		paths[i] = []uint32{2, 5, uint32(600 + i), uint32(700 + i%8)}
+		warm = append(warm, pool.Intern(paths[i]))
+	}
+	defer func() {
+		for _, h := range warm {
+			pool.Release(h)
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h := pool.Intern(paths[i&63])
+			pool.Release(h)
+			i++
+		}
+	})
+}
+
+// BenchmarkInternChurnParallel is the worst case for the sharded pool:
+// concurrent goroutines interning and fully releasing private paths, so
+// every operation crosses a shard's locked slow path (slot allocation
+// and free). This bounds the cost of the locked tier.
+func BenchmarkInternChurnParallel(b *testing.B) {
+	pool := NewPool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint32(0)
+		for pb.Next() {
+			path := []uint32{2, 5, 1000 + i&255}
+			h := pool.Intern(path)
+			pool.Release(h)
+			i++
+		}
+	})
+}

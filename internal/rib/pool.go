@@ -2,6 +2,7 @@ package rib
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"swift/internal/topology"
 )
@@ -10,6 +11,11 @@ import (
 // IDs are pool-scoped: every Table sharing a Pool agrees on them, which
 // is what lets per-table state (prefix groups, counters) live in plain
 // slices indexed by PathID. ID 0 is reserved and never names a path.
+//
+// The pool is sharded; the low poolShardBits of an id name the shard
+// that owns the path, the rest is the shard-local slot. IDs therefore
+// stay dense up to a small constant factor (the shard imbalance), which
+// is all per-table slice indexing needs.
 type PathID uint32
 
 // LinkID is a dense identifier for one AS link. Like PathID it is
@@ -18,23 +24,65 @@ type PathID uint32
 // bounded by the topology, not the table size).
 type LinkID uint32
 
+const (
+	// poolShardBits sizes the intern shard count. 16 shards keep a
+	// fleet of per-peer sessions from serializing behind one lock while
+	// adding at most 4 bits of PathID sparsity.
+	poolShardBits = 4
+	poolShards    = 1 << poolShardBits
+	poolShardMask = poolShards - 1
+
+	// pathKeyStack is the stack budget for building probe keys (4 bytes
+	// per AS hop). Longer paths fall back to a heap append — they are
+	// beyond any plausible AS path already.
+	pathKeyStack = 256
+)
+
 // pathEntry is one canonical interned path. The path and links fields
-// are written once under the pool lock before any handle escapes and
-// never mutated while a reference is held, so holders may read them
-// without locking.
+// are written under the owning shard's lock before any handle escapes
+// and never mutated while a reference is held, so holders may read them
+// without locking. refs is atomic: retain and release never take a lock
+// unless the count hits zero.
 type pathEntry struct {
 	id   PathID
-	refs int32
+	refs atomic.Int32
+	// freed marks an entry whose slot is on the shard free list. It is
+	// guarded by the shard lock and makes the release-to-zero path
+	// idempotent when a revived-then-re-released entry has several
+	// pending zero checks queued on the lock.
+	freed bool
 	// path is the canonical AS sequence (neighbor first). It is dropped
 	// (not recycled) when the entry is freed, so slices handed out while
 	// the entry was live can never be overwritten by a later intern.
 	path []uint32
+	// hash is a 64-bit content hash of path, computed once at intern.
+	// Tables fold it into their route signature — content-addressed, so
+	// PathID slot recycling cannot alias two different paths.
+	hash uint64
 	// links are the path's interior AS links — MakeLink over consecutive
 	// distinct ASes of path, deduplicated — as dense IDs. The local
 	// first-hop link (localAS, path[0]) is per-table (tables differ in
 	// localAS) and therefore not part of the shared entry; Table
 	// resolves it through its firstLink cache.
 	links []LinkID
+}
+
+// acquire takes one reference iff the entry is currently referenced.
+// It is the lock-free half of the read-mostly intern: a zero count
+// means a release is (or may be) freeing the entry, and the caller must
+// fall back to the locked path. A successful CAS from a positive count
+// cannot race a free: the zero check runs under the shard lock, and no
+// reference can appear during the free's critical section.
+func (e *pathEntry) acquire() bool {
+	for {
+		r := e.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if e.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
 }
 
 // PathHandle is a borrowed or owned reference to an interned path.
@@ -68,85 +116,191 @@ func (h PathHandle) Head() (uint32, bool) {
 // by the pool and immutable while the handle's reference is held.
 func (h PathHandle) InteriorLinkIDs() []LinkID { return h.e.links }
 
+// poolShard is one intern stripe. byKey is the authoritative index,
+// guarded by mu; snap is a read-mostly copy published for lock-free
+// probes and refreshed by the publication policy below. The pad keeps
+// neighboring shards' hot state off one cache line.
+type poolShard struct {
+	mu    sync.Mutex
+	byKey map[string]*pathEntry
+	snap  atomic.Pointer[map[string]*pathEntry]
+	// dirty counts mutations (inserts + frees) since the last publish;
+	// misses counts locked probes that found an entry the snapshot does
+	// not have yet. Either crossing its threshold triggers a republish.
+	dirty  int
+	misses int
+	free   []*pathEntry
+	next   uint32 // next fresh shard-local slot
+	live   int
+	_      [24]byte
+}
+
+// publishLocked decides whether the mutation pressure warrants cloning
+// the authoritative map into a fresh snapshot. Tiny shards republish on
+// every mutation (the clone is trivial); everything else amortizes the
+// O(n) clone over n/8 mutations — sustained churn costs O(1) amortized
+// per operation — with the miss counter short-circuiting when a
+// not-yet-published path turns hot on the locked probe path.
+func (s *poolShard) publishLocked(force bool) {
+	n := len(s.byKey)
+	if !force && n > 64 && s.dirty*8 < n && s.misses < 16 {
+		return
+	}
+	m := make(map[string]*pathEntry, n)
+	for k, e := range s.byKey {
+		m[k] = e
+	}
+	s.snap.Store(&m)
+	s.dirty = 0
+	s.misses = 0
+}
+
 // Pool deduplicates AS paths and AS links into refcounted, densely
 // numbered entries. Real tables carry far fewer unique paths than
 // prefixes, so one Pool shared across a fleet of per-peer tables stores
 // each path once regardless of how many prefixes — on how many peers —
 // announce it.
 //
-// All methods are safe for concurrent use; entry contents reachable
-// through a held PathHandle are immutable and may be read lock-free.
+// The pool is built for concurrent fleets: paths are sharded by a hash
+// of their content, interning an already-known path is lock-free (a
+// published-snapshot probe plus one refcount CAS), and retain/release
+// never lock until a count hits zero. Entry contents reachable through
+// a held PathHandle are immutable and may be read without any
+// synchronization; the link table is an append-only array published by
+// atomic snapshot, so LinkAt never locks either.
 type Pool struct {
-	mu      sync.Mutex
-	entries []*pathEntry // indexed by PathID; entries[0] is nil
-	free    []PathID     // freed entry slots awaiting reuse
-	byKey   map[string]PathID
-	live    int
+	shards [poolShards]poolShard
+	live   atomic.Int64
 
-	links   []topology.Link // indexed by LinkID; links[0] is the zero Link
-	linkIDs map[topology.Link]LinkID
-
-	keyBuf []byte // scratch for allocation-free map probes
+	linkMu   sync.RWMutex
+	linkIDs  map[topology.Link]LinkID
+	links    []topology.Link // append-only backing; linkSnap publishes it
+	linkSnap atomic.Pointer[[]topology.Link]
 }
 
 // NewPool returns an empty pool.
 func NewPool() *Pool {
-	return &Pool{
-		entries: make([]*pathEntry, 1),
-		byKey:   make(map[string]PathID),
-		links:   make([]topology.Link, 1),
-		linkIDs: make(map[topology.Link]LinkID),
+	p := &Pool{linkIDs: make(map[topology.Link]LinkID)}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.byKey = make(map[string]*pathEntry)
+		empty := make(map[string]*pathEntry)
+		sh.snap.Store(&empty)
 	}
+	p.shards[0].next = 1 // PathID 0 is reserved
+	p.links = make([]topology.Link, 1, 64)
+	snap := p.links
+	p.linkSnap.Store(&snap)
+	return p
 }
 
-// pathKeyLocked encodes path into the scratch key buffer. The returned
-// slice is only valid until the next call.
-func (p *Pool) pathKeyLocked(path []uint32) []byte {
-	b := p.keyBuf[:0]
+// appendPathKey encodes path into dst (4 little-endian bytes per hop).
+func appendPathKey(dst []byte, path []uint32) []byte {
 	for _, as := range path {
-		b = append(b, byte(as), byte(as>>8), byte(as>>16), byte(as>>24))
+		dst = append(dst, byte(as), byte(as>>8), byte(as>>16), byte(as>>24))
 	}
-	p.keyBuf = b
-	return b
+	return dst
+}
+
+// fnv64 is FNV-1a over the probe key — the path content hash stored on
+// every entry.
+func fnv64(b []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SigMix is the signature finalizer (splitmix64): tables and engines
+// fold per-route and per-table hashes through it so XOR accumulation
+// stays collision-resistant under real update streams.
+func SigMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// shardOfPath hashes path content to its owning shard (FNV-1a over the
+// hops, one round per AS).
+func shardOfPath(path []uint32) uint32 {
+	h := uint32(2166136261)
+	for _, as := range path {
+		h = (h ^ as) * 16777619
+	}
+	return h & poolShardMask
 }
 
 // Intern returns an owned handle for the canonical copy of path,
 // creating the entry on first sight. Interning an already-known path is
-// allocation-free: the probe key is built in a scratch buffer and the
+// lock-free — a snapshot probe plus one refcount CAS — so concurrent
+// sessions announcing overlapping paths do not serialize. It is also
+// allocation-free: the probe key is built on the stack and the
 // canonical copy is shared. The caller's slice is never retained —
 // callers may reuse or mutate it freely afterwards.
 func (p *Pool) Intern(path []uint32) PathHandle {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	key := p.pathKeyLocked(path)
-	if id, ok := p.byKey[string(key)]; ok {
-		e := p.entries[id]
-		e.refs++
+	var stack [pathKeyStack]byte
+	key := appendPathKey(stack[:0], path)
+	si := shardOfPath(path)
+	sh := &p.shards[si]
+	if e, ok := (*sh.snap.Load())[string(key)]; ok && e.acquire() {
+		// The snapshot may be stale: the slot could have been freed and
+		// re-interned as a different path since it was published.
+		// Validate the content; on mismatch undo the acquire (a full
+		// release — the entry may legitimately die here) and take the
+		// locked path.
+		if pathsEqual(e.path, path) {
+			return PathHandle{e}
+		}
+		p.ReleaseN(PathHandle{e}, 1)
+	}
+	return p.internSlow(si, key, path)
+}
+
+func (p *Pool) internSlow(si uint32, key []byte, path []uint32) PathHandle {
+	sh := &p.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.byKey[string(key)]; ok {
+		// A plain increment is safe under the lock: a pending
+		// release-to-zero aborts its free once it sees refs != 0.
+		e.refs.Add(1)
+		sh.misses++
+		sh.publishLocked(false)
 		return PathHandle{e}
 	}
 	var e *pathEntry
-	if n := len(p.free); n > 0 {
-		id := p.free[n-1]
-		p.free = p.free[:n-1]
-		e = p.entries[id]
+	if n := len(sh.free); n > 0 {
+		e = sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		e.freed = false
 	} else {
-		e = &pathEntry{id: PathID(len(p.entries))}
-		p.entries = append(p.entries, e)
+		e = &pathEntry{id: PathID(sh.next<<poolShardBits) | PathID(si)}
+		sh.next++
 	}
-	e.refs = 1
+	// Content first, refcount last: a lock-free prober holding a stale
+	// snapshot that still maps some key to this revived slot gates on
+	// acquire() — publishing refs only after path/hash/links are written
+	// means a successful acquire can never observe a half-built entry.
 	e.path = append([]uint32(nil), path...)
-	e.links = p.interiorLinksLocked(e.links[:0], e.path)
-	p.byKey[string(key)] = e.id
-	p.live++
+	e.hash = fnv64(key)
+	e.links = p.interiorLinks(e.links[:0], e.path)
+	e.refs.Store(1)
+	sh.byKey[string(key)] = e
+	sh.live++
+	sh.dirty++
+	sh.publishLocked(false)
+	p.live.Add(1)
 	return PathHandle{e}
 }
 
 // Retain adds n references to the handle's entry (Clone bulk-retains
-// one per copied route).
+// one per copied route). Lock-free: the caller already holds a
+// reference, so the entry cannot be freed concurrently.
 func (p *Pool) Retain(h PathHandle, n int) {
-	p.mu.Lock()
-	h.e.refs += int32(n)
-	p.mu.Unlock()
+	h.e.refs.Add(int32(n))
 }
 
 // Release drops one reference. When the last reference goes, the entry
@@ -156,27 +310,37 @@ func (p *Pool) Retain(h PathHandle, n int) {
 func (p *Pool) Release(h PathHandle) { p.ReleaseN(h, 1) }
 
 // ReleaseN drops n references at once (Table.Release bulk-returns one
-// per dropped route).
+// per dropped route). The decrement is lock-free; only a drop to zero
+// takes the shard lock to free the slot, and that free aborts if a
+// concurrent Intern revived the entry in the meantime.
 func (p *Pool) ReleaseN(h PathHandle, n int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	e := h.e
-	e.refs -= int32(n)
-	if e.refs > 0 {
+	r := e.refs.Add(int32(-n))
+	if r > 0 {
 		return
 	}
-	if e.refs < 0 {
+	if r < 0 {
 		panic("rib: path over-released")
 	}
-	delete(p.byKey, string(p.pathKeyLocked(e.path)))
-	e.path = nil
-	p.free = append(p.free, e.id)
-	p.live--
+	sh := &p.shards[e.id&poolShardMask]
+	sh.mu.Lock()
+	if e.refs.Load() == 0 && !e.freed {
+		var stack [pathKeyStack]byte
+		delete(sh.byKey, string(appendPathKey(stack[:0], e.path)))
+		e.freed = true
+		e.path = nil
+		sh.free = append(sh.free, e)
+		sh.live--
+		sh.dirty++
+		sh.publishLocked(false)
+		p.live.Add(-1)
+	}
+	sh.mu.Unlock()
 }
 
-// interiorLinksLocked appends the deduplicated interior links of path:
+// interiorLinks appends the deduplicated interior links of path:
 // MakeLink over consecutive distinct ASes, skipping prepending runs.
-func (p *Pool) interiorLinksLocked(dst []LinkID, path []uint32) []LinkID {
+func (p *Pool) interiorLinks(dst []LinkID, path []uint32) []LinkID {
 	if len(path) == 0 {
 		return dst
 	}
@@ -185,7 +349,7 @@ func (p *Pool) interiorLinksLocked(dst []LinkID, path []uint32) []LinkID {
 		if as == prev {
 			continue // AS-path prepending
 		}
-		id := p.linkIDLocked(topology.MakeLink(prev, as))
+		id := p.LinkID(topology.MakeLink(prev, as))
 		prev = as
 		if !containsLinkID(dst, id) {
 			dst = append(dst, id)
@@ -203,60 +367,73 @@ func containsLinkID(ids []LinkID, id LinkID) bool {
 	return false
 }
 
-func (p *Pool) linkIDLocked(l topology.Link) LinkID {
+// LinkID returns (creating if needed) the dense id of l. The known-link
+// path takes a read lock only.
+func (p *Pool) LinkID(l topology.Link) LinkID {
+	p.linkMu.RLock()
+	id, ok := p.linkIDs[l]
+	p.linkMu.RUnlock()
+	if ok {
+		return id
+	}
+	return p.linkIDSlow(l)
+}
+
+func (p *Pool) linkIDSlow(l topology.Link) LinkID {
+	p.linkMu.Lock()
+	defer p.linkMu.Unlock()
 	if id, ok := p.linkIDs[l]; ok {
 		return id
+	}
+	if len(p.links) == cap(p.links) {
+		// Grow into a fresh backing array; snapshots handed out earlier
+		// keep reading the old one.
+		grown := make([]topology.Link, len(p.links), 2*cap(p.links))
+		copy(grown, p.links)
+		p.links = grown
 	}
 	id := LinkID(len(p.links))
 	p.links = append(p.links, l)
 	p.linkIDs[l] = id
+	// Publish a header with the new length. In-place appends are safe:
+	// older snapshots have a shorter len over the same backing, and the
+	// element write happens-before the snapshot store.
+	snap := p.links
+	p.linkSnap.Store(&snap)
 	return id
-}
-
-// LinkID returns (creating if needed) the dense id of l.
-func (p *Pool) LinkID(l topology.Link) LinkID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.linkIDLocked(l)
 }
 
 // LookupLink returns the dense id of l without creating one.
 func (p *Pool) LookupLink(l topology.Link) (LinkID, bool) {
-	p.mu.Lock()
+	p.linkMu.RLock()
 	id, ok := p.linkIDs[l]
-	p.mu.Unlock()
+	p.linkMu.RUnlock()
 	return id, ok
 }
 
 // LinkAt returns the link named by id (the zero Link for id 0 or out of
-// range).
+// range). Lock-free: it reads the published link-array snapshot.
 func (p *Pool) LinkAt(id LinkID) topology.Link {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if int(id) >= len(p.links) {
+	snap := *p.linkSnap.Load()
+	if int(id) >= len(snap) {
 		return topology.Link{}
 	}
-	return p.links[id]
+	return snap[id]
 }
 
 // Len returns the number of live (referenced) paths — the leak-check
 // observable: after every route referencing a path is withdrawn and
 // every tracker reset, Len returns to its baseline.
-func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.live
-}
+func (p *Pool) Len() int { return int(p.live.Load()) }
 
 // NumLinks returns how many distinct links the pool has numbered.
 // Links are never freed.
 func (p *Pool) NumLinks() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.links) - 1
+	return len(*p.linkSnap.Load()) - 1
 }
 
-// PoolStats summarizes a pool's occupancy for memory accounting.
+// PoolStats summarizes a pool's occupancy for memory accounting and
+// shard-balance inspection.
 type PoolStats struct {
 	// Paths is the live (referenced) path count.
 	Paths int
@@ -264,13 +441,30 @@ type PoolStats struct {
 	FreeSlots int
 	// Links is the numbered link count (never shrinks).
 	Links int
+	// ShardPaths is the live path count per intern shard — the
+	// load-balance view. A heavily skewed distribution means the shard
+	// hash is degenerate for the workload and interning is serializing
+	// again.
+	ShardPaths [poolShards]int
 }
 
-// Stats snapshots the pool.
+// Shards returns the pool's shard count.
+func (PoolStats) Shards() int { return poolShards }
+
+// Stats snapshots the pool. Shards are locked one at a time, so the
+// snapshot is per-shard consistent but not a global atomic cut.
 func (p *Pool) Stats() PoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return PoolStats{Paths: p.live, FreeSlots: len(p.free), Links: len(p.links) - 1}
+	var st PoolStats
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		st.ShardPaths[i] = sh.live
+		st.Paths += sh.live
+		st.FreeSlots += len(sh.free)
+		sh.mu.Unlock()
+	}
+	st.Links = p.NumLinks()
+	return st
 }
 
 // LinkSet is a reusable dense membership set over LinkIDs — the shape

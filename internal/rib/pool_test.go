@@ -2,6 +2,7 @@ package rib
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"swift/internal/netaddr"
@@ -199,5 +200,161 @@ func TestRandomizedPoolBaseline(t *testing.T) {
 	}
 	for _, l := range tb.ActiveLinks() {
 		t.Errorf("active link %v on empty table", l)
+	}
+}
+
+// TestPoolConcurrentInternRelease hammers one pool from many
+// goroutines interning, retaining and releasing a mix of overlapping
+// and goroutine-private paths. Invariants: handles always resolve to
+// the path that was interned (no slot aliasing through stale
+// snapshots), refcounts never double-free (no panic), and the pool
+// returns to empty once every reference is dropped.
+func TestPoolConcurrentInternRelease(t *testing.T) {
+	pool := NewPool()
+	const goroutines = 8
+	const rounds = 3000
+
+	shared := [][]uint32{
+		{2, 5, 6}, {2, 5, 6, 8}, {3, 6}, {2, 9, 6}, {4, 7, 9},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			private := []uint32{100 + uint32(g), 200 + uint32(g), 300 + uint32(g)}
+			var held []PathHandle
+			for i := 0; i < rounds; i++ {
+				var path []uint32
+				if rng.Intn(3) == 0 {
+					path = private
+				} else {
+					path = shared[rng.Intn(len(shared))]
+				}
+				h := pool.Intern(path)
+				got := h.Path()
+				if len(got) != len(path) {
+					errs <- "interned path length mismatch"
+					return
+				}
+				for j := range path {
+					if got[j] != path[j] {
+						errs <- "interned path content mismatch (stale snapshot aliasing)"
+						return
+					}
+				}
+				// Churn: hold some handles, release others right away,
+				// and sometimes retain+release to exercise the
+				// revive-vs-free race.
+				switch rng.Intn(4) {
+				case 0:
+					held = append(held, h)
+				case 1:
+					pool.Retain(h, 2)
+					pool.ReleaseN(h, 3)
+				default:
+					pool.Release(h)
+				}
+				if len(held) > 16 {
+					pool.Release(held[0])
+					held = held[1:]
+				}
+			}
+			for _, h := range held {
+				pool.Release(h)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if n := pool.Len(); n != 0 {
+		t.Fatalf("pool leaks %d paths after concurrent churn", n)
+	}
+	st := pool.Stats()
+	if st.Paths != 0 {
+		t.Fatalf("Stats.Paths = %d, want 0", st.Paths)
+	}
+	if st.Links == 0 {
+		t.Error("links must persist after churn")
+	}
+}
+
+// TestPoolConcurrentTables runs per-goroutine tables against one shared
+// pool — the fleet shape — and checks cross-table interning plus the
+// leak baseline after every table drains.
+func TestPoolConcurrentTables(t *testing.T) {
+	pool := NewPool()
+	const tables = 6
+	var wg sync.WaitGroup
+	for g := 0; g < tables; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			tb := NewWithPool(1, pool)
+			paths := [][]uint32{
+				{2, 5, 6}, {2, 5, 6, 8}, {3, 6}, {3, 6, 8}, {2, 9, 6},
+			}
+			for i := 0; i < 4000; i++ {
+				p := netaddr.PrefixFor(uint32(2+rng.Intn(6)), rng.Intn(50))
+				if rng.Intn(3) == 0 {
+					tb.Withdraw(p)
+				} else {
+					tb.Announce(p, paths[rng.Intn(len(paths))])
+				}
+			}
+			var all []netaddr.Prefix
+			tb.ForEach(func(p netaddr.Prefix, _ []uint32) { all = append(all, p) })
+			for _, p := range all {
+				tb.Withdraw(p)
+			}
+			if tb.Len() != 0 {
+				t.Error("table not drained")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := pool.Len(); n != 0 {
+		t.Fatalf("pool leaks %d paths after all tables drained", n)
+	}
+}
+
+// TestPoolStatsShardBalance checks the shard-balance view: distinct
+// paths spread across shards, and the per-shard counts sum to the
+// total.
+func TestPoolStatsShardBalance(t *testing.T) {
+	pool := NewPool()
+	var held []PathHandle
+	const n = 512
+	for i := 0; i < n; i++ {
+		held = append(held, pool.Intern([]uint32{2, 5, uint32(1000 + i)}))
+	}
+	st := pool.Stats()
+	if st.Paths != n {
+		t.Fatalf("Stats.Paths = %d, want %d", st.Paths, n)
+	}
+	sum, occupied := 0, 0
+	for _, c := range st.ShardPaths {
+		sum += c
+		if c > 0 {
+			occupied++
+		}
+	}
+	if sum != n {
+		t.Fatalf("shard counts sum to %d, want %d", sum, n)
+	}
+	if occupied < st.Shards()/2 {
+		t.Errorf("only %d of %d shards occupied for %d distinct paths — degenerate shard hash", occupied, st.Shards(), n)
+	}
+	for _, h := range held {
+		pool.Release(h)
+	}
+	if pool.Len() != 0 {
+		t.Fatal("pool must drain")
 	}
 }

@@ -59,8 +59,25 @@ type Table struct {
 	// crosses the link (each prefix counted once per link).
 	onLink []int32
 	// firstLink caches the LinkID of (localAS, head) per first-hop AS —
-	// the only per-table piece of a path's link decomposition.
+	// the only per-table piece of a path's link decomposition. fastHead/
+	// fastFirst is a one-entry inline cache in front of it: sessions see
+	// long runs of the same neighbor, so most resolutions are two
+	// compares instead of a map probe.
 	firstLink map[uint32]LinkID
+	fastHead  uint32
+	fastFirst LinkID
+	// sig is the order-independent content signature of the installed
+	// routes: XOR over SigMix(prefix ^ path content hash) per route.
+	// Equal signatures mean (up to 64-bit collision) the same
+	// prefix→path assignment — the memo key that lets burst-end
+	// re-provisioning skip recomputation when BGP reconverged onto the
+	// provisioned state.
+	sig uint64
+	// onLinkChange, when set, is called once per link whose P(l, t)
+	// counter moves (announce, withdraw, or replacement) — the hook the
+	// inference tracker uses to keep its per-link Fit-Score inputs
+	// incremental instead of rescanning every touched link per Infer.
+	onLinkChange func(LinkID)
 	// set is the scratch LinkSet behind the []topology.Link query
 	// surface.
 	set LinkSet
@@ -221,6 +238,7 @@ func (t *Table) addRoute(p netaddr.Prefix, e *pathEntry) {
 	}
 	t.routes[p] = routeRef{pid: e.id, idx: int32(len(g.prefixes))}
 	g.prefixes = append(g.prefixes, p)
+	t.sig ^= SigMix(uint64(p) ^ e.hash)
 	t.linkDelta(e, +1)
 }
 
@@ -240,6 +258,7 @@ func (t *Table) removeRoute(p netaddr.Prefix, ref routeRef) {
 	if last == 0 {
 		t.dropLivePath(g)
 	}
+	t.sig ^= SigMix(uint64(p) ^ g.ent.hash)
 	t.linkDelta(g.ent, -1)
 }
 
@@ -254,6 +273,12 @@ func (t *Table) dropLivePath(g *pathRoutes) {
 	t.livePaths = t.livePaths[:end]
 }
 
+// SetLinkObserver registers fn to be called once per link whose
+// P(l, t) counter changes, on every route install or removal. One
+// observer per table; nil unregisters. The callback runs synchronously
+// on the update path and must be fast.
+func (t *Table) SetLinkObserver(fn func(LinkID)) { t.onLinkChange = fn }
+
 // linkDelta adjusts the per-link counters for one route across every
 // link of its path (first-hop link plus deduplicated interior links).
 func (t *Table) linkDelta(e *pathEntry, d int32) {
@@ -261,6 +286,9 @@ func (t *Table) linkDelta(e *pathEntry, d int32) {
 	if hasFirst {
 		t.growLinks(first)
 		t.onLink[first] += d
+		if t.onLinkChange != nil {
+			t.onLinkChange(first)
+		}
 	}
 	for _, id := range e.links {
 		if hasFirst && id == first {
@@ -268,6 +296,9 @@ func (t *Table) linkDelta(e *pathEntry, d int32) {
 		}
 		t.growLinks(id)
 		t.onLink[id] += d
+		if t.onLinkChange != nil {
+			t.onLinkChange(id)
+		}
 	}
 }
 
@@ -290,13 +321,43 @@ func (t *Table) firstLinkID(e *pathEntry) (LinkID, bool) {
 	if head == t.localAS {
 		return 0, false
 	}
+	if head == t.fastHead && head != 0 {
+		return t.fastFirst, true
+	}
+	id, ok := t.firstLink[head]
+	if !ok {
+		id = t.pool.LinkID(topology.MakeLink(t.localAS, head))
+		t.firstLink[head] = id
+	}
+	t.fastHead, t.fastFirst = head, id
+	return id, true
+}
+
+// firstLinkIDRO is firstLinkID without any cache write — the variant
+// concurrent readers (CountOnSetRange workers) must use, since the
+// inline fastHead/fastFirst cache is single-writer state. A head the
+// table has never cached resolves through the pool without creating an
+// id: a link the pool has never numbered cannot be in any LinkSet, so
+// (0, false) is the correct membership answer for it.
+func (t *Table) firstLinkIDRO(e *pathEntry) (LinkID, bool) {
+	if len(e.path) == 0 {
+		return 0, false
+	}
+	head := e.path[0]
+	if head == t.localAS {
+		return 0, false
+	}
 	if id, ok := t.firstLink[head]; ok {
 		return id, true
 	}
-	id := t.pool.LinkID(topology.MakeLink(t.localAS, head))
-	t.firstLink[head] = id
-	return id, true
+	return t.pool.LookupLink(topology.MakeLink(t.localAS, head))
 }
+
+// Signature returns the table's order-independent route-content
+// signature: two tables (or one table at two points in time) with the
+// same prefix→path assignment have equal signatures, up to 64-bit hash
+// collision. O(1) — maintained incrementally by every update.
+func (t *Table) Signature() uint64 { return t.sig }
 
 // AppendPathLinkIDs appends the dense link ids of h's path as seen from
 // this table's local AS (first-hop link plus interior), deduplicated —
@@ -376,11 +437,46 @@ func (t *Table) CountOnSet(set *LinkSet) int {
 	n := 0
 	for _, id := range t.livePaths {
 		g := &t.perPath[id]
-		if t.PathCrossesSet(PathHandle{g.ent}, set) {
+		if t.pathCrossesSetRO(g.ent, set) {
 			n += len(g.prefixes)
 		}
 	}
 	return n
+}
+
+// NumLivePaths returns the number of distinct paths currently carrying
+// at least one prefix — the iteration domain of the per-path queries,
+// which parallel callers split into CountOnSetRange spans.
+func (t *Table) NumLivePaths() int { return len(t.livePaths) }
+
+// CountOnSetRange is CountOnSet restricted to the live-path positions
+// [lo, hi) — the shard of work one scoring worker takes. Ranges
+// covering [0, NumLivePaths) sum to CountOnSet exactly. Strictly
+// read-only (it bypasses the table's inline first-link cache): safe to
+// run concurrently with other readers, but not with updates.
+func (t *Table) CountOnSetRange(set *LinkSet, lo, hi int) int {
+	n := 0
+	for _, id := range t.livePaths[lo:hi] {
+		g := &t.perPath[id]
+		if t.pathCrossesSetRO(g.ent, set) {
+			n += len(g.prefixes)
+		}
+	}
+	return n
+}
+
+// pathCrossesSetRO is PathCrossesSet on the read-only first-link
+// resolution (see firstLinkIDRO).
+func (t *Table) pathCrossesSetRO(e *pathEntry, set *LinkSet) bool {
+	if first, ok := t.firstLinkIDRO(e); ok && set.Has(first) {
+		return true
+	}
+	for _, id := range e.links {
+		if set.Has(id) {
+			return true
+		}
+	}
+	return false
 }
 
 // AppendPrefixesOnSet appends every prefix whose current path crosses
@@ -392,7 +488,7 @@ func (t *Table) AppendPrefixesOnSet(dst []netaddr.Prefix, set *LinkSet) []netadd
 	}
 	for _, id := range t.livePaths {
 		g := &t.perPath[id]
-		if t.PathCrossesSet(PathHandle{g.ent}, set) {
+		if t.pathCrossesSetRO(g.ent, set) {
 			dst = append(dst, g.prefixes...)
 		}
 	}
@@ -474,6 +570,7 @@ func (t *Table) Clone() *Table {
 	for head, id := range t.firstLink {
 		out.firstLink[head] = id
 	}
+	out.sig = t.sig
 	return out
 }
 
@@ -492,4 +589,5 @@ func (t *Table) Release() {
 	for i := range t.onLink {
 		t.onLink[i] = 0
 	}
+	t.sig = 0
 }

@@ -130,6 +130,11 @@ type ProvisionInfo struct {
 	// Fallback is true when the pass re-derived the plan against the
 	// converged RIB after a burst ended (§3's fallback).
 	Fallback bool
+	// Unchanged is true when a fallback pass found the RIBs carrying
+	// exactly the provisioned routes again (BGP reconverged onto the
+	// pre-burst state, the common case for transient failures) and kept
+	// the existing plan, tags and FIB state instead of recompiling.
+	Unchanged bool
 	// TaggedPrefixes, PathBitsUsed, EncodedLinks and NextHops summarize
 	// the compiled encoding.
 	TaggedPrefixes int
@@ -183,6 +188,12 @@ type Engine struct {
 	rerouteActive  bool
 	decisions      []Decision
 	deferred       int // inferences rejected by the plausibility gate
+
+	// provisionSig memoizes the RIB-content signature the current plan
+	// and tags were compiled from; a burst-end fallback whose RIBs carry
+	// that signature again skips the recompilation outright.
+	provisionSig  uint64
+	haveProvision bool
 }
 
 // Engine is a stream sink.
@@ -232,21 +243,49 @@ func (e *Engine) LearnAlternate(neighbor uint32, p netaddr.Prefix, path []uint32
 func (e *Engine) Provision() error { return e.provision(0, false) }
 
 func (e *Engine) provision(at time.Duration, fallback bool) error {
+	sig := e.table.Signature()
+	for n, alt := range e.alts {
+		sig ^= rib.SigMix(alt.Signature() ^ uint64(n))
+	}
+	if fallback && e.haveProvision && sig == e.provisionSig && e.scheme != nil {
+		// BGP reconverged onto exactly the provisioned routes (the
+		// transient-failure common case): the plan, tags and FIB state
+		// all still hold. Report the pass without recompiling. The
+		// accounting reset matches the recompiled path — post-fallback,
+		// Writes/Elapsed measure the next failure reaction only.
+		e.fib.ResetAccounting()
+		stats := e.scheme.Stats()
+		e.logf("re-provision skipped: RIB reconverged onto provisioned state (%d prefixes tagged)",
+			stats.TaggedPrefixes)
+		if e.cfg.Observer.OnProvision != nil {
+			e.cfg.Observer.OnProvision(ProvisionInfo{
+				At:             at,
+				Fallback:       true,
+				Unchanged:      true,
+				TaggedPrefixes: stats.TaggedPrefixes,
+				PathBitsUsed:   stats.PathBitsUsed,
+				EncodedLinks:   stats.EncodedLinks,
+				NextHops:       stats.NextHops,
+			})
+		}
+		return nil
+	}
 	e.plan = reroute.Compute(e.cfg.LocalAS, e.table, e.alts, e.cfg.ReroutePolicy, e.cfg.Encoding.MaxDepth)
 	scheme, err := encoding.Build(e.cfg.Encoding, e.table, e.plan)
 	if err != nil {
 		return err
 	}
 	e.scheme = scheme
-	for p, t := range scheme.Tags() {
-		e.fib.SetTag(p, t)
-	}
+	// The scheme's tag map is rebuilt per provision; hand it to the FIB
+	// wholesale instead of copying entry by entry.
+	e.fib.ReplaceTags(scheme.Tags())
 	if r, ok := scheme.PrimaryRule(e.cfg.PrimaryNeighbor); ok {
 		e.fib.InstallRule(r)
 	}
 	// Provisioning happens in steady state; the accounting should
 	// measure failure reactions only.
 	e.fib.ResetAccounting()
+	e.provisionSig, e.haveProvision = sig, true
 	stats := scheme.Stats()
 	e.logf("provisioned: %d prefixes tagged, %d path bits, %d next-hops",
 		stats.TaggedPrefixes, stats.PathBitsUsed, stats.NextHops)
@@ -433,9 +472,12 @@ func (e *Engine) applyReroute(at time.Duration, res inference.Result) {
 	// The rules match tags, and stage-1 tags persist through the burst:
 	// prefixes already withdrawn in the control plane are diverted too,
 	// so the covered set is the union of still-active and withdrawn
-	// prefixes crossing the inferred links.
-	predicted := e.tracker.PredictedPrefixes(res)
-	predicted = append(predicted, e.tracker.WithdrawnOn(res.Links)...)
+	// prefixes crossing the inferred links. Each half deduplicates
+	// internally and no sort is needed on the hot path; a prefix
+	// withdrawn then re-announced across the links can appear in both
+	// halves (as it always could).
+	predicted := e.tracker.AppendPredicted(nil, res.Links)
+	predicted = e.tracker.AppendWithdrawnOn(predicted, res.Links)
 	d := Decision{
 		At:             at,
 		Result:         res,
@@ -483,6 +525,20 @@ func (e *Engine) endBurst(at time.Duration) error {
 		}
 	}
 	return nil
+}
+
+// Release returns every path reference the engine holds to the shared
+// pool: the tracker's burst pins, the primary table's routes and the
+// alternate tables' routes. It is the session-teardown half of a fleet
+// peer's lifecycle — a fleet that disconnects a peer releases its
+// engine so the pool's refcounts drain. A released engine must not be
+// fed further events.
+func (e *Engine) Release() {
+	e.tracker.Reset()
+	e.table.Release()
+	for _, t := range e.alts {
+		t.Release()
+	}
 }
 
 // InferredLinks returns the links of the most recent decision (nil when
