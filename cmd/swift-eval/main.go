@@ -1,0 +1,71 @@
+// Command swift-eval runs a named failure-scenario matrix through the
+// packet-level scenario engine and writes the JSON loss report.
+//
+// Every scenario builds a routed topology, injects a failure, replays
+// the resulting BGP bursts into a fleet of SWIFT engines, and forwards
+// a synthetic flow set through the real two-stage FIB at every
+// virtual-time tick — scoring packets lost with SWIFT's fast reroute
+// against a vanilla router converging one FIB write at a time on the
+// same stream.
+//
+// The run is deterministic: the same -matrix and -seed produce a
+// byte-identical report.
+//
+//	swift-eval -matrix default -seed 1 -o report.json
+//	swift-eval -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swift/internal/experiments"
+	"swift/internal/scenario"
+)
+
+func main() {
+	matrix := flag.String("matrix", "default", "scenario matrix to run")
+	seed := flag.Int64("seed", 1, "matrix seed (same seed, same report)")
+	out := flag.String("o", "", "write the JSON report to this file (default stdout only)")
+	list := flag.Bool("list", false, "list matrix names and their scenarios, then exit")
+	quiet := flag.Bool("q", false, "suppress the rendered table")
+	flag.Parse()
+
+	if *list {
+		for _, name := range scenario.MatrixNames() {
+			specs, err := scenario.Matrix(name, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "swift-eval:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s (%d scenarios)\n", name, len(specs))
+			for _, s := range specs {
+				fmt.Printf("  %s\n", s.Name)
+			}
+		}
+		return
+	}
+
+	rep, err := experiments.RunScenarioMatrix(*matrix, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swift-eval:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Print(experiments.RenderScenarioMatrix(rep))
+	}
+	if *out != "" {
+		buf, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swift-eval:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "swift-eval:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "swift-eval: report written to %s\n", *out)
+	}
+}

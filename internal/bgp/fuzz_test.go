@@ -1,0 +1,147 @@
+package bgp
+
+import (
+	"testing"
+
+	"swift/internal/netaddr"
+)
+
+// fuzzAttrSeeds builds valid attribute blocks the fuzzer mutates from.
+func fuzzAttrSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	seeds := []*Attrs{
+		{ASPath: []uint32{65001, 3356, 15169}, HasNextHop: true, NextHop: 0x0a000001},
+		{
+			Origin: 1, ASPath: []uint32{65550, 2914},
+			HasNextHop: true, NextHop: 0xc0a80001,
+			HasMED: true, MED: 50, HasLocalPref: true, LocalPref: 200,
+			Communities: []uint32{65001<<16 | 666},
+			Unknown:     []RawAttr{{Flags: 0xc0, Type: 32, Value: []byte{1, 2, 3, 4}}},
+		},
+		{},
+	}
+	var out [][]byte
+	for _, a := range seeds {
+		wire, err := AppendAttrs(nil, a)
+		if err != nil {
+			tb.Fatalf("seed encode: %v", err)
+		}
+		out = append(out, wire)
+	}
+	return out
+}
+
+func attrsEqual(a, b *Attrs) bool {
+	if a.Origin != b.Origin || a.HasNextHop != b.HasNextHop || a.NextHop != b.NextHop ||
+		a.HasMED != b.HasMED || a.MED != b.MED ||
+		a.HasLocalPref != b.HasLocalPref || a.LocalPref != b.LocalPref ||
+		len(a.ASPath) != len(b.ASPath) || len(a.Communities) != len(b.Communities) ||
+		len(a.Unknown) != len(b.Unknown) {
+		return false
+	}
+	for i := range a.ASPath {
+		if a.ASPath[i] != b.ASPath[i] {
+			return false
+		}
+	}
+	for i := range a.Communities {
+		if a.Communities[i] != b.Communities[i] {
+			return false
+		}
+	}
+	for i := range a.Unknown {
+		u, v := a.Unknown[i], b.Unknown[i]
+		if u.Flags != v.Flags || u.Type != v.Type || string(u.Value) != string(v.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzDecodeAttrs drives the path-attribute decoder: no input panics,
+// and the allocating and buffer-reusing decoders must agree exactly —
+// same error verdict, same decoded attributes (the reuse path is the
+// table-dump hot path; a divergence would corrupt interned RIBs).
+func FuzzDecodeAttrs(f *testing.F) {
+	for _, seed := range fuzzAttrSeeds(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte{0x40, 2, 4, 2, 1, 0, 1})  // AS_PATH, 2-byte segment arithmetic
+	f.Add([]byte{0x80, 4, 4, 0, 0, 0, 99}) // MED
+	f.Add([]byte{0xc0, 8, 2, 0, 1})        // truncated communities
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fresh Attrs
+		errFresh := DecodeAttrs(data, &fresh)
+
+		var reused Attrs
+		var dec UpdateDecoder
+		errReuse := DecodeAttrsReuse(data, &reused, &dec)
+
+		if (errFresh == nil) != (errReuse == nil) {
+			t.Fatalf("decoder disagreement: fresh=%v reuse=%v", errFresh, errReuse)
+		}
+		if errFresh != nil {
+			return
+		}
+		if !attrsEqual(&fresh, &reused) {
+			t.Fatalf("decoded attrs diverge:\nfresh: %+v\nreuse: %+v", fresh, reused)
+		}
+		// A decoded block must re-encode (or report a clean error) and
+		// the re-encoding must decode back to the same attributes.
+		wire, err := AppendAttrs(nil, &fresh)
+		if err != nil {
+			return
+		}
+		var again Attrs
+		if err := DecodeAttrs(wire, &again); err != nil {
+			t.Fatalf("re-decode of re-encoded attrs failed: %v", err)
+		}
+		if !attrsEqual(&fresh, &again) {
+			t.Fatalf("re-encode roundtrip diverges:\nfirst: %+v\nagain: %+v", fresh, again)
+		}
+	})
+}
+
+// FuzzDecodeMsg drives the full message decoder with (type, body)
+// inputs: no input may panic, and decoded messages must re-encode and
+// re-decode cleanly.
+func FuzzDecodeMsg(f *testing.F) {
+	seedMsgs := []Message{
+		Keepalive{},
+		&Open{Version: Version, AS: 65001, HoldTime: 90, RouterID: 0x0a000001},
+		&Open{Version: Version, AS: 70000, HoldTime: 180, RouterID: 1, Capabilities: []Capability{{Code: 65, Value: []byte{0, 1, 17, 112}}}},
+		&Notification{Code: 6, Subcode: 2, Data: []byte("shutdown")},
+		&Update{
+			Withdrawn: []netaddr.Prefix{netaddr.MustParsePrefix("10.1.0.0/16")},
+			Attrs:     Attrs{ASPath: []uint32{65001, 174}, HasNextHop: true, NextHop: 0x0a000001},
+			NLRI:      []netaddr.Prefix{netaddr.MustParsePrefix("10.2.0.0/16")},
+		},
+	}
+	for _, m := range seedMsgs {
+		wire, err := m.AppendWire(nil)
+		if err != nil {
+			f.Fatalf("seed encode %T: %v", m, err)
+		}
+		f.Add(append([]byte{m.MsgType()}, wire[HeaderLen:]...))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		h := Header{Type: data[0], Len: uint16(HeaderLen + len(data) - 1)}
+		m, err := DecodeMessage(h, data[1:])
+		if err != nil {
+			return
+		}
+		wire, err := m.AppendWire(nil)
+		if err != nil {
+			return
+		}
+		if _, err := ParseHeader(wire); err != nil {
+			t.Fatalf("re-encoded %T has a bad header: %v", m, err)
+		}
+		if _, err := DecodeMessage(Header{Type: m.MsgType(), Len: uint16(len(wire))}, wire[HeaderLen:]); err != nil {
+			t.Fatalf("re-decode of re-encoded %T failed: %v", m, err)
+		}
+	})
+}

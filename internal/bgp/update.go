@@ -116,7 +116,10 @@ func appendAttrs(dst []byte, a *Attrs) ([]byte, error) {
 		if len(val) > 0xffff {
 			return fmt.Errorf("%w: attribute %d too long", ErrBadAttr, typ)
 		}
-		if len(val) > 255 {
+		// A preserved unknown attribute may carry the extended-length
+		// flag even for a short value; the length field's width must
+		// match the flag bit or decoders misparse the block.
+		if len(val) > 255 || flags&flagExtLen != 0 {
 			flags |= flagExtLen
 			dst = append(dst, flags, typ, byte(len(val)>>8), byte(len(val)))
 		} else {

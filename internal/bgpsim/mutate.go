@@ -1,0 +1,102 @@
+package bgpsim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"swift/internal/netaddr"
+)
+
+// This file holds deterministic burst transformations. ReplayLinkFailure
+// and ReplayASFailure produce the canonical message stream of a clean
+// failure; real sessions also show partial withdrawals, flap
+// (withdraw-then-re-announce) recoveries and onset skew across peers.
+// The scenario engine composes these to widen the evaluated space.
+
+// Shift moves every event (and the burst as a whole) later by d — the
+// per-peer onset skew of a multi-session replay, where the same failure
+// reaches different sessions at different times. It returns b.
+func (b *Burst) Shift(d time.Duration) *Burst {
+	if d <= 0 {
+		return b
+	}
+	for i := range b.Events {
+		b.Events[i].At += d
+	}
+	return b
+}
+
+// PartialWithdraw keeps each withdrawal event with probability frac
+// (deterministically, from seed) and drops the rest — the failure only
+// partially affects the withdrawn origins, as when a provider loses one
+// of several egresses for a customer's address space. Announcements are
+// untouched. Size is updated; WithdrawnOrigins keeps every origin that
+// still has at least one withdrawal. It returns b.
+func (b *Burst) PartialWithdraw(frac float64, seed int64) *Burst {
+	if frac <= 0 || frac >= 1 {
+		return b
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kept := b.Events[:0]
+	size := 0
+	still := make(map[uint32]bool)
+	for _, ev := range b.Events {
+		if ev.Kind == KindWithdraw {
+			if rng.Float64() >= frac {
+				continue
+			}
+			size++
+			still[ev.Origin] = true
+		}
+		kept = append(kept, ev)
+	}
+	b.Events = kept
+	b.Size = size
+	var origins []uint32
+	for _, o := range b.WithdrawnOrigins {
+		if still[o] {
+			origins = append(origins, o)
+		}
+	}
+	b.WithdrawnOrigins = origins
+	return b
+}
+
+// Reannounce appends a recovery tail: every withdrawn prefix is
+// re-announced with its original session path (paths maps origin to the
+// pre-failure Adj-RIB-In path), starting at the given offset and
+// serialized with exponential inter-message spacing of mean perMsg —
+// the flap / transient-failure case where the failed resource comes
+// back and BGP reconverges onto the pre-failure state. Prefixes are
+// re-announced in withdrawal order. It returns b.
+func (b *Burst) Reannounce(paths map[uint32][]uint32, at time.Duration, perMsg time.Duration, seed int64) *Burst {
+	if perMsg <= 0 {
+		perMsg = 400 * time.Microsecond
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[netaddr.Prefix]bool, b.Size)
+	clock := at
+	var tail []Event
+	for _, ev := range b.Events {
+		if ev.Kind != KindWithdraw || seen[ev.Prefix] {
+			continue
+		}
+		seen[ev.Prefix] = true
+		path := paths[ev.Origin]
+		if path == nil {
+			continue
+		}
+		clock += time.Duration(rng.ExpFloat64() * float64(perMsg))
+		tail = append(tail, Event{
+			At:     clock,
+			Kind:   KindAnnounce,
+			Prefix: ev.Prefix,
+			Origin: ev.Origin,
+			Path:   path,
+		})
+	}
+	b.Events = append(b.Events, tail...)
+	sort.SliceStable(b.Events, func(i, j int) bool { return b.Events[i].At < b.Events[j].At })
+	return b
+}

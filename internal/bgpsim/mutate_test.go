@@ -1,0 +1,110 @@
+package bgpsim
+
+import (
+	"testing"
+	"time"
+
+	"swift/internal/topology"
+)
+
+func fig1Burst(t *testing.T, scale int) *Burst {
+	t.Helper()
+	n := Fig1Network(scale)
+	b, err := n.ReplayLinkFailure(1, 2, topology.MakeLink(5, 6), DefaultTiming(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size == 0 {
+		t.Fatal("fixture burst is empty")
+	}
+	return b
+}
+
+func TestShift(t *testing.T) {
+	b := fig1Burst(t, 20)
+	first := b.Events[0].At
+	last := b.Duration()
+	b.Shift(time.Second)
+	if b.Events[0].At != first+time.Second || b.Duration() != last+time.Second {
+		t.Errorf("Shift moved events to [%v, %v], want [%v, %v]",
+			b.Events[0].At, b.Duration(), first+time.Second, last+time.Second)
+	}
+}
+
+func TestPartialWithdraw(t *testing.T) {
+	b := fig1Burst(t, 50)
+	full := b.Size
+	announces := len(b.Events) - b.Size
+	b.PartialWithdraw(0.5, 7)
+	if b.Size >= full || b.Size == 0 {
+		t.Fatalf("PartialWithdraw(0.5) kept %d of %d withdrawals", b.Size, full)
+	}
+	if got := len(b.Events) - b.Size; got != announces {
+		t.Errorf("announcements changed: %d -> %d", announces, got)
+	}
+	// Deterministic: same seed, same survivors.
+	c := fig1Burst(t, 50).PartialWithdraw(0.5, 7)
+	if c.Size != b.Size {
+		t.Errorf("same seed kept %d vs %d withdrawals", c.Size, b.Size)
+	}
+	for i := range b.Events {
+		if b.Events[i].Prefix != c.Events[i].Prefix || b.Events[i].Kind != c.Events[i].Kind {
+			t.Fatalf("event %d diverged between same-seed runs", i)
+		}
+	}
+	// WithdrawnOrigins only keeps origins that still withdraw.
+	still := map[uint32]bool{}
+	for _, ev := range b.Events {
+		if ev.Kind == KindWithdraw {
+			still[ev.Origin] = true
+		}
+	}
+	for _, o := range b.WithdrawnOrigins {
+		if !still[o] {
+			t.Errorf("origin %d listed as withdrawn with no surviving withdrawal", o)
+		}
+	}
+}
+
+func TestReannounce(t *testing.T) {
+	n := Fig1Network(20)
+	b := fig1Burst(t, 20)
+	sols := n.Solve(n.Graph)
+	paths := n.SessionRIB(sols, 1, 2)
+	preDur := b.Duration()
+	at := preDur + time.Second
+	b.Reannounce(paths, at, 0, 3)
+
+	// Every withdrawn prefix reappears as an announcement after at,
+	// carrying its original session path.
+	withdrawn := map[uint32]bool{}
+	reannounced := map[uint32]bool{}
+	for _, ev := range b.Events {
+		if ev.Kind == KindWithdraw {
+			withdrawn[uint32(ev.Prefix)] = true
+		}
+		if ev.Kind == KindAnnounce && ev.At > at {
+			reannounced[uint32(ev.Prefix)] = true
+			want := paths[ev.Origin]
+			if len(ev.Path) != len(want) {
+				t.Fatalf("re-announce path %v, want %v", ev.Path, want)
+			}
+			for i := range want {
+				if ev.Path[i] != want[i] {
+					t.Fatalf("re-announce path %v, want %v", ev.Path, want)
+				}
+			}
+		}
+	}
+	for p := range withdrawn {
+		if !reannounced[p] {
+			t.Errorf("withdrawn prefix %x never re-announced", p)
+		}
+	}
+	// Events stay time-sorted.
+	for i := 1; i < len(b.Events); i++ {
+		if b.Events[i].At < b.Events[i-1].At {
+			t.Fatal("events out of order after Reannounce")
+		}
+	}
+}

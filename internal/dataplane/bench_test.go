@@ -7,6 +7,144 @@ import (
 	"swift/internal/netaddr"
 )
 
+// benchPrefixes builds a mixed-length table shaped like a provisioned
+// stage 1: mostly /32 host routes plus covering blocks.
+func benchPrefixes(n int) []netaddr.Prefix {
+	out := make([]netaddr.Prefix, 0, n)
+	for i := 0; i < n; i++ {
+		if i%16 == 0 {
+			out = append(out, netaddr.BlockFor(uint32(100+i%50), i%256))
+		} else {
+			out = append(out, netaddr.PrefixFor(uint32(100+i%50), i/50))
+		}
+	}
+	return out
+}
+
+// BenchmarkLPMLookupTrie measures stage-1 longest-prefix match through
+// the compressed trie.
+func BenchmarkLPMLookupTrie(b *testing.B) {
+	var tr Trie
+	ps := benchPrefixes(100000)
+	for i, p := range ps {
+		tr.Insert(p, encoding.Tag(i%64))
+	}
+	addrs := make([]uint32, 1024)
+	for i := range addrs {
+		addrs[i] = ps[(i*97)%len(ps)].Addr()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+// BenchmarkLPMLookupMap measures the map-plus-length-scan baseline the
+// trie replaced (kept as the reference structure in lpm_test.go).
+func BenchmarkLPMLookupMap(b *testing.B) {
+	r := newMapLPM()
+	ps := benchPrefixes(100000)
+	for i, p := range ps {
+		r.Insert(p, encoding.Tag(i%64))
+	}
+	addrs := make([]uint32, 1024)
+	for i := range addrs {
+		addrs[i] = ps[(i*97)%len(ps)].Addr()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+// benchMixedLengths spreads prefixes over many distinct lengths
+// (8..32), the shape of a real Internet table — the case the old
+// length-probe scan degrades on (one map probe per populated length).
+func benchMixedLengths(n int) []netaddr.Prefix {
+	out := make([]netaddr.Prefix, 0, n)
+	for i := 0; i < n; i++ {
+		length := 8 + i%25
+		addr := (uint32(i)*2654435761 + 12345) & netaddr.Mask(length)
+		p := netaddr.MakePrefix(addr, length)
+		out = append(out, p)
+	}
+	return out
+}
+
+// BenchmarkLPMMixedLengthsTrie / ...Map: lookups against a table with
+// 25 populated prefix lengths, hits at varying depths.
+func BenchmarkLPMMixedLengthsTrie(b *testing.B) {
+	var tr Trie
+	ps := benchMixedLengths(100000)
+	for i, p := range ps {
+		tr.Insert(p, encoding.Tag(i%64))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(ps[(i*97)%len(ps)].Addr())
+	}
+}
+
+func BenchmarkLPMMixedLengthsMap(b *testing.B) {
+	r := newMapLPM()
+	ps := benchMixedLengths(100000)
+	for i, p := range ps {
+		r.Insert(p, encoding.Tag(i%64))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Lookup(ps[(i*97)%len(ps)].Addr())
+	}
+}
+
+// BenchmarkLPMMissTrie / ...Map: addresses with no covering prefix.
+// The trie rejects at the first diverging node; the scan probes every
+// populated length before giving up.
+func BenchmarkLPMMissTrie(b *testing.B) {
+	var tr Trie
+	for i, p := range benchMixedLengths(100000) {
+		tr.Insert(p, encoding.Tag(i%64))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(0xf0000000 | uint32(i))
+	}
+}
+
+func BenchmarkLPMMissMap(b *testing.B) {
+	r := newMapLPM()
+	for i, p := range benchMixedLengths(100000) {
+		r.Insert(p, encoding.Tag(i%64))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Lookup(0xf0000000 | uint32(i))
+	}
+}
+
+// BenchmarkLPMInsertDeleteTrie measures a full withdraw/re-announce
+// churn cycle against a warm 100k-entry trie.
+func BenchmarkLPMInsertDeleteTrie(b *testing.B) {
+	var tr Trie
+	ps := benchPrefixes(100000)
+	for i, p := range ps {
+		tr.Insert(p, encoding.Tag(i%64))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ps[i%len(ps)]
+		tr.Delete(p)
+		tr.Insert(p, encoding.Tag(i%64))
+	}
+}
+
 // BenchmarkForward measures the full two-stage pipeline lookup.
 func BenchmarkForward(b *testing.B) {
 	f := New(Config{})

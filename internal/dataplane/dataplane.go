@@ -8,7 +8,9 @@
 package dataplane
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"swift/internal/encoding"
@@ -39,13 +41,14 @@ func (c Config) cost() time.Duration {
 	return c.RuleUpdateCost
 }
 
-// FIB is the simulated two-stage forwarding table.
+// FIB is the simulated two-stage forwarding table. Stage 1 is a
+// compressed binary trie (see Trie) looked up by longest-prefix match;
+// stage 2 is a priority-ordered ternary rule list over the tags stage 1
+// produces.
 type FIB struct {
 	cfg    Config
-	stage1 map[netaddr.Prefix]encoding.Tag
-	// lengths tracks which prefix lengths exist in stage 1, for LPM.
-	lengths [33]int
-	stage2  []encoding.Rule
+	stage1 Trie
+	stage2 []encoding.Rule
 
 	writes  int
 	elapsed time.Duration
@@ -53,7 +56,7 @@ type FIB struct {
 
 // New returns an empty FIB.
 func New(cfg Config) *FIB {
-	return &FIB{cfg: cfg, stage1: make(map[netaddr.Prefix]encoding.Tag)}
+	return &FIB{cfg: cfg}
 }
 
 // charge accounts n rule writes.
@@ -78,47 +81,30 @@ func (f *FIB) ResetAccounting() {
 
 // SetTag installs or updates the stage-1 tagging rule for p.
 func (f *FIB) SetTag(p netaddr.Prefix, t encoding.Tag) {
-	if _, exists := f.stage1[p]; !exists {
-		f.lengths[p.Len()]++
-	}
-	f.stage1[p] = t
+	f.stage1.Insert(p, t)
 	f.charge(1)
 }
 
-// ReplaceTags swaps in a complete stage-1 assignment, taking ownership
-// of m (the caller must not mutate it afterwards; shared reads are
-// fine). It charges one write per entry — the accounting a rebuild via
-// SetTag would produce — without the per-entry copy into a second map,
-// which is what makes burst-end re-provisioning cheap.
+// ReplaceTags swaps in a complete stage-1 assignment built from m,
+// charging one write per entry — the accounting a rebuild via SetTag
+// would produce. The map is only read during the call (it is not
+// retained), which keeps burst-end re-provisioning cheap for the
+// caller: the scheme's freshly compiled tag map is consumed in place.
 func (f *FIB) ReplaceTags(m map[netaddr.Prefix]encoding.Tag) {
-	f.stage1 = m
-	f.lengths = [33]int{}
-	for p := range m {
-		f.lengths[p.Len()]++
-	}
+	f.stage1 = *TrieFromMap(m)
 	f.charge(len(m))
 }
 
 // RemoveTag deletes p's stage-1 rule.
 func (f *FIB) RemoveTag(p netaddr.Prefix) {
-	if _, exists := f.stage1[p]; exists {
-		delete(f.stage1, p)
-		f.lengths[p.Len()]--
+	if f.stage1.Delete(p) {
 		f.charge(1)
 	}
 }
 
 // TagOf looks up the stage-1 tag by longest-prefix match on addr.
 func (f *FIB) TagOf(addr uint32) (encoding.Tag, bool) {
-	for l := 32; l >= 0; l-- {
-		if f.lengths[l] == 0 {
-			continue
-		}
-		if t, ok := f.stage1[netaddr.MakePrefix(addr, l)]; ok {
-			return t, true
-		}
-	}
-	return 0, false
+	return f.stage1.Lookup(addr)
 }
 
 // InstallRule adds a stage-2 rule. Rules with higher Priority win;
@@ -166,20 +152,44 @@ func (f *FIB) NumRules() int { return len(f.stage2) }
 // lookup, then the highest-priority matching stage-2 rule. ok is false
 // when the packet would be dropped (no tag or no matching rule).
 func (f *FIB) Forward(addr uint32) (nextHop uint32, ok bool) {
-	t, ok := f.TagOf(addr)
+	nextHop, _, ok = f.ForwardDetail(addr)
+	return nextHop, ok
+}
+
+// ForwardDetail is Forward returning also the priority of the matched
+// stage-2 rule, so evaluation harnesses can attribute a delivery to the
+// rule class that produced it (primary route vs fast-reroute override).
+func (f *FIB) ForwardDetail(addr uint32) (nextHop uint32, priority int, ok bool) {
+	t, ok := f.stage1.Lookup(addr)
 	if !ok {
-		return 0, false
+		return 0, 0, false
 	}
 	for _, r := range f.stage2 {
 		if r.Matches(t) {
-			return r.NextHop, true
+			return r.NextHop, r.Priority, true
 		}
 	}
-	return 0, false
+	return 0, 0, false
 }
 
 // ForwardPrefix is Forward for a prefix's first address, convenient in
 // tests and experiments that reason per prefix.
 func (f *FIB) ForwardPrefix(p netaddr.Prefix) (uint32, bool) {
 	return f.Forward(p.Addr())
+}
+
+// Dump renders the complete forwarding state deterministically: every
+// stage-1 entry in ascending prefix order, then every stage-2 rule in
+// match order (the order the hardware would try them). Two FIBs with
+// identical dumps forward identically, which is what the provision-skip
+// equivalence tests pin.
+func (f *FIB) Dump() string {
+	var b strings.Builder
+	f.stage1.ForEach(func(p netaddr.Prefix, t encoding.Tag) {
+		fmt.Fprintf(&b, "tag %s %#x\n", p, uint64(t))
+	})
+	for _, r := range f.stage2 {
+		fmt.Fprintf(&b, "rule %#x/%#x -> %d @%d\n", uint64(r.Value), uint64(r.Mask), r.NextHop, r.Priority)
+	}
+	return b.String()
 }

@@ -1,0 +1,228 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"swift/internal/encoding"
+	"swift/internal/netaddr"
+)
+
+// mapLPM is the brute-force longest-prefix-match reference: the
+// map-plus-length-scan structure the FIB used before the trie. It is
+// the model the property test pins Trie against.
+type mapLPM struct {
+	m       map[netaddr.Prefix]encoding.Tag
+	lengths [33]int
+}
+
+func newMapLPM() *mapLPM {
+	return &mapLPM{m: make(map[netaddr.Prefix]encoding.Tag)}
+}
+
+func (r *mapLPM) Insert(p netaddr.Prefix, t encoding.Tag) bool {
+	_, exists := r.m[p]
+	if !exists {
+		r.lengths[p.Len()]++
+	}
+	r.m[p] = t
+	return !exists
+}
+
+func (r *mapLPM) Delete(p netaddr.Prefix) bool {
+	if _, exists := r.m[p]; !exists {
+		return false
+	}
+	delete(r.m, p)
+	r.lengths[p.Len()]--
+	return true
+}
+
+func (r *mapLPM) Lookup(addr uint32) (encoding.Tag, bool) {
+	for l := 32; l >= 0; l-- {
+		if r.lengths[l] == 0 {
+			continue
+		}
+		if t, ok := r.m[netaddr.MakePrefix(addr, l)]; ok {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+func TestTrieBasics(t *testing.T) {
+	var tr Trie
+	p8 := netaddr.MustParsePrefix("10.0.0.0/8")
+	p16 := netaddr.MustParsePrefix("10.1.0.0/16")
+	p24 := netaddr.MustParsePrefix("10.1.2.0/24")
+	def := netaddr.MustParsePrefix("0.0.0.0/0")
+
+	if _, ok := tr.Lookup(0x0a010203); ok {
+		t.Fatal("empty trie matched")
+	}
+	if !tr.Insert(p8, 1) || !tr.Insert(p16, 2) || !tr.Insert(p24, 3) {
+		t.Fatal("fresh inserts reported as overwrites")
+	}
+	if tr.Insert(p16, 20) {
+		t.Fatal("overwrite reported as fresh")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	for _, tc := range []struct {
+		addr uint32
+		tag  encoding.Tag
+		ok   bool
+	}{
+		{0x0a010203, 3, true},  // 10.1.2.3 -> /24
+		{0x0a010303, 20, true}, // 10.1.3.3 -> /16 (overwritten tag)
+		{0x0a020303, 1, true},  // 10.2.3.3 -> /8
+		{0x0b000001, 0, false}, // 11.0.0.1 -> none
+	} {
+		got, ok := tr.Lookup(tc.addr)
+		if ok != tc.ok || got != tc.tag {
+			t.Errorf("Lookup(%08x) = %v,%v want %v,%v", tc.addr, got, ok, tc.tag, tc.ok)
+		}
+	}
+	// Default route catches everything.
+	tr.Insert(def, 9)
+	if got, ok := tr.Lookup(0x0b000001); !ok || got != 9 {
+		t.Errorf("default route: got %v,%v", got, ok)
+	}
+	if !tr.Delete(p16) || tr.Delete(p16) {
+		t.Fatal("delete/re-delete misbehaved")
+	}
+	if got, ok := tr.Lookup(0x0a010303); !ok || got != 1 {
+		t.Errorf("after /16 delete, 10.1.3.3 = %v,%v want 1,true", got, ok)
+	}
+	// Iterator order is ascending (addr, len).
+	var seen []netaddr.Prefix
+	tr.ForEach(func(p netaddr.Prefix, _ encoding.Tag) { seen = append(seen, p) })
+	want := []netaddr.Prefix{def, p8, p24}
+	if len(seen) != len(want) {
+		t.Fatalf("ForEach yielded %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestTriePropertyVsReference drives the trie and the brute-force
+// reference through long randomized insert/delete/lookup sequences —
+// including tag overwrites and full withdraw-then-re-announce cycles —
+// and requires identical observable behavior throughout.
+func TestTriePropertyVsReference(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			var tr Trie
+			ref := newMapLPM()
+
+			// A confined universe of prefixes so operations collide:
+			// overwrites, deletes of absent entries and nested covers all
+			// happen often.
+			universe := make([]netaddr.Prefix, 0, 256)
+			for i := 0; i < 256; i++ {
+				length := 8 + rng.Intn(25) // 8..32
+				addr := uint32(10)<<24 | uint32(rng.Intn(8))<<16 | uint32(rng.Intn(16))<<8 | uint32(rng.Intn(4))
+				universe = append(universe, netaddr.MakePrefix(addr&netaddr.Mask(length), length))
+			}
+			probe := func() {
+				for i := 0; i < 32; i++ {
+					addr := uint32(10)<<24 | uint32(rng.Intn(8))<<16 | uint32(rng.Intn(16))<<8 | uint32(rng.Intn(256))
+					gt, gok := tr.Lookup(addr)
+					wt, wok := ref.Lookup(addr)
+					if gt != wt || gok != wok {
+						t.Fatalf("Lookup(%08x) = %v,%v want %v,%v", addr, gt, gok, wt, wok)
+					}
+				}
+			}
+
+			for step := 0; step < 4000; step++ {
+				p := universe[rng.Intn(len(universe))]
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4: // insert / overwrite
+					tag := encoding.Tag(rng.Intn(64))
+					if got, want := tr.Insert(p, tag), ref.Insert(p, tag); got != want {
+						t.Fatalf("step %d: Insert(%s) fresh=%v want %v", step, p, got, want)
+					}
+				case 5, 6, 7: // delete (possibly absent)
+					if got, want := tr.Delete(p), ref.Delete(p); got != want {
+						t.Fatalf("step %d: Delete(%s) = %v want %v", step, p, got, want)
+					}
+				case 8: // withdraw-then-re-announce cycle with a new tag
+					tr.Delete(p)
+					ref.Delete(p)
+					tag := encoding.Tag(rng.Intn(64))
+					if got, want := tr.Insert(p, tag), ref.Insert(p, tag); got != want {
+						t.Fatalf("step %d: cycle Insert(%s) fresh=%v want %v", step, p, got, want)
+					}
+				case 9: // full flush of a random half, then re-announce
+					for _, q := range universe[:len(universe)/2] {
+						if got, want := tr.Delete(q), ref.Delete(q); got != want {
+							t.Fatalf("step %d: flush Delete(%s) = %v want %v", step, q, got, want)
+						}
+					}
+					for _, q := range universe[:len(universe)/4] {
+						tag := encoding.Tag(rng.Intn(64))
+						if got, want := tr.Insert(q, tag), ref.Insert(q, tag); got != want {
+							t.Fatalf("step %d: re-announce Insert(%s) = %v want %v", step, q, got, want)
+						}
+					}
+				}
+				if tr.Len() != len(ref.m) {
+					t.Fatalf("step %d: Len = %d, reference %d", step, tr.Len(), len(ref.m))
+				}
+				if step%64 == 0 {
+					probe()
+				}
+			}
+			probe()
+
+			// Exact-match view and iteration agree with the reference.
+			n := 0
+			tr.ForEach(func(p netaddr.Prefix, tag encoding.Tag) {
+				n++
+				if want, ok := ref.m[p]; !ok || want != tag {
+					t.Fatalf("ForEach yielded %s=%v, reference %v,%v", p, tag, want, ok)
+				}
+			})
+			if n != len(ref.m) {
+				t.Fatalf("ForEach yielded %d entries, reference %d", n, len(ref.m))
+			}
+			for p, want := range ref.m {
+				if got, ok := tr.Get(p); !ok || got != want {
+					t.Fatalf("Get(%s) = %v,%v want %v,true", p, got, ok, want)
+				}
+			}
+		})
+	}
+}
+
+func TestTrieBatchOps(t *testing.T) {
+	var tr Trie
+	entries := []TagEntry{
+		{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Tag: 1},
+		{Prefix: netaddr.MustParsePrefix("10.1.0.0/16"), Tag: 2},
+		{Prefix: netaddr.MustParsePrefix("10.1.0.0/16"), Tag: 3}, // overwrite within batch
+	}
+	if fresh := tr.InsertBatch(entries); fresh != 2 {
+		t.Fatalf("InsertBatch fresh = %d, want 2", fresh)
+	}
+	if got, _ := tr.Lookup(0x0a010000); got != 3 {
+		t.Fatalf("batch overwrite lost: got %v", got)
+	}
+	if hit := tr.DeleteBatch([]netaddr.Prefix{
+		netaddr.MustParsePrefix("10.1.0.0/16"),
+		netaddr.MustParsePrefix("10.9.0.0/16"), // absent
+	}); hit != 1 {
+		t.Fatalf("DeleteBatch hit = %d, want 1", hit)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}

@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+)
+
+// MatrixNames lists the named scenario matrices, for CLIs.
+func MatrixNames() []string { return []string{"smoke", "default", "fig1"} }
+
+// Matrix expands a named matrix into its scenario specs. The expansion
+// is a pure function of (name, seed): every spec's own seed derives
+// from the matrix seed and its index, so two runs with the same inputs
+// evaluate byte-identical scenarios.
+//
+//   - "smoke": a handful of scenarios covering every knob — the CI
+//     gate.
+//   - "default": the full evaluation matrix (>= 50 scenarios): Fig. 1
+//     and generated topologies crossed with failure kind, failure
+//     distance, session count, partial withdrawals, flap recovery,
+//     noise and peer skew.
+//   - "fig1": the paper's running example only, at two scales.
+func Matrix(name string, seed int64) ([]Spec, error) {
+	switch name {
+	case "smoke":
+		return smokeMatrix(seed), nil
+	case "default":
+		return defaultMatrix(seed), nil
+	case "fig1":
+		return fig1Matrix(seed), nil
+	}
+	return nil, fmt.Errorf("scenario: unknown matrix %q (have %v)", name, MatrixNames())
+}
+
+// specSeed derives a scenario seed from the matrix seed and the
+// scenario index.
+func specSeed(seed int64, i int) int64 { return seed*1_000_003 + int64(i)*7919 }
+
+func fig1Base(name string, scale int) Spec {
+	return Spec{
+		Name:              name,
+		Topology:          TopoFig1,
+		PrefixesPerOrigin: scale,
+		HopsAway:          2, // the paper's (5,6) failure
+	}
+}
+
+func fig1Matrix(seed int64) []Spec {
+	var specs []Spec
+	add := func(s Spec) {
+		s.Seed = specSeed(seed, len(specs))
+		specs = append(specs, s)
+	}
+	for _, scale := range []int{150, 300} {
+		base := fmt.Sprintf("fig1-x%d", scale)
+		add(fig1Base(base+"-link", scale))
+		s := fig1Base(base+"-3peer", scale)
+		s.Peers = 3
+		s.PeerSkew = 60 * time.Millisecond
+		add(s)
+		s = fig1Base(base+"-partial", scale)
+		s.PartialWithdraw = 0.6
+		s.BurstStart = 12
+		s.TriggerEvery = 10
+		add(s)
+		s = fig1Base(base+"-flap", scale)
+		s.Flap = true
+		add(s)
+		s = fig1Base(base+"-noise", scale)
+		s.Noise = 25
+		add(s)
+	}
+	return specs
+}
+
+func genBase(name string, ases, hops int) Spec {
+	return Spec{
+		Name:              name,
+		Topology:          TopoGenerated,
+		NumASes:           ases,
+		NumOrigins:        8,
+		PrefixesPerOrigin: 60,
+		HopsAway:          hops,
+	}
+}
+
+func defaultMatrix(seed int64) []Spec {
+	specs := fig1Matrix(seed)
+	add := func(s Spec) {
+		s.Seed = specSeed(seed, len(specs))
+		specs = append(specs, s)
+	}
+	sizes := []int{28, 40, 56}
+	// Base grid: size x failure distance x failure kind.
+	for _, ases := range sizes {
+		for _, hops := range []int{1, 2, 3} {
+			s := genBase(fmt.Sprintf("gen-n%d-h%d-link", ases, hops), ases, hops)
+			add(s)
+			s = genBase(fmt.Sprintf("gen-n%d-h%d-as", ases, hops), ases, hops)
+			s.Failure = FailAS
+			add(s)
+		}
+	}
+	// Variant sweeps on the middle grid point of each size.
+	for _, ases := range sizes {
+		s := genBase(fmt.Sprintf("gen-n%d-2peer", ases), ases, 2)
+		s.Peers = 2
+		s.PeerSkew = 40 * time.Millisecond
+		add(s)
+		s = genBase(fmt.Sprintf("gen-n%d-2peer-as", ases), ases, 2)
+		s.Failure = FailAS
+		s.Peers = 2
+		add(s)
+		s = genBase(fmt.Sprintf("gen-n%d-partial", ases), ases, 2)
+		s.PartialWithdraw = 0.6
+		s.BurstStart = 12
+		s.TriggerEvery = 10
+		add(s)
+		s = genBase(fmt.Sprintf("gen-n%d-partial-heavy", ases), ases, 1)
+		s.PartialWithdraw = 0.4
+		s.PrefixesPerOrigin = 80
+		s.BurstStart = 12
+		s.TriggerEvery = 10
+		add(s)
+		s = genBase(fmt.Sprintf("gen-n%d-flap", ases), ases, 2)
+		s.Flap = true
+		add(s)
+		s = genBase(fmt.Sprintf("gen-n%d-flap-as", ases), ases, 2)
+		s.Failure = FailAS
+		s.Flap = true
+		add(s)
+		s = genBase(fmt.Sprintf("gen-n%d-noise", ases), ases, 2)
+		s.Noise = 30
+		add(s)
+		s = genBase(fmt.Sprintf("gen-n%d-dense", ases), ases, 2)
+		s.AvgDegree = 7
+		add(s)
+	}
+	return specs
+}
+
+func smokeMatrix(seed int64) []Spec {
+	var specs []Spec
+	add := func(s Spec) {
+		s.Seed = specSeed(seed, len(specs))
+		specs = append(specs, s)
+	}
+	add(fig1Base("fig1-link", 150))
+	s := fig1Base("fig1-3peer-flap", 150)
+	s.Peers = 3
+	s.Flap = true
+	add(s)
+	add(genBase("gen-link", 32, 2))
+	s = genBase("gen-as", 32, 2)
+	s.Failure = FailAS
+	add(s)
+	s = genBase("gen-2peer-partial", 32, 1)
+	s.Peers = 2
+	s.PartialWithdraw = 0.6
+	s.BurstStart = 12
+	s.TriggerEvery = 10
+	add(s)
+	s = genBase("gen-noise", 40, 2)
+	s.Noise = 30
+	add(s)
+	return specs
+}

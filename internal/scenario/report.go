@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// PeerReport is one session's packet-level outcome: the loss a SWIFTED
+// router and a vanilla router suffer on the same event stream, plus the
+// prediction quality of the accepted inferences against ground truth.
+type PeerReport struct {
+	// Peer is the session key ("AS<n>/<bgpid>") and Neighbor its AS.
+	Peer     string `json:"peer"`
+	Neighbor uint32 `json:"neighbor"`
+
+	// Flows is the evaluated synthetic flow count; FlowsAffected how
+	// many lost at least one packet under the vanilla router.
+	Flows         int `json:"flows"`
+	FlowsAffected int `json:"flows_affected"`
+	// Ticks is the number of virtual-time steps scored; PacketsSent the
+	// per-run offered load (Flows x Ticks).
+	Ticks       int   `json:"ticks"`
+	PacketsSent int64 `json:"packets_sent"`
+
+	// SwiftLost / BGPLost count packets blackholed with SWIFT enabled /
+	// disabled. SwiftRestore / BGPRestore are the virtual times the last
+	// lost packet was observed (0 = no loss; the horizon when loss never
+	// stopped).
+	SwiftLost    int64         `json:"swift_lost"`
+	BGPLost      int64         `json:"bgp_lost"`
+	SwiftRestore time.Duration `json:"swift_restore_ns"`
+	BGPRestore   time.Duration `json:"bgp_restore_ns"`
+
+	// Decisions counts accepted inferences; Withdrawn the ground-truth
+	// positives (prefixes withdrawn on the session); Predicted the union
+	// of prefixes the decisions diverted. TP/FP/FN decompose Predicted
+	// against ground truth; FPR is FP over the session's unaffected
+	// prefixes and FNR is FN over Withdrawn.
+	Decisions int     `json:"decisions"`
+	Withdrawn int     `json:"withdrawn"`
+	Predicted int     `json:"predicted"`
+	TP        int     `json:"tp"`
+	FP        int     `json:"fp"`
+	FN        int     `json:"fn"`
+	FPR       float64 `json:"fpr"`
+	FNR       float64 `json:"fnr"`
+}
+
+// Report is one evaluated scenario.
+type Report struct {
+	Name   string `json:"name"`
+	Seed   int64  `json:"seed"`
+	Remote bool   `json:"remote"`
+	// Failure describes the injected fault ("link (5,6)" / "as 6").
+	Failure string `json:"failure"`
+	// Topology summary.
+	ASes     int `json:"ases"`
+	Links    int `json:"links"`
+	Prefixes int `json:"prefixes"`
+	Sessions int `json:"sessions"`
+	Events   int `json:"events"`
+
+	Peers []PeerReport `json:"peers"`
+
+	// Aggregates over every session.
+	PacketsSent int64 `json:"packets_sent"`
+	SwiftLost   int64 `json:"swift_lost"`
+	BGPLost     int64 `json:"bgp_lost"`
+}
+
+// aggregate folds the per-peer counters into the scenario totals.
+func (r *Report) aggregate() {
+	for _, p := range r.Peers {
+		r.PacketsSent += p.PacketsSent
+		r.SwiftLost += p.SwiftLost
+		r.BGPLost += p.BGPLost
+	}
+}
+
+// MatrixReport is the deterministic output of a matrix run: same matrix
+// name and seed, byte-identical JSON.
+type MatrixReport struct {
+	Matrix    string    `json:"matrix"`
+	Seed      int64     `json:"seed"`
+	Scenarios []*Report `json:"scenarios"`
+
+	// Totals over every scenario, and over the remote-failure subset —
+	// the paper's headline comparison.
+	PacketsSent     int64 `json:"packets_sent"`
+	SwiftLost       int64 `json:"swift_lost"`
+	BGPLost         int64 `json:"bgp_lost"`
+	RemoteScenarios int   `json:"remote_scenarios"`
+	RemoteSwiftLost int64 `json:"remote_swift_lost"`
+	RemoteBGPLost   int64 `json:"remote_bgp_lost"`
+	// RemoteSwiftWins counts remote scenarios where SWIFT lost strictly
+	// fewer packets than the vanilla router.
+	RemoteSwiftWins int `json:"remote_swift_wins"`
+}
+
+// aggregate folds the per-scenario reports into the matrix totals.
+func (m *MatrixReport) aggregate() {
+	for _, r := range m.Scenarios {
+		m.PacketsSent += r.PacketsSent
+		m.SwiftLost += r.SwiftLost
+		m.BGPLost += r.BGPLost
+		if r.Remote {
+			m.RemoteScenarios++
+			m.RemoteSwiftLost += r.SwiftLost
+			m.RemoteBGPLost += r.BGPLost
+			if r.SwiftLost < r.BGPLost {
+				m.RemoteSwiftWins++
+			}
+		}
+	}
+}
+
+// JSON renders the report with stable formatting (the determinism
+// contract: same matrix, same seed, byte-identical output).
+func (m *MatrixReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}

@@ -48,6 +48,11 @@ type Config struct {
 	Pool *rib.Pool
 	// RuleUpdateCost models the FIB write latency.
 	RuleUpdateCost time.Duration
+	// DisableProvisionSkip turns off the RIB-signature fast path that
+	// skips burst-end re-provisioning when BGP reconverged onto exactly
+	// the provisioned routes. Equivalence tests force the full recompile
+	// through this to pin that the skip never changes FIB contents.
+	DisableProvisionSkip bool
 	// Observer receives push notifications at the engine's lifecycle
 	// points (burst start/end, decisions, provisioning).
 	Observer Observer
@@ -247,7 +252,7 @@ func (e *Engine) provision(at time.Duration, fallback bool) error {
 	for n, alt := range e.alts {
 		sig ^= rib.SigMix(alt.Signature() ^ uint64(n))
 	}
-	if fallback && e.haveProvision && sig == e.provisionSig && e.scheme != nil {
+	if fallback && !e.cfg.DisableProvisionSkip && e.haveProvision && sig == e.provisionSig && e.scheme != nil {
 		// BGP reconverged onto exactly the provisioned routes (the
 		// transient-failure common case): the plan, tags and FIB state
 		// all still hold. Report the pass without recompiling. The
@@ -277,8 +282,12 @@ func (e *Engine) provision(at time.Duration, fallback bool) error {
 	}
 	e.scheme = scheme
 	// The scheme's tag map is rebuilt per provision; hand it to the FIB
-	// wholesale instead of copying entry by entry.
+	// wholesale instead of copying entry by entry. The primary rule is
+	// replaced, not stacked: a fallback pass re-derives it, and leaving
+	// the previous one in stage 2 would grow the table by one duplicate
+	// per burst.
 	e.fib.ReplaceTags(scheme.Tags())
+	e.fib.RemoveRulesAt(primaryPriority)
 	if r, ok := scheme.PrimaryRule(e.cfg.PrimaryNeighbor); ok {
 		e.fib.InstallRule(r)
 	}
@@ -500,9 +509,21 @@ func dataplaneCost(c time.Duration) time.Duration {
 	return c
 }
 
-// reroutePriority is the stage-2 priority of SWIFT's rules; primary
-// rules sit at 0.
-const reroutePriority = 10
+// ReroutePriority is the stage-2 priority of SWIFT's fast-reroute
+// rules; primary rules sit at PrimaryPriority. Exported so evaluation
+// harnesses forwarding packets through the FIB can attribute a match to
+// the rule class that produced it.
+const (
+	ReroutePriority = 10
+	PrimaryPriority = 0
+)
+
+// reroutePriority and primaryPriority keep the engine's internal
+// call sites short.
+const (
+	reroutePriority = ReroutePriority
+	primaryPriority = PrimaryPriority
+)
 
 // endBurst is SWIFT's fallback (§3): BGP has converged, the RIB holds
 // the post-failure routes, so remove the override rules and re-derive

@@ -1,0 +1,145 @@
+package swift
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"swift/internal/burst"
+	"swift/internal/encoding"
+	"swift/internal/event"
+	"swift/internal/inference"
+	"swift/internal/netaddr"
+)
+
+// TestProvisionSkipEquivalence pins the rib.Table.Signature()-based
+// re-provision skip: whenever BGP reconverges onto exactly the
+// provisioned routes, the skipping engine must end the burst with
+// byte-identical FIB contents to an engine forced to recompile —
+// across random interleavings of withdraw / re-announce / path-change
+// streams. A divergence here would mean the signature fast path serves
+// stale forwarding state. Rounds where some prefixes reconverge onto a
+// different path must recompile on both engines (no skip) and still
+// agree.
+func TestProvisionSkipEquivalence(t *testing.T) {
+	type route struct {
+		p    netaddr.Prefix
+		path []uint32
+	}
+
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			// Primary routes: paths share mid-links so inference has
+			// something to find; origins 20..24 via mids 10/11 behind
+			// neighbor 1.
+			var routes []route
+			for origin := uint32(20); origin < 25; origin++ {
+				mid := uint32(10 + origin%2)
+				for i := 0; i < 12; i++ {
+					routes = append(routes, route{
+						p:    netaddr.PrefixFor(origin, i),
+						path: []uint32{1, mid, origin},
+					})
+				}
+			}
+
+			build := func(disableSkip bool) (*Engine, *int) {
+				skips := new(int)
+				e := New(Config{
+					LocalAS:              100,
+					PrimaryNeighbor:      1,
+					Inference:            inference.Config{TriggerEvery: 5, UseHistory: false},
+					Encoding:             encoding.Config{MinPrefixes: 1},
+					Burst:                burst.Config{StartThreshold: 5},
+					DisableProvisionSkip: disableSkip,
+					Observer: Observer{
+						OnProvision: func(info ProvisionInfo) {
+							if info.Unchanged {
+								*skips++
+							}
+						},
+					},
+				})
+				for _, r := range routes {
+					e.LearnPrimary(r.p, r.path)
+				}
+				// Alternate neighbor 7 offers a detour for everything.
+				for _, r := range routes {
+					e.LearnAlternate(7, r.p, []uint32{7, r.path[2]})
+				}
+				if err := e.Provision(); err != nil {
+					t.Fatal(err)
+				}
+				return e, skips
+			}
+
+			for round := 0; round < 6; round++ {
+				changed := rng.Intn(2) == 0
+				fast, fastSkips := build(false)
+				slow, slowSkips := build(true)
+				if d1, d2 := fast.FIB().Dump(), slow.FIB().Dump(); d1 != d2 {
+					t.Fatalf("initial FIB dumps differ:\n%s\n---\n%s", d1, d2)
+				}
+
+				// One burst: withdraw a random subset, then re-announce
+				// it — identically (reconvergence onto the provisioned
+				// state: the skip must fire) or with a few prefixes on a
+				// detour path (real change: both must recompile). The
+				// subset stays above the detector's stop threshold (9)
+				// so the burst closes at the quiet tick, after the
+				// stream has fully reconverged.
+				perm := rng.Perm(len(routes))
+				k := 12 + rng.Intn(len(routes)-12)
+				clock := time.Duration(0)
+				var b event.Batch
+				for _, idx := range perm[:k] {
+					clock += time.Millisecond
+					b = append(b, event.Withdraw(clock, routes[idx].p))
+				}
+				for n, idx := range perm[:k] {
+					clock += time.Millisecond
+					r := routes[idx]
+					path := r.path
+					if changed && n < 3 {
+						path = []uint32{1, 12, r.path[len(r.path)-1]}
+					}
+					b = append(b, event.Announce(clock, r.p, path))
+				}
+				// Quiet time beyond the window closes the burst and
+				// triggers the fallback re-provision.
+				clock += 2 * burst.DefaultWindow
+				b = append(b, event.Tick(clock))
+
+				if err := fast.Apply(b); err != nil {
+					t.Fatalf("fast engine: %v", err)
+				}
+				if err := slow.Apply(b); err != nil {
+					t.Fatalf("slow engine: %v", err)
+				}
+
+				if fast.NumDecisions() == 0 {
+					t.Fatalf("round %d: no reroute decision — burst never exercised the fallback", round)
+				}
+				if fast.NumDecisions() != slow.NumDecisions() {
+					t.Fatalf("round %d: decisions %d vs %d", round, fast.NumDecisions(), slow.NumDecisions())
+				}
+				if d1, d2 := fast.FIB().Dump(), slow.FIB().Dump(); d1 != d2 {
+					t.Fatalf("round %d (changed=%v): FIB dumps diverged\nfast:\n%s\n---\nslow:\n%s",
+						round, changed, d1, d2)
+				}
+				if *slowSkips != 0 {
+					t.Errorf("round %d: DisableProvisionSkip engine skipped %d times", round, *slowSkips)
+				}
+				if changed && *fastSkips != 0 {
+					t.Errorf("round %d: skip fired on a changed reconvergence", round)
+				}
+				if !changed && *fastSkips == 0 {
+					t.Errorf("round %d: reconverged onto provisioned state but the skip never fired", round)
+				}
+			}
+		})
+	}
+}
