@@ -20,6 +20,11 @@
 // Lines that are not benchmark results (headers, PASS/ok, logs) pass
 // through to stderr untouched, so the human-readable output survives in
 // the CI log alongside the artifact.
+//
+// The output is a provenance-stamped object — generation time (UTC),
+// Go version and git commit alongside the results — so an archived
+// BENCH_N.json identifies the build it measured without relying on the
+// CI run that produced it.
 package main
 
 import (
@@ -30,10 +35,26 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
+
+// Report is the output document: the parsed results plus the
+// provenance of the build that produced them.
+type Report struct {
+	// Generated is the emission time in UTC, RFC 3339.
+	Generated string `json:"generated"`
+	// GoVersion is the toolchain that ran the benchmarks.
+	GoVersion string `json:"go_version"`
+	// Commit is `git rev-parse HEAD` of the working tree, with a
+	// "-dirty" suffix when uncommitted changes were present; omitted
+	// when the tree is not a git checkout.
+	Commit  string   `json:"commit,omitempty"`
+	Results []Result `json:"results"`
+}
 
 // Result is one benchmark's parsed measurements. Metrics holds custom
 // b.ReportMetric units (e.g. "events/s") verbatim.
@@ -114,7 +135,13 @@ func main() {
 		return results[i].Name < results[j].Name
 	})
 
-	enc, err := json.MarshalIndent(results, "", "  ")
+	report := Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Commit:    gitCommit(),
+		Results:   results,
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -128,6 +155,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// gitCommit resolves HEAD, tolerating non-git environments (empty
+// string) and flagging uncommitted changes with a -dirty suffix.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	commit := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		commit += "-dirty"
+	}
+	return commit
 }
 
 // parseBenchLine parses one `BenchmarkName-8   N   123 ns/op   45 B/op

@@ -33,7 +33,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"os"
 	"strings"
@@ -45,17 +44,27 @@ import (
 	"swift/internal/bmp"
 	"swift/internal/mrt"
 	"swift/internal/netaddr"
+	"swift/internal/telemetry/logging"
 )
+
+// logger is the process-wide leveled logger, configured in main.
+var logger *logging.Logger
 
 func main() {
 	var (
-		target  = flag.String("target", "", "collector address to dial (e.g. :11019)")
-		sysName = flag.String("sysname", "bmpgen", "sysName announced in the Initiation message")
-		localAS = flag.Uint("local-as", 65001, "monitored router's AS (the collector side of each session)")
-		loops   = flag.Int("loop", 1, "times to replay each update stream")
-		gap     = flag.Duration("gap", time.Minute, "quiet gap inserted between replay loops")
+		target   = flag.String("target", "", "collector address to dial (e.g. :11019)")
+		sysName  = flag.String("sysname", "bmpgen", "sysName announced in the Initiation message")
+		localAS  = flag.Uint("local-as", 65001, "monitored router's AS (the collector side of each session)")
+		loops    = flag.Int("loop", 1, "times to replay each update stream")
+		gap      = flag.Duration("gap", time.Minute, "quiet gap inserted between replay loops")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+	lvl, err := logging.ParseLevel(*logLevel)
+	if err != nil {
+		logging.New(os.Stderr, logging.Info).Fatalf("%v", err)
+	}
+	logger = logging.New(os.Stderr, lvl)
 	if *target == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: bmpgen -target host:port [flags] [rib.mrt:]updates.mrt ...")
 		flag.PrintDefaults()
@@ -64,7 +73,7 @@ func main() {
 
 	conn, err := net.Dial("tcp", *target)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 	defer conn.Close()
 	w := &router{conn: conn, bw: bufio.NewWriterSize(conn, 1<<16)}
@@ -73,7 +82,7 @@ func main() {
 		SysName:  *sysName,
 		SysDescr: "swift bmpgen MRT replayer",
 	}); err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 
 	start := time.Now()
@@ -84,20 +93,20 @@ func main() {
 		go func(idx int, ribPath, updPath string) {
 			defer wg.Done()
 			if err := replayPeer(w, idx, ribPath, updPath, uint32(*localAS), *loops, *gap); err != nil {
-				log.Printf("%s: %v", updPath, err)
+				logger.Warnf("%s: %v", updPath, err)
 			}
 		}(i, ribPath, updPath)
 	}
 	wg.Wait()
 	if err := w.send(&bmp.Termination{Reason: bmp.ReasonAdminClose}); err != nil {
-		log.Printf("termination: %v", err)
+		logger.Warnf("termination: %v", err)
 	}
 	if err := w.flush(); err != nil {
-		log.Printf("flush: %v", err)
+		logger.Warnf("flush: %v", err)
 	}
 	elapsed := time.Since(start)
 	msgs := w.msgs.Load()
-	log.Printf("replayed %d BMP messages in %v (%.0f msgs/s)",
+	logger.Infof("replayed %d BMP messages in %v (%.0f msgs/s)",
 		msgs, elapsed.Round(time.Millisecond), float64(msgs)/elapsed.Seconds())
 }
 
@@ -211,7 +220,7 @@ func replayPeer(w *router, idx int, ribPath, updPath string, localAS uint32, loo
 			sent++
 		}
 	}
-	log.Printf("peer AS%d/%08x: %d table routes, %d updates sent (%d loops)",
+	logger.Infof("peer AS%d/%08x: %d table routes, %d updates sent (%d loops)",
 		peerAS, bgpID, table, sent, loops)
 	return w.send(&bmp.PeerDown{Peer: hdr(updates[len(updates)-1].ts), Reason: bmp.DownDeconfigured})
 }

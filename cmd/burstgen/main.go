@@ -14,9 +14,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+
 	"os"
 	"path/filepath"
+	"swift/internal/telemetry/logging"
 	"time"
 
 	"swift/internal/bgp"
@@ -35,8 +36,14 @@ func main() {
 		failures = flag.Int("failures", 60, "failures over the month")
 		maxPfx   = flag.Int("maxprefixes", 10000, "largest origin's prefix count")
 		minBurst = flag.Int("minburst", 1000, "skip bursts smaller than this")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+	lvl, lerr := logging.ParseLevel(*logLevel)
+	if lerr != nil {
+		logging.New(os.Stderr, logging.Info).Fatalf("%v", lerr)
+	}
+	logger := logging.New(os.Stderr, lvl)
 
 	ds := trace.Generate(trace.Config{
 		NumASes:           *ases,
@@ -51,7 +58,7 @@ func main() {
 		Seed:              *seed,
 	})
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 	epoch := time.Date(2016, 11, 1, 0, 0, 0, 0, time.UTC) // the paper's month
 
@@ -70,14 +77,14 @@ func main() {
 		// RIB snapshot.
 		ribPath := filepath.Join(*out, base+".rib.mrt")
 		if err := writeRIB(ribPath, ds, s, epoch); err != nil {
-			log.Fatal(err)
+			logger.Fatalf("%v", err)
 		}
 
 		// Updates: all bursts, offset by their failure times.
 		updPath := filepath.Join(*out, base+".updates.mrt")
 		n, err := writeUpdates(updPath, ds, s, bursts, epoch)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatalf("%v", err)
 		}
 		fmt.Printf("%s: %d bursts, %d update records (+ RIB snapshot)\n", base, len(bursts), n)
 	}

@@ -21,7 +21,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
@@ -29,19 +28,26 @@ import (
 	"swift/internal/inference"
 	"swift/internal/mrt"
 	swiftengine "swift/internal/swift"
+	"swift/internal/telemetry/logging"
 )
 
 func main() {
 	var (
-		ribPath = flag.String("rib", "", "TABLE_DUMP_V2 RIB snapshot (required)")
-		updPath = flag.String("updates", "", "BGP4MP update stream (required)")
-		localAS = flag.Uint("local-as", 0, "vantage AS number (required)")
-		peerAS  = flag.Uint("peer-as", 0, "monitored peer AS number (required)")
-		trigger = flag.Int("trigger", 2500, "inference trigger threshold")
-		start   = flag.Int("start-threshold", 1500, "burst start threshold")
-		history = flag.Bool("history", true, "use the plausibility gate")
+		ribPath  = flag.String("rib", "", "TABLE_DUMP_V2 RIB snapshot (required)")
+		updPath  = flag.String("updates", "", "BGP4MP update stream (required)")
+		localAS  = flag.Uint("local-as", 0, "vantage AS number (required)")
+		peerAS   = flag.Uint("peer-as", 0, "monitored peer AS number (required)")
+		trigger  = flag.Int("trigger", 2500, "inference trigger threshold")
+		start    = flag.Int("start-threshold", 1500, "burst start threshold")
+		history  = flag.Bool("history", true, "use the plausibility gate")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+	lvl, lerr := logging.ParseLevel(*logLevel)
+	if lerr != nil {
+		logging.New(os.Stderr, logging.Info).Fatalf("%v", lerr)
+	}
+	logger := logging.New(os.Stderr, lvl)
 	if *ribPath == "" || *updPath == "" || *localAS == 0 || *peerAS == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -53,7 +59,7 @@ func main() {
 		LocalAS:         uint32(*localAS),
 		PrimaryNeighbor: uint32(*peerAS),
 	}
-	cfg.Observer = swiftengine.LoggingObserver(log.Printf)
+	cfg.Observer = swiftengine.LoggingObserver(logger.Infof)
 	cfg.Inference = inference.Default()
 	cfg.Inference.TriggerEvery = *trigger
 	cfg.Inference.UseHistory = *history
@@ -62,12 +68,12 @@ func main() {
 
 	rib, err := os.Open(*ribPath)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 	defer rib.Close()
 	upd, err := os.Open(*updPath)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 	defer upd.Close()
 
@@ -78,7 +84,7 @@ func main() {
 		FinalTick: time.Hour, // close any open burst
 	}
 	if err := src.Run(swiftengine.NewSessionSink(engine)); err != nil {
-		log.Fatalf("replay: %v", err)
+		logger.Fatalf("replay: %v", err)
 	}
 
 	fmt.Printf("\nreplayed %d per-prefix events over %d RIB routes\n", src.Events, src.Routes)

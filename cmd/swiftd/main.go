@@ -27,6 +27,13 @@
 // MRT snapshot with -alternates-rib (in BMP mode the snapshot is
 // loaded into every monitored peer's engine).
 //
+// Either mode exposes an ops HTTP plane with -http (e.g. -http :8080):
+// GET /metrics serves Prometheus text exposition, /healthz liveness,
+// /peers per-peer status JSON, /bursts the burst trace ring, and
+// /debug/pprof/ the Go profiler. -metrics-interval controls the
+// periodic stats log line (0 disables it) and -log-level filters the
+// daemon log (debug, info, warn, error).
+//
 // SIGINT/SIGTERM shut either mode down cleanly: sessions close with a
 // CEASE notification, the BMP station drains its engine fleet, and the
 // final status is printed before exit.
@@ -34,9 +41,8 @@ package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,21 +56,34 @@ import (
 	"swift/internal/mrt"
 	"swift/internal/netaddr"
 	swiftengine "swift/internal/swift"
+	"swift/internal/telemetry"
+	"swift/internal/telemetry/logging"
+	"swift/internal/telemetry/ops"
 )
 
 func main() {
 	var (
-		localAS   = flag.Uint("local-as", 65001, "local AS number")
-		routerID  = flag.String("router-id", "10.0.0.1", "BGP identifier (IPv4)")
-		listen    = flag.String("listen", "", "listen address for a passive eBGP session (e.g. :1790)")
-		dial      = flag.String("dial", "", "peer address to dial an eBGP session actively")
-		bmpListen = flag.String("bmp-listen", "", "listen address for BMP monitored routers (e.g. :11019)")
-		primaryAS = flag.Uint("primary-as", 0, "expected peer AS (0 = accept any; eBGP mode)")
-		altRIB    = flag.String("alternates-rib", "", "MRT TABLE_DUMP_V2 file with alternate routes")
-		altAS     = flag.Uint("alternate-as", 0, "neighbor AS owning the alternate routes")
-		settle    = flag.Duration("settle", 3*time.Second, "quiet period ending a table transfer")
+		localAS    = flag.Uint("local-as", 65001, "local AS number")
+		routerID   = flag.String("router-id", "10.0.0.1", "BGP identifier (IPv4)")
+		listen     = flag.String("listen", "", "listen address for a passive eBGP session (e.g. :1790)")
+		dial       = flag.String("dial", "", "peer address to dial an eBGP session actively")
+		bmpListen  = flag.String("bmp-listen", "", "listen address for BMP monitored routers (e.g. :11019)")
+		primaryAS  = flag.Uint("primary-as", 0, "expected peer AS (0 = accept any; eBGP mode)")
+		altRIB     = flag.String("alternates-rib", "", "MRT TABLE_DUMP_V2 file with alternate routes")
+		altAS      = flag.Uint("alternate-as", 0, "neighbor AS owning the alternate routes")
+		settle     = flag.Duration("settle", 3*time.Second, "quiet period ending a table transfer")
+		httpAddr   = flag.String("http", "", "ops HTTP listen address (e.g. :8080; empty disables)")
+		metricsInt = flag.Duration("metrics-interval", 10*time.Second, "periodic stats log interval (0 disables)")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		ringSize   = flag.Int("burst-ring", 256, "burst trace ring capacity (records kept for /bursts)")
 	)
 	flag.Parse()
+
+	lvl, err := logging.ParseLevel(*logLevel)
+	if err != nil {
+		logging.New(os.Stderr, logging.Info).Fatalf("%v", err)
+	}
+	logger := logging.New(os.Stderr, lvl)
 
 	modes := 0
 	for _, m := range []string{*listen, *dial, *bmpListen} {
@@ -73,20 +92,20 @@ func main() {
 		}
 	}
 	if modes != 1 {
-		log.Fatal("exactly one of -listen, -dial or -bmp-listen is required")
+		logger.Fatalf("exactly one of -listen, -dial or -bmp-listen is required")
 	}
 
 	var alternates []mrt.RIBRecord
 	if *altRIB != "" {
 		if *altAS == 0 {
-			log.Fatal("-alternates-rib requires -alternate-as")
+			logger.Fatalf("-alternates-rib requires -alternate-as")
 		}
 		var err error
 		alternates, err = loadRIB(*altRIB)
 		if err != nil {
-			log.Fatalf("loading alternates: %v", err)
+			logger.Fatalf("loading alternates: %v", err)
 		}
-		log.Printf("loaded %d alternate RIB records from %s", len(alternates), *altRIB)
+		logger.Infof("loaded %d alternate RIB records from %s", len(alternates), *altRIB)
 	}
 
 	// Graceful shutdown on SIGINT/SIGTERM: both modes get a signal
@@ -94,19 +113,66 @@ func main() {
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 
+	d := daemon{
+		logger:   logger,
+		registry: telemetry.NewRegistry(),
+		ring:     telemetry.NewBurstRing(*ringSize),
+		httpAddr: *httpAddr,
+		interval: *metricsInt,
+	}
 	if *bmpListen != "" {
-		runBMP(*bmpListen, uint32(*localAS), *settle, alternates, uint32(*altAS), sigs)
+		d.runBMP(*bmpListen, uint32(*localAS), *settle, alternates, uint32(*altAS), sigs)
 		return
 	}
-	runBGP(*listen, *dial, uint32(*localAS), parseID(*routerID), uint32(*primaryAS),
+	d.runBGP(*listen, *dial, uint32(*localAS), parseID(logger, *routerID), uint32(*primaryAS),
 		*settle, alternates, uint32(*altAS), sigs)
 }
 
-// runBMP serves a BMP station over an engine fleet until a signal.
-// The fleet's Observer hooks push every burst, decision and fallback
-// straight into the daemon log — no decision polling, no log scraping.
-func runBMP(addr string, localAS uint32, settle time.Duration, alternates []mrt.RIBRecord, altAS uint32, sigs <-chan os.Signal) {
-	fleet := controller.NewFleet(controller.FleetConfig{
+// daemon carries the telemetry spine shared by both ingestion modes.
+type daemon struct {
+	logger   *logging.Logger
+	registry *telemetry.Registry
+	ring     *telemetry.BurstRing
+	httpAddr string
+	interval time.Duration
+}
+
+// serveOps starts the ops HTTP listener when -http was given. The
+// server dies with the process; nothing needs a graceful drain.
+func (d *daemon) serveOps(cfg ops.Config) {
+	if d.httpAddr == "" {
+		return
+	}
+	cfg.Registry = d.registry
+	cfg.Ring = d.ring
+	handler := ops.NewHandler(cfg)
+	go func() {
+		d.logger.Infof("ops HTTP listening on %s", d.httpAddr)
+		if err := http.ListenAndServe(d.httpAddr, handler); err != nil {
+			d.logger.Errorf("ops http: %v", err)
+		}
+	}()
+}
+
+// metricsC returns the periodic stats-log channel, nil (blocks forever
+// in select) when -metrics-interval is 0.
+func (d *daemon) metricsC() (<-chan time.Time, func()) {
+	if d.interval <= 0 {
+		return nil, func() {}
+	}
+	t := time.NewTicker(d.interval)
+	return t.C, t.Stop
+}
+
+// runBMP serves a BMP station over an instrumented engine fleet until a
+// signal. The fleet's Observer hooks push every burst, decision and
+// fallback straight into the daemon log as they happen — no decision
+// polling, no log scraping — while the telemetry registry and trace
+// ring feed the ops plane.
+func (d *daemon) runBMP(addr string, localAS uint32, settle time.Duration, alternates []mrt.RIBRecord, altAS uint32, sigs <-chan os.Signal) {
+	logger := d.logger
+	ft := controller.NewFleetTelemetry(d.registry, d.ring)
+	fleet := controller.NewFleet(ft.Instrument(controller.FleetConfig{
 		Engine: func(key controller.PeerKey) swiftengine.Config {
 			cfg := swiftengine.Config{
 				LocalAS:         localAS,
@@ -115,7 +181,7 @@ func runBMP(addr string, localAS uint32, settle time.Duration, alternates []mrt.
 			cfg.Inference = inference.Default()
 			return cfg
 		},
-		Observer: controller.LoggingFleetObserver(log.Printf),
+		Observer: controller.LoggingFleetObserver(logger.Infof),
 		OnPeer: func(p *controller.FleetPeer) {
 			for _, rec := range alternates {
 				for _, e := range rec.Entries {
@@ -123,61 +189,70 @@ func runBMP(addr string, localAS uint32, settle time.Duration, alternates []mrt.
 				}
 			}
 		},
-		Logf: log.Printf,
-	})
+		Logf: logger.Debugf,
+	}))
 	station := bmp.NewStation(bmp.StationConfig{
 		Sink:        fleet,
 		TableSettle: settle,
-		Logf:        log.Printf,
+		Logf:        logger.Infof,
 	})
+	d.serveOps(ops.Config{Fleet: fleet, Station: station})
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
-	log.Printf("BMP station listening on %s", addr)
+	logger.Infof("BMP station listening on %s", addr)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- station.Serve(ln) }()
 
-	statusTicker := time.NewTicker(10 * time.Second)
-	defer statusTicker.Stop()
+	metricsC, stop := d.metricsC()
+	defer stop()
 	for {
 		select {
 		case sig := <-sigs:
-			log.Printf("%v: shutting down station", sig)
+			logger.Infof("%v: shutting down station", sig)
 			if err := station.Close(); err != nil {
-				log.Printf("station close: %v", err)
+				logger.Warnf("station close: %v", err)
 			}
 			fleet.Close()
-			log.Printf("final: %s", fleet.Status())
+			logger.Infof("final: %s", fleet.Status())
 			return
 		case err := <-serveErr:
 			fleet.Close()
 			if err != nil {
-				log.Fatalf("station: %v", err)
+				logger.Fatalf("station: %v", err)
 			}
 			return
-		case <-statusTicker.C:
+		case <-metricsC:
 			m := station.Metrics()
-			log.Printf("status: conns=%d msgs=%d rm=%d | %s",
-				m.Conns, m.Messages, m.RouteMonitoring, fleet.Status())
+			logger.Infof("metrics: conns=%d msgs=%d rm=%d bytes=%d decode_errs=%d | %s",
+				m.Conns, m.Messages, m.RouteMonitoring, m.Bytes, m.DecodeErrors, fleet.Status())
 		}
 	}
 }
 
-// runBGP is the original single-session eBGP deployment.
-func runBGP(listen, dial string, localAS, routerID, primaryAS uint32, settle time.Duration, alternates []mrt.RIBRecord, altAS uint32, sigs <-chan os.Signal) {
+// runBGP is the original single-session eBGP deployment, instrumented
+// under the fixed peer label "primary" (the session is established
+// after the engine exists, so the label cannot carry the peer AS).
+func (d *daemon) runBGP(listen, dial string, localAS, routerID, primaryAS uint32, settle time.Duration, alternates []mrt.RIBRecord, altAS uint32, sigs <-chan os.Signal) {
+	logger := d.logger
+	const peerLabel = "primary"
+	ft := controller.NewFleetTelemetry(d.registry, d.ring)
+
 	// The Observer hooks are the daemon's reporting surface; Logf stays
 	// unset so nothing is printed twice.
 	cfg := swiftengine.Config{
 		LocalAS:         localAS,
 		PrimaryNeighbor: primaryAS,
 	}
-	cfg.Observer = swiftengine.LoggingObserver(log.Printf)
+	cfg.Metrics = ft.EngineMetricsFor(peerLabel)
+	cfg.Observer = swiftengine.TraceObserver(d.ring, peerLabel).
+		Then(swiftengine.LoggingObserver(logger.Infof))
 	cfg.Inference = inference.Default()
 	engine := swiftengine.New(cfg)
-	ctrl := controller.New(engine, log.Printf)
+	ctrl := controller.New(engine, logger.Infof)
 
 	if len(alternates) > 0 {
 		var updates []*bgp.Update
@@ -190,7 +265,7 @@ func runBGP(listen, dial string, localAS, routerID, primaryAS uint32, settle tim
 			}
 		}
 		ctrl.LoadAlternate(altAS, updates)
-		log.Printf("loaded %d alternate routes", len(updates))
+		logger.Infof("loaded %d alternate routes", len(updates))
 	}
 
 	var sess *bgpd.Session
@@ -198,14 +273,14 @@ func runBGP(listen, dial string, localAS, routerID, primaryAS uint32, settle tim
 	bcfg := bgpd.Config{
 		LocalAS:  localAS,
 		RouterID: routerID,
-		Logf:     log.Printf,
+		Logf:     logger.Debugf,
 	}
 	if listen != "" {
 		l, lerr := net.Listen("tcp", listen)
 		if lerr != nil {
-			log.Fatal(lerr)
+			logger.Fatalf("%v", lerr)
 		}
-		log.Printf("listening on %s", listen)
+		logger.Infof("listening on %s", listen)
 		// The watcher owns the decision of whether a signal interrupted
 		// the wait; reading its verdict (rather than polling a channel)
 		// makes the signal-vs-established race deterministic — a
@@ -215,7 +290,7 @@ func runBGP(listen, dial string, localAS, routerID, primaryAS uint32, settle tim
 		go func() {
 			select {
 			case sig := <-sigs:
-				log.Printf("%v: aborting before session establishment", sig)
+				logger.Infof("%v: aborting before session establishment", sig)
 				l.Close()
 				tookSignal <- true
 			case <-established:
@@ -231,10 +306,10 @@ func runBGP(listen, dial string, localAS, routerID, primaryAS uint32, settle tim
 			return
 		}
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatalf("%v", err)
 		}
 	} else {
-		log.Printf("dialing %s", dial)
+		logger.Infof("dialing %s", dial)
 		// Dial on a goroutine so a signal can interrupt the connect /
 		// handshake instead of queuing behind it.
 		type dialResult struct {
@@ -248,19 +323,27 @@ func runBGP(listen, dial string, localAS, routerID, primaryAS uint32, settle tim
 		}()
 		select {
 		case sig := <-sigs:
-			log.Printf("%v: aborting dial", sig)
+			logger.Infof("%v: aborting dial", sig)
 			return
 		case r := <-dialed:
 			if r.err != nil {
-				log.Fatal(r.err)
+				logger.Fatalf("%v", r.err)
 			}
 			sess = r.sess
 		}
 	}
 	if primaryAS != 0 && sess.PeerAS() != primaryAS {
-		log.Fatalf("peer AS %d, expected %d", sess.PeerAS(), primaryAS)
+		logger.Fatalf("peer AS %d, expected %d", sess.PeerAS(), primaryAS)
 	}
-	log.Printf("session established with AS%d", sess.PeerAS())
+	logger.Infof("session established with AS%d", sess.PeerAS())
+
+	peerAS := sess.PeerAS()
+	controller.RegisterControllerMetrics(d.registry, ctrl, peerLabel, peerAS)
+	d.serveOps(ops.Config{
+		PeerStatuses: func() []controller.PeerStatus {
+			return []controller.PeerStatus{ctrl.PeerStatus(peerLabel, peerAS)}
+		},
+	})
 
 	// Table transfer: drain announcements until quiet for -settle.
 	var table []*bgp.Update
@@ -270,29 +353,29 @@ transfer:
 		select {
 		case u, ok := <-sess.Updates():
 			if !ok {
-				log.Fatal("session closed during table transfer")
+				logger.Fatalf("session closed during table transfer")
 			}
 			table = append(table, u)
 			timer.Reset(settle)
 		case <-timer.C:
 			break transfer
 		case sig := <-sigs:
-			log.Printf("%v: closing session during table transfer", sig)
+			logger.Infof("%v: closing session during table transfer", sig)
 			sess.Close()
 			return
 		}
 	}
 	ctrl.LoadTable(table)
 	if err := ctrl.Provision(); err != nil {
-		log.Fatalf("provisioning: %v", err)
+		logger.Fatalf("provisioning: %v", err)
 	}
-	log.Printf("provisioned: %s", ctrl.Status())
+	logger.Infof("provisioned: %s", ctrl.Status())
 
 	ctrl.AttachPrimary(sess)
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
-	statusTicker := time.NewTicker(10 * time.Second)
-	defer statusTicker.Stop()
+	metricsC, stop := d.metricsC()
+	defer stop()
 	done := make(chan struct{})
 	go func() {
 		ctrl.Wait()
@@ -302,33 +385,32 @@ transfer:
 		select {
 		case <-ticker.C:
 			ctrl.Tick()
-		case <-statusTicker.C:
-			log.Printf("status: %s", ctrl.Status())
+		case <-metricsC:
+			logger.Infof("status: %s", ctrl.Status())
 		case sig := <-sigs:
 			// Graceful shutdown: CEASE the session (instead of dying
 			// mid-write), let the reader drain, report, exit clean.
-			log.Printf("%v: closing session", sig)
+			logger.Infof("%v: closing session", sig)
 			if err := sess.Close(); err != nil {
-				log.Printf("session close: %v", err)
+				logger.Warnf("session close: %v", err)
 			}
 			<-done
-			log.Printf("final: %s", ctrl.Status())
+			logger.Infof("final: %s", ctrl.Status())
 			return
 		case <-done:
-			log.Printf("final: %s", ctrl.Status())
+			logger.Infof("final: %s", ctrl.Status())
 			if err := sess.Err(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				logger.Fatalf("%v", err)
 			}
 			return
 		}
 	}
 }
 
-func parseID(s string) uint32 {
+func parseID(logger *logging.Logger, s string) uint32 {
 	ip := net.ParseIP(s).To4()
 	if ip == nil {
-		log.Fatalf("bad router id %q", s)
+		logger.Fatalf("bad router id %q", s)
 	}
 	return uint32(ip[0])<<24 | uint32(ip[1])<<16 | uint32(ip[2])<<8 | uint32(ip[3])
 }

@@ -58,6 +58,13 @@ type StationMetrics struct {
 	PeerUps         uint64
 	PeerDowns       uint64
 	StatsReports    uint64
+	// Bytes counts wire bytes read off router connections — the ingest
+	// rate's numerator.
+	Bytes uint64
+	// DecodeErrors counts connections dropped on framing or embedded-
+	// UPDATE decode failures. Nonzero means a router is sending garbage
+	// (or the codec has a gap a fuzzer should find).
+	DecodeErrors uint64
 }
 
 // Station is the BMP collector side: it accepts monitored-router
@@ -81,11 +88,13 @@ type Station struct {
 	clockMu sync.Mutex
 	clocks  map[event.PeerKey]*event.StreamClock
 
-	messages atomic.Uint64
-	routeMon atomic.Uint64
-	peerUps  atomic.Uint64
-	peerDown atomic.Uint64
-	statsRep atomic.Uint64
+	messages  atomic.Uint64
+	routeMon  atomic.Uint64
+	peerUps   atomic.Uint64
+	peerDown  atomic.Uint64
+	statsRep  atomic.Uint64
+	bytes     atomic.Uint64
+	decodeErr atomic.Uint64
 }
 
 // NewStation builds a station over an existing sink.
@@ -129,6 +138,8 @@ func (st *Station) Metrics() StationMetrics {
 		PeerUps:         st.peerUps.Load(),
 		PeerDowns:       st.peerDown.Load(),
 		StatsReports:    st.statsRep.Load(),
+		Bytes:           st.bytes.Load(),
+		DecodeErrors:    st.decodeErr.Load(),
 	}
 }
 
@@ -251,7 +262,7 @@ func (st *Station) ServeConn(conn net.Conn) error {
 	defer close(stop)
 	go c.settleLoop(stop)
 
-	r := NewReader(conn)
+	r := NewReader(&countingReader{r: conn, n: &st.bytes})
 	for {
 		typ, body, err := r.Next()
 		if err != nil {
@@ -259,6 +270,7 @@ func (st *Station) ServeConn(conn net.Conn) error {
 			if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
 				return nil
 			}
+			st.decodeErr.Add(1)
 			return err
 		}
 		st.messages.Add(1)
@@ -267,6 +279,7 @@ func (st *Station) ServeConn(conn net.Conn) error {
 				c.flushAll()
 				return nil
 			}
+			st.decodeErr.Add(1)
 			c.flushAll()
 			return err
 		}
@@ -526,6 +539,21 @@ func (c *connState) settleLoop(stop <-chan struct{}) {
 		}
 		c.mu.Unlock()
 	}
+}
+
+// countingReader tallies wire bytes into the station's ingest counter
+// as they are read off the connection.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.n.Add(uint64(n))
+	}
+	return n, err
 }
 
 func (st *Station) logf(format string, args ...any) {

@@ -10,6 +10,7 @@ package controller
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"swift/internal/bgp"
@@ -26,6 +27,9 @@ type Controller struct {
 	engine *swiftengine.Engine
 	start  time.Time
 	logf   func(string, ...any)
+
+	withdrawals   atomic.Uint64
+	announcements atomic.Uint64
 
 	wg       sync.WaitGroup
 	sessions []*bgpd.Session
@@ -99,6 +103,8 @@ func (c *Controller) apply(u *bgp.Update) {
 	for _, p := range u.NLRI {
 		b = append(b, event.Announce(at, p, u.Attrs.ASPath))
 	}
+	c.withdrawals.Add(uint64(len(u.Withdrawn)))
+	c.announcements.Add(uint64(len(u.NLRI)))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.engine.Apply(b); err != nil {

@@ -1,0 +1,247 @@
+package controller
+
+import (
+	"time"
+
+	swiftengine "swift/internal/swift"
+	"swift/internal/telemetry"
+)
+
+// FleetTelemetry owns the per-peer metric families of an engine fleet
+// and hands each new engine its pre-resolved handles. Construction
+// registers the families once; EngineMetrics resolves one peer's label
+// set once at peer creation — after that the hot path never sees a map.
+//
+// Wiring is one call: pass the fleet's FleetConfig through Instrument
+// before NewFleet, then RegisterFleetMetrics after, and every engine,
+// the shared pool and the per-peer FIBs report into the registry.
+type FleetTelemetry struct {
+	ring *telemetry.BurstRing
+
+	withdrawals         *telemetry.CounterVec
+	announcements       *telemetry.CounterVec
+	burstsStarted       *telemetry.CounterVec
+	burstsEnded         *telemetry.CounterVec
+	decisions           *telemetry.CounterVec
+	rules               *telemetry.CounterVec
+	deferred            *telemetry.CounterVec
+	provisions          *telemetry.CounterVec
+	provisionsUnchanged *telemetry.CounterVec
+	inferLatency        *telemetry.HistogramVec
+	burstDuration       *telemetry.HistogramVec
+}
+
+// NewFleetTelemetry registers the per-peer engine families on reg.
+// ring, when non-nil, receives every peer's burst lifecycle records.
+func NewFleetTelemetry(reg *telemetry.Registry, ring *telemetry.BurstRing) *FleetTelemetry {
+	return &FleetTelemetry{
+		ring: ring,
+		withdrawals: reg.CounterVec("swift_peer_withdrawals_total",
+			"Withdrawal events applied, per monitored peer.", "peer"),
+		announcements: reg.CounterVec("swift_peer_announcements_total",
+			"Announcement events applied, per monitored peer.", "peer"),
+		burstsStarted: reg.CounterVec("swift_peer_bursts_started_total",
+			"Withdrawal bursts opened by the detector, per peer.", "peer"),
+		burstsEnded: reg.CounterVec("swift_peer_bursts_ended_total",
+			"Withdrawal bursts closed by the detector, per peer.", "peer"),
+		decisions: reg.CounterVec("swift_peer_decisions_total",
+			"Accepted inferences (fast-reroute activations), per peer.", "peer"),
+		rules: reg.CounterVec("swift_peer_rules_installed_total",
+			"Stage-2 reroute rule writes performed, per peer.", "peer"),
+		deferred: reg.CounterVec("swift_peer_inferences_deferred_total",
+			"Inferences rejected by the plausibility gate, per peer.", "peer"),
+		provisions: reg.CounterVec("swift_peer_provisions_total",
+			"Successful provision passes (initial and fallback), per peer.", "peer"),
+		provisionsUnchanged: reg.CounterVec("swift_peer_provisions_unchanged_total",
+			"Fallback provisions skipped because BGP reconverged onto the provisioned routes, per peer.", "peer"),
+		inferLatency: reg.HistogramVec("swift_peer_infer_latency_seconds",
+			"Inference computation latency per run (accepted or not).",
+			telemetry.DefLatencyBuckets, "peer"),
+		burstDuration: reg.HistogramVec("swift_peer_burst_duration_seconds",
+			"Closed burst duration on the virtual stream clock.",
+			telemetry.DefDurationBuckets, "peer"),
+	}
+}
+
+// EngineMetrics resolves one peer's pre-resolved handle set.
+func (t *FleetTelemetry) EngineMetrics(key PeerKey) swiftengine.Metrics {
+	return t.EngineMetricsFor(key.String())
+}
+
+// EngineMetricsFor resolves the handle set for an arbitrary peer label
+// — the entry point for single-session (eBGP mode) deployments that
+// have no fleet PeerKey.
+func (t *FleetTelemetry) EngineMetricsFor(peer string) swiftengine.Metrics {
+	return swiftengine.Metrics{
+		Withdrawals:         t.withdrawals.With(peer),
+		Announcements:       t.announcements.With(peer),
+		BurstsStarted:       t.burstsStarted.With(peer),
+		BurstsEnded:         t.burstsEnded.With(peer),
+		Decisions:           t.decisions.With(peer),
+		RulesInstalled:      t.rules.With(peer),
+		InferencesDeferred:  t.deferred.With(peer),
+		Provisions:          t.provisions.With(peer),
+		ProvisionsUnchanged: t.provisionsUnchanged.With(peer),
+		InferLatency:        t.inferLatency.With(peer),
+		BurstDuration:       t.burstDuration.With(peer),
+	}
+}
+
+// Instrument returns cfg with telemetry injected: every engine the
+// fleet builds gets its pre-resolved Metrics handles and, when the
+// telemetry has a trace ring, a TraceObserver composed in front of any
+// observer the factory set. The rest of cfg passes through untouched.
+func (t *FleetTelemetry) Instrument(cfg FleetConfig) FleetConfig {
+	inner := cfg.Engine
+	cfg.Engine = func(key PeerKey) swiftengine.Config {
+		ecfg := swiftengine.Config{PrimaryNeighbor: key.AS}
+		if inner != nil {
+			ecfg = inner(key)
+		}
+		ecfg.Metrics = t.EngineMetrics(key)
+		if t.ring != nil {
+			ecfg.Observer = swiftengine.TraceObserver(t.ring, key.String()).Then(ecfg.Observer)
+		}
+		return ecfg
+	}
+	return cfg
+}
+
+// PeerStatus is one fleet peer's operational snapshot — the /peers
+// row of the ops plane.
+type PeerStatus struct {
+	Peer          string        `json:"peer"`
+	AS            uint32        `json:"as"`
+	Withdrawals   uint64        `json:"withdrawals"`
+	Announcements uint64        `json:"announcements"`
+	LastAt        time.Duration `json:"last_at_ns"`
+	Provisioned   bool          `json:"provisioned"`
+	RerouteActive bool          `json:"reroute_active"`
+	Decisions     int           `json:"decisions"`
+	Deferred      int           `json:"deferred"`
+	RIBPrefixes   int           `json:"rib_prefixes"`
+	FIBTags       int           `json:"fib_tags"`
+	FIBRules      int           `json:"fib_rules"`
+}
+
+// Status snapshots the peer, locking its engine briefly.
+func (p *FleetPeer) Status() PeerStatus {
+	st := PeerStatus{
+		Peer:          p.key.String(),
+		AS:            p.key.AS,
+		Withdrawals:   p.withdrawals.Load(),
+		Announcements: p.announcements.Load(),
+		LastAt:        p.LastAt(),
+	}
+	p.mu.Lock()
+	st.Provisioned = p.engine.Scheme() != nil
+	st.RerouteActive = p.engine.RerouteActive()
+	st.Decisions = p.engine.NumDecisions()
+	st.Deferred = p.engine.Deferred()
+	st.RIBPrefixes = p.engine.RIB().Len()
+	st.FIBTags = p.engine.FIB().NumTags()
+	st.FIBRules = p.engine.FIB().NumRules()
+	p.mu.Unlock()
+	return st
+}
+
+// PeerStatuses snapshots every peer, sorted by key.
+func (f *Fleet) PeerStatuses() []PeerStatus {
+	peers := f.Peers()
+	out := make([]PeerStatus, 0, len(peers))
+	for _, p := range peers {
+		out = append(out, p.Status())
+	}
+	return out
+}
+
+// PeerStatus snapshots a single-session controller under the given
+// peer label — the eBGP-mode counterpart of FleetPeer.Status.
+func (c *Controller) PeerStatus(peer string, as uint32) PeerStatus {
+	st := PeerStatus{
+		Peer:          peer,
+		AS:            as,
+		Withdrawals:   c.withdrawals.Load(),
+		Announcements: c.announcements.Load(),
+		LastAt:        time.Since(c.start),
+	}
+	c.mu.Lock()
+	st.Provisioned = c.engine.Scheme() != nil
+	st.RerouteActive = c.engine.RerouteActive()
+	st.Decisions = c.engine.NumDecisions()
+	st.Deferred = c.engine.Deferred()
+	st.RIBPrefixes = c.engine.RIB().Len()
+	st.FIBTags = c.engine.FIB().NumTags()
+	st.FIBRules = c.engine.FIB().NumRules()
+	c.mu.Unlock()
+	return st
+}
+
+// RegisterControllerMetrics exports a single-session controller's
+// scrape-time state on reg, under the same family names the fleet
+// uses so dashboards work across both deployment modes.
+func RegisterControllerMetrics(reg *telemetry.Registry, c *Controller, peer string, as uint32) {
+	fibTags := reg.GaugeVec("swift_fib_tags", "Stage-1 tagged prefixes, per peer.", "peer")
+	fibRules := reg.GaugeVec("swift_fib_rules", "Stage-2 rules installed, per peer.", "peer")
+	ribPrefixes := reg.GaugeVec("swift_rib_prefixes", "Primary RIB prefixes, per peer.", "peer")
+	rerouting := reg.Gauge("swift_fleet_rerouting_peers",
+		"Peers with fast-reroute rules installed right now.")
+	reg.OnScrape(func() {
+		st := c.PeerStatus(peer, as)
+		fibTags.With(peer).Set(float64(st.FIBTags))
+		fibRules.With(peer).Set(float64(st.FIBRules))
+		ribPrefixes.With(peer).Set(float64(st.RIBPrefixes))
+		if st.RerouteActive {
+			rerouting.Set(1)
+		} else {
+			rerouting.Set(0)
+		}
+	})
+}
+
+// RegisterFleetMetrics exports the fleet's aggregate and scrape-time
+// state on reg: delivery counters (sampled from the fleet's own
+// atomics, so nothing is double-counted), pool occupancy and shard
+// balance, and per-peer FIB sizes (Reset-and-refill each scrape, so
+// closed peers don't linger as stale series).
+func RegisterFleetMetrics(reg *telemetry.Registry, f *Fleet) {
+	reg.CounterFunc("swift_fleet_batches_total",
+		"Event batches enqueued across all peers.",
+		func() uint64 { return f.batches.Load() })
+	reg.CounterFunc("swift_fleet_events_total",
+		"Withdraw/announce events applied across all peers (ticks excluded).",
+		func() uint64 { return f.ops.Load() })
+
+	peers := reg.Gauge("swift_fleet_peers", "Live peers in the fleet.")
+	rerouting := reg.Gauge("swift_fleet_rerouting_peers",
+		"Peers with fast-reroute rules installed right now.")
+	poolPaths := reg.Gauge("swift_pool_paths", "Live interned AS paths in the shared pool.")
+	poolLinks := reg.Gauge("swift_pool_links", "Numbered AS links in the shared pool.")
+	poolFree := reg.Gauge("swift_pool_free_slots", "Freed intern slots awaiting reuse.")
+	poolShardMax := reg.Gauge("swift_pool_shard_paths_max",
+		"Most-loaded intern shard's live path count (compare against swift_pool_paths/16 for balance).")
+	fibTags := reg.GaugeVec("swift_fib_tags", "Stage-1 tagged prefixes, per peer.", "peer")
+	fibRules := reg.GaugeVec("swift_fib_rules", "Stage-2 rules installed, per peer.", "peer")
+	ribPrefixes := reg.GaugeVec("swift_rib_prefixes", "Primary RIB prefixes, per peer.", "peer")
+
+	reg.OnScrape(func() {
+		ps := f.pool.Stats()
+		poolPaths.Set(float64(ps.Paths))
+		poolLinks.Set(float64(ps.Links))
+		poolFree.Set(float64(ps.FreeSlots))
+		poolShardMax.Set(float64(ps.MaxShardPaths()))
+		rerouting.Set(float64(f.rerouting.Load()))
+
+		fibTags.Reset()
+		fibRules.Reset()
+		ribPrefixes.Reset()
+		list := f.Peers()
+		peers.Set(float64(len(list)))
+		for _, p := range list {
+			st := p.Status()
+			fibTags.With(st.Peer).Set(float64(st.FIBTags))
+			fibRules.With(st.Peer).Set(float64(st.FIBRules))
+			ribPrefixes.With(st.Peer).Set(float64(st.RIBPrefixes))
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package controller
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"swift/internal/event"
+	"swift/internal/netaddr"
+	swiftengine "swift/internal/swift"
+	"swift/internal/telemetry"
+)
+
+// TestFleetTelemetryUnderChurn drives an instrumented fleet with
+// concurrent Apply traffic, peer teardown and registry scrapes — the
+// full wiring a live swiftd runs — and checks the scrape stays
+// coherent throughout. Run with -race: the scrape path walks the same
+// peers the churner is closing.
+func TestFleetTelemetryUnderChurn(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewBurstRing(32)
+	ft := NewFleetTelemetry(reg, ring)
+	f := NewFleet(ft.Instrument(FleetConfig{
+		Engine: func(key PeerKey) swiftengine.Config {
+			return swiftengine.Config{LocalAS: 1, PrimaryNeighbor: key.AS}
+		},
+	}))
+	RegisterFleetMetrics(reg, f)
+
+	const (
+		feeders = 4
+		keys    = 8
+		rounds  = 300
+	)
+	key := func(i int) PeerKey { return PeerKey{AS: uint32(2 + i%keys), BGPID: uint32(i % keys)} }
+
+	var wg sync.WaitGroup
+	for g := 0; g < feeders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			path := []uint32{uint32(2 + g), 50, 60}
+			for i := 0; i < rounds; i++ {
+				k := key(g + i)
+				b := event.Batch{
+					event.Announce(time.Duration(i)*time.Millisecond, netaddr.PrefixFor(8, i%64), path).WithPeer(k),
+					event.Withdraw(time.Duration(i)*time.Millisecond+time.Microsecond, netaddr.PrefixFor(8, i%64)).WithPeer(k),
+				}
+				if err := f.Apply(b); err != nil {
+					t.Errorf("Apply: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			f.ClosePeer(key(i))
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var buf strings.Builder
+			if err := reg.WritePrometheus(&buf); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	f.Sync()
+
+	// Steady state: the scrape totals must agree with the fleet's own
+	// push-fed accounting, and every wired family must be present.
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, fam := range []string{
+		"swift_peer_withdrawals_total",
+		"swift_peer_announcements_total",
+		"swift_fleet_batches_total",
+		"swift_fleet_events_total",
+		"swift_fleet_peers",
+		"swift_pool_paths",
+		"swift_pool_shard_paths_max",
+		"swift_fib_rules",
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" ") {
+			t.Errorf("family %s missing from exposition", fam)
+		}
+	}
+
+	m := f.Metrics()
+	wantEvents := uint64(feeders * rounds * 2)
+	if m.Ops != wantEvents {
+		t.Errorf("fleet ops = %d, want %d", m.Ops, wantEvents)
+	}
+	// The per-peer counter families are cumulative across peer
+	// incarnations (a closed peer's series survives; its replacement
+	// adds to the same label), so their totals match the fleet's
+	// lifetime event count exactly.
+	var wd, ann uint64
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "swift_peer_withdrawals_total{"):
+			wd += parseSampleValue(t, line)
+		case strings.HasPrefix(line, "swift_peer_announcements_total{"):
+			ann += parseSampleValue(t, line)
+		}
+	}
+	if wd+ann != wantEvents {
+		t.Errorf("scraped per-peer totals wd=%d ann=%d, want sum %d", wd, ann, wantEvents)
+	}
+	if wd != ann {
+		t.Errorf("wd=%d ann=%d, want equal (one of each per batch)", wd, ann)
+	}
+}
+
+// parseSampleValue extracts the integer after the last space of one
+// exposition line.
+func parseSampleValue(t *testing.T, line string) uint64 {
+	t.Helper()
+	i := strings.LastIndexByte(line, ' ')
+	n, err := strconv.ParseUint(line[i+1:], 10, 64)
+	if err != nil {
+		t.Fatalf("%s: %v", line, err)
+	}
+	return n
+}
+
+// TestEngineMetricsEndToEnd runs a real burst through an instrumented
+// fleet peer and checks the counters, histograms and trace ring all
+// observe it.
+func TestEngineMetricsEndToEnd(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewBurstRing(8)
+	ft := NewFleetTelemetry(reg, ring)
+	f := NewFleet(ft.Instrument(FleetConfig{
+		Engine: func(key PeerKey) swiftengine.Config {
+			cfg := swiftengine.Config{LocalAS: 1, PrimaryNeighbor: key.AS}
+			cfg.Inference.TriggerEvery = 50
+			cfg.Inference.UseHistory = false
+			cfg.Burst.StartThreshold = 40
+			cfg.Encoding.MinPrefixes = 1
+			return cfg
+		},
+	}))
+	RegisterFleetMetrics(reg, f)
+	defer f.Close()
+
+	k := PeerKey{AS: 2, BGPID: 1}
+	p := f.Peer(k)
+	const n = 100
+	for i := 0; i < n; i++ {
+		p.LearnPrimary(netaddr.PrefixFor(8, i), []uint32{2, 5, 6})
+		p.LearnAlternate(3, netaddr.PrefixFor(8, i), []uint32{3, 6})
+	}
+	if err := p.Provision(); err != nil {
+		t.Fatal(err)
+	}
+
+	b := make(event.Batch, 0, n+1)
+	for i := 0; i < n; i++ {
+		b = append(b, event.Withdraw(time.Duration(i)*time.Millisecond, netaddr.PrefixFor(8, i)).WithPeer(k))
+	}
+	b = append(b, event.Tick(time.Hour).WithPeer(k)) // close the burst
+	if err := f.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	p.Sync()
+
+	m := ft.EngineMetrics(k)
+	if m.Withdrawals.Value() != n {
+		t.Errorf("withdrawals = %d, want %d", m.Withdrawals.Value(), n)
+	}
+	if m.BurstsStarted.Value() != 1 || m.BurstsEnded.Value() != 1 {
+		t.Errorf("bursts started=%d ended=%d, want 1/1",
+			m.BurstsStarted.Value(), m.BurstsEnded.Value())
+	}
+	if m.Decisions.Value() == 0 {
+		t.Error("no decisions counted")
+	}
+	if m.InferLatency.Count() == 0 {
+		t.Error("no inference latency observed")
+	}
+	if m.BurstDuration.Count() != 1 {
+		t.Errorf("burst duration count = %d, want 1", m.BurstDuration.Count())
+	}
+	// Fallback re-provision after burst end.
+	if m.Provisions.Value() == 0 {
+		t.Error("no provisions counted")
+	}
+
+	recs := ring.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("trace ring holds %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Peer != k.String() || rec.Open || len(rec.Decisions) == 0 {
+		t.Errorf("trace record = %+v", rec)
+	}
+	if rec.Provision == nil {
+		t.Error("trace record missing fallback provision")
+	}
+
+	sts := f.PeerStatuses()
+	if len(sts) != 1 || sts[0].Withdrawals != n || !sts[0].Provisioned {
+		t.Errorf("peer statuses = %+v", sts)
+	}
+}

@@ -148,6 +148,10 @@ func (f *FIB) RemoveRulesAt(priority int) int {
 // NumRules returns the stage-2 rule count.
 func (f *FIB) NumRules() int { return len(f.stage2) }
 
+// NumTags returns the stage-1 entry count (tagged prefixes) — with
+// NumRules, the FIB-occupancy pair the ops plane exports per peer.
+func (f *FIB) NumTags() int { return f.stage1.Len() }
+
 // Forward runs the full pipeline for a packet to addr: stage-1 tag
 // lookup, then the highest-priority matching stage-2 rule. ok is false
 // when the packet would be dropped (no tag or no matching rule).

@@ -451,6 +451,21 @@ type PoolStats struct {
 // Shards returns the pool's shard count.
 func (PoolStats) Shards() int { return poolShards }
 
+// MaxShardPaths returns the most-loaded shard's live path count. With
+// Paths/Shards() as the mean, max/mean is the imbalance factor the ops
+// plane exports: near 1 means interning is spreading, far above 1 means
+// the shard hash has gone degenerate for the workload and the pool is
+// serializing again.
+func (st PoolStats) MaxShardPaths() int {
+	m := 0
+	for _, n := range st.ShardPaths {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
 // Stats snapshots the pool. Shards are locked one at a time, so the
 // snapshot is per-shard consistent but not a global atomic cut.
 func (p *Pool) Stats() PoolStats {

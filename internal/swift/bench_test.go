@@ -6,6 +6,7 @@ import (
 
 	"swift/internal/event"
 	"swift/internal/netaddr"
+	"swift/internal/telemetry"
 )
 
 // benchBurstCycle builds a self-restoring 10k-event burst: 3,000
@@ -39,11 +40,16 @@ func benchBurstCycle(prefixes []netaddr.Prefix) event.Batch {
 }
 
 func benchEngine(tb testing.TB, prefixes []netaddr.Prefix) *Engine {
+	return benchEngineMetrics(tb, prefixes, Metrics{})
+}
+
+func benchEngineMetrics(tb testing.TB, prefixes []netaddr.Prefix, m Metrics) *Engine {
 	cfg := Config{LocalAS: 1, PrimaryNeighbor: 2}
 	cfg.Inference.TriggerEvery = 2000
 	cfg.Inference.UseHistory = false
 	cfg.Burst.StartThreshold = 1500
 	cfg.Encoding.MinPrefixes = 1000
+	cfg.Metrics = m
 	e := New(cfg)
 	for _, p := range prefixes {
 		e.LearnPrimary(p, []uint32{2, 5, 6})
@@ -119,9 +125,29 @@ func BenchmarkEngineApplyBatch(b *testing.B) {
 	}
 }
 
+// benchMetrics resolves a full pre-resolved handle set against a live
+// registry — the exact wiring an instrumented fleet peer carries.
+func benchMetrics(reg *telemetry.Registry) Metrics {
+	return Metrics{
+		Withdrawals:         reg.CounterVec("swift_peer_withdrawals_total", "", "peer").With("bench"),
+		Announcements:       reg.CounterVec("swift_peer_announcements_total", "", "peer").With("bench"),
+		BurstsStarted:       reg.CounterVec("swift_peer_bursts_started_total", "", "peer").With("bench"),
+		BurstsEnded:         reg.CounterVec("swift_peer_bursts_ended_total", "", "peer").With("bench"),
+		Decisions:           reg.CounterVec("swift_peer_decisions_total", "", "peer").With("bench"),
+		RulesInstalled:      reg.CounterVec("swift_peer_rules_installed_total", "", "peer").With("bench"),
+		InferencesDeferred:  reg.CounterVec("swift_peer_inferences_deferred_total", "", "peer").With("bench"),
+		Provisions:          reg.CounterVec("swift_peer_provisions_total", "", "peer").With("bench"),
+		ProvisionsUnchanged: reg.CounterVec("swift_peer_provisions_unchanged_total", "", "peer").With("bench"),
+		InferLatency:        reg.HistogramVec("swift_peer_infer_latency_seconds", "", telemetry.DefLatencyBuckets, "peer").With("bench"),
+		BurstDuration:       reg.HistogramVec("swift_peer_burst_duration_seconds", "", telemetry.DefDurationBuckets, "peer").With("bench"),
+	}
+}
+
 // BenchmarkEngineApplySteadyState measures pure delivery overhead with
 // no burst machinery: announce refreshes of known prefixes, the
-// collector steady state.
+// collector steady state. The telemetry mode runs the same batched
+// delivery on a fully instrumented engine — the perf gate for the
+// pre-resolved-handle design, which must stay 0 allocs/op.
 func BenchmarkEngineApplySteadyState(b *testing.B) {
 	const nEvents = 4096
 	prefixes := make([]netaddr.Prefix, nEvents)
@@ -134,22 +160,53 @@ func BenchmarkEngineApplySteadyState(b *testing.B) {
 	for i, p := range prefixes {
 		batch = append(batch, event.Announce(time.Duration(i)*time.Microsecond, p, path))
 	}
-	for _, mode := range []string{"batched", "shim"} {
+	for _, mode := range []string{"batched", "telemetry", "shim"} {
 		b.Run(mode, func(b *testing.B) {
+			eng := e
+			if mode == "telemetry" {
+				eng = benchEngineMetrics(b, prefixes, benchMetrics(telemetry.NewRegistry()))
+			}
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if mode == "batched" {
-					if err := e.Apply(batch); err != nil {
-						b.Fatal(err)
-					}
-				} else {
+				if mode == "shim" {
 					for j := range batch {
 						ev := &batch[j]
-						e.ObserveAnnounce(ev.At, ev.Prefix, ev.Path)
+						eng.ObserveAnnounce(ev.At, ev.Prefix, ev.Path)
+					}
+				} else {
+					if err := eng.Apply(batch); err != nil {
+						b.Fatal(err)
 					}
 				}
 			}
 			b.ReportMetric(float64(nEvents)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 		})
+	}
+}
+
+// TestApplySteadyStateZeroAllocInstrumented pins the telemetry design
+// contract: a fully instrumented engine's steady-state Apply allocates
+// nothing — handles are pre-resolved, tallies are batch-local, flushes
+// are plain atomic adds.
+func TestApplySteadyStateZeroAllocInstrumented(t *testing.T) {
+	const nEvents = 1024
+	prefixes := make([]netaddr.Prefix, nEvents)
+	for i := range prefixes {
+		prefixes[i] = netaddr.PrefixFor(8, i)
+	}
+	e := benchEngineMetrics(t, prefixes, benchMetrics(telemetry.NewRegistry()))
+	path := []uint32{2, 5, 6}
+	batch := make(event.Batch, 0, nEvents)
+	for i, p := range prefixes {
+		batch = append(batch, event.Announce(time.Duration(i)*time.Microsecond, p, path))
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := e.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented steady-state Apply allocates %.1f/op, want 0", allocs)
 	}
 }

@@ -56,6 +56,9 @@ type Config struct {
 	// Observer receives push notifications at the engine's lifecycle
 	// points (burst start/end, decisions, provisioning).
 	Observer Observer
+	// Metrics carries pre-resolved telemetry handles. The zero value
+	// disables instrumentation; see Metrics for the hot-path contract.
+	Metrics Metrics
 	// Logf, when set, receives one line per engine decision.
 	Logf func(format string, args ...any)
 }
@@ -125,6 +128,9 @@ type Decision struct {
 	RulesInstalled int
 	// DataplaneTime is the modeled FIB update latency for those writes.
 	DataplaneTime time.Duration
+	// InferLatency is the wall-clock time the inference computation
+	// took — the engine-side half of the paper's reaction-time budget.
+	InferLatency time.Duration
 }
 
 // ProvisionInfo describes one successful Provision pass.
@@ -190,6 +196,7 @@ type Engine struct {
 
 	lastWithdrawal time.Duration
 	lastTriggerAt  int // tracker count at the previous inference attempt
+	burstStartAt   time.Duration
 	rerouteActive  bool
 	decisions      []Decision
 	deferred       int // inferences rejected by the plausibility gate
@@ -260,6 +267,8 @@ func (e *Engine) provision(at time.Duration, fallback bool) error {
 		// Writes/Elapsed measure the next failure reaction only.
 		e.fib.ResetAccounting()
 		stats := e.scheme.Stats()
+		e.cfg.Metrics.Provisions.Inc()
+		e.cfg.Metrics.ProvisionsUnchanged.Inc()
 		e.logf("re-provision skipped: RIB reconverged onto provisioned state (%d prefixes tagged)",
 			stats.TaggedPrefixes)
 		if e.cfg.Observer.OnProvision != nil {
@@ -295,6 +304,7 @@ func (e *Engine) provision(at time.Duration, fallback bool) error {
 	// measure failure reactions only.
 	e.fib.ResetAccounting()
 	e.provisionSig, e.haveProvision = sig, true
+	e.cfg.Metrics.Provisions.Inc()
 	stats := scheme.Stats()
 	e.logf("provisioned: %d prefixes tagged, %d path bits, %d next-hops",
 		stats.TaggedPrefixes, stats.PathBitsUsed, stats.NextHops)
@@ -364,12 +374,15 @@ func (e *Engine) RerouteActive() bool { return e.rerouteActive }
 // feeds).
 func (e *Engine) Apply(b event.Batch) error {
 	var errs []error
+	var wd, ann uint64
 	for i := range b {
 		ev := &b[i]
 		switch ev.Kind {
 		case event.KindWithdraw:
+			wd++
 			e.observeWithdraw(ev.At, ev.Prefix)
 		case event.KindAnnounce:
+			ann++
 			if err := e.observeAnnounce(ev.At, ev.Prefix, ev.Path); err != nil {
 				errs = append(errs, err)
 			}
@@ -380,6 +393,15 @@ func (e *Engine) Apply(b event.Batch) error {
 				}
 			}
 		}
+	}
+	// Telemetry flush: the local tallies become one atomic add per
+	// event kind per batch (handles are nil-safe), keeping the
+	// steady-state path allocation-free and branch-cheap.
+	if wd > 0 {
+		e.cfg.Metrics.Withdrawals.Add(wd)
+	}
+	if ann > 0 {
+		e.cfg.Metrics.Announcements.Add(ann)
 	}
 	return errors.Join(errs...)
 }
@@ -425,6 +447,8 @@ func (e *Engine) observeWithdraw(at time.Duration, p netaddr.Prefix) {
 	e.tracker.ObserveWithdraw(p)
 	tr := e.detector.ObserveWithdrawal(at)
 	if tr == burst.Started {
+		e.burstStartAt = at
+		e.cfg.Metrics.BurstsStarted.Inc()
 		e.logf("burst started at %v with %d withdrawals in window", at, e.detector.BurstCount())
 		if e.cfg.Observer.OnBurstStart != nil {
 			e.cfg.Observer.OnBurstStart(at, e.detector.BurstCount())
@@ -450,21 +474,28 @@ func (e *Engine) maybeInfer(at time.Duration) {
 		return
 	}
 	e.lastTriggerAt = e.tracker.Received()
+	// Inference runs only at trigger points (every TriggerEvery
+	// withdrawals inside a burst), so the pair of clock reads is off the
+	// steady-state path.
+	start := time.Now()
 	res := e.tracker.Infer()
+	lat := time.Since(start)
+	e.cfg.Metrics.InferLatency.Observe(lat.Seconds())
 	if len(res.Links) == 0 {
 		return
 	}
 	if !res.Accepted {
 		e.deferred++
+		e.cfg.Metrics.InferencesDeferred.Inc()
 		e.logf("inference deferred at %v: predicted %d too large for %d received",
 			at, res.Predicted, res.Received)
 		return
 	}
-	e.applyReroute(at, res)
+	e.applyReroute(at, res, lat)
 }
 
 // applyReroute installs the tag rules for an accepted inference.
-func (e *Engine) applyReroute(at time.Duration, res inference.Result) {
+func (e *Engine) applyReroute(at time.Duration, res inference.Result, inferLat time.Duration) {
 	if e.scheme == nil {
 		return
 	}
@@ -492,9 +523,12 @@ func (e *Engine) applyReroute(at time.Duration, res inference.Result) {
 		Result:         res,
 		Predicted:      predicted,
 		RulesInstalled: e.fib.Writes() - before,
+		InferLatency:   inferLat,
 	}
 	d.DataplaneTime = time.Duration(d.RulesInstalled) * dataplaneCost(e.cfg.RuleUpdateCost)
 	e.decisions = append(e.decisions, d)
+	e.cfg.Metrics.Decisions.Inc()
+	e.cfg.Metrics.RulesInstalled.Add(uint64(d.RulesInstalled))
 	e.logf("reroute at %v: links %v, %d prefixes predicted, %d rules (%v)",
 		at, res.Links, len(d.Predicted), d.RulesInstalled, d.DataplaneTime)
 	if e.cfg.Observer.OnDecision != nil {
@@ -530,6 +564,10 @@ const (
 // the steady-state plan and tags.
 func (e *Engine) endBurst(at time.Duration) error {
 	received := e.tracker.Received()
+	e.cfg.Metrics.BurstsEnded.Inc()
+	if d := at - e.burstStartAt; d >= 0 {
+		e.cfg.Metrics.BurstDuration.Observe(d.Seconds())
+	}
 	e.logf("burst ended at %v: %d withdrawals total", at, received)
 	if e.cfg.Observer.OnBurstEnd != nil {
 		e.cfg.Observer.OnBurstEnd(at, received)

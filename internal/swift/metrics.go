@@ -1,0 +1,125 @@
+package swift
+
+import (
+	"time"
+
+	"swift/internal/telemetry"
+)
+
+// Metrics carries the engine's pre-resolved telemetry handles. Every
+// field is optional (telemetry handles are nil-receiver safe), and the
+// zero value disables instrumentation entirely.
+//
+// The handles are resolved once — at engine construction, typically
+// from per-peer labeled families by a fleet's telemetry wiring — so the
+// Apply hot path never touches a map or allocates: event counters are
+// tallied locally and flushed with one atomic add per kind per batch,
+// and the histograms only observe at burst-lifecycle points (inference
+// runs, burst ends), which are rare by construction.
+type Metrics struct {
+	// Withdrawals and Announcements count applied stream events.
+	Withdrawals   *telemetry.Counter
+	Announcements *telemetry.Counter
+	// BurstsStarted and BurstsEnded count detector transitions.
+	BurstsStarted *telemetry.Counter
+	BurstsEnded   *telemetry.Counter
+	// Decisions counts accepted inferences; RulesInstalled the stage-2
+	// writes they performed; InferencesDeferred the plausibility-gate
+	// rejections.
+	Decisions          *telemetry.Counter
+	RulesInstalled     *telemetry.Counter
+	InferencesDeferred *telemetry.Counter
+	// Provisions counts successful provision passes;
+	// ProvisionsUnchanged the burst-end fallbacks that skipped the
+	// recompile because BGP reconverged onto the provisioned routes.
+	// Unchanged/total is the provision-skip hit ratio.
+	Provisions          *telemetry.Counter
+	ProvisionsUnchanged *telemetry.Counter
+	// InferLatency observes each inference run's computation time in
+	// seconds (accepted or not).
+	InferLatency *telemetry.Histogram
+	// BurstDuration observes each closed burst's length in seconds on
+	// the virtual stream clock.
+	BurstDuration *telemetry.Histogram
+}
+
+// Then composes two observers: o's hooks fire first, next's second.
+// Composition lets reporting (logging), telemetry and custom consumers
+// stack on one engine without knowing about each other.
+func (o Observer) Then(next Observer) Observer {
+	return Observer{
+		OnBurstStart: func(at time.Duration, withdrawals int) {
+			if o.OnBurstStart != nil {
+				o.OnBurstStart(at, withdrawals)
+			}
+			if next.OnBurstStart != nil {
+				next.OnBurstStart(at, withdrawals)
+			}
+		},
+		OnDecision: func(d Decision) {
+			if o.OnDecision != nil {
+				o.OnDecision(d)
+			}
+			if next.OnDecision != nil {
+				next.OnDecision(d)
+			}
+		},
+		OnBurstEnd: func(at time.Duration, received int) {
+			if o.OnBurstEnd != nil {
+				o.OnBurstEnd(at, received)
+			}
+			if next.OnBurstEnd != nil {
+				next.OnBurstEnd(at, received)
+			}
+		},
+		OnProvision: func(info ProvisionInfo) {
+			if o.OnProvision != nil {
+				o.OnProvision(info)
+			}
+			if next.OnProvision != nil {
+				next.OnProvision(info)
+			}
+		},
+	}
+}
+
+// TraceObserver returns an Observer that records one peer's burst
+// lifecycle into ring — the engine-level feed of the ops plane's
+// flight recorder. Compose it with other observers via Then.
+func TraceObserver(ring *telemetry.BurstRing, peer string) Observer {
+	return Observer{
+		OnBurstStart: func(at time.Duration, withdrawals int) {
+			ring.Start(peer, time.Now(), at, withdrawals)
+		},
+		OnDecision: func(d Decision) {
+			links := make([]string, len(d.Result.Links))
+			for i, l := range d.Result.Links {
+				links[i] = l.String()
+			}
+			ring.Decision(peer, telemetry.DecisionTrace{
+				At:                d.At,
+				InferLatency:      d.InferLatency,
+				FitScore:          d.Result.FS,
+				Links:             links,
+				PredictedPrefixes: len(d.Predicted),
+				Received:          d.Result.Received,
+				RulesInstalled:    d.RulesInstalled,
+			})
+		},
+		OnBurstEnd: func(at time.Duration, received int) {
+			ring.End(peer, time.Now(), at, received)
+		},
+		OnProvision: func(info ProvisionInfo) {
+			if !info.Fallback {
+				return // initial provisioning belongs to no burst
+			}
+			ring.Provision(peer, telemetry.ProvisionTrace{
+				At:             info.At,
+				Unchanged:      info.Unchanged,
+				TaggedPrefixes: info.TaggedPrefixes,
+				PathBitsUsed:   info.PathBitsUsed,
+				NextHops:       info.NextHops,
+			})
+		},
+	}
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: families sort by
+// name, series by label values, so two scrapes of identical state are
+// byte-identical — which is what the golden tests pin.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		writeHeader(bw, f)
+		switch f.k {
+		case kindCounterFunc, kindGaugeFunc:
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(f.fn()))
+			bw.WriteByte('\n')
+			continue
+		}
+		for _, s := range f.snapshot() {
+			switch f.k {
+			case kindCounter:
+				writeSample(bw, f.name, "", f.labels, s.values, "", float64(s.c.Value()))
+			case kindGauge:
+				writeSample(bw, f.name, "", f.labels, s.values, "", s.g.Value())
+			case kindHistogram:
+				writeHistogram(bw, f, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ServeHTTP makes the registry a GET /metrics handler.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WritePrometheus(w)
+}
+
+func writeHeader(w *bufio.Writer, f *family) {
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.k.promType())
+	w.WriteByte('\n')
+}
+
+// writeHistogram renders one series' cumulative buckets, sum and count.
+func writeHistogram(w *bufio.Writer, f *family, s *series) {
+	h := s.h
+	var cum uint64
+	for i, ub := range h.bounds {
+		cum += h.buckets[i].Load()
+		writeSample(w, f.name, "_bucket", f.labels, s.values, formatValue(ub), float64(cum))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	writeSample(w, f.name, "_bucket", f.labels, s.values, "+Inf", float64(cum))
+	writeRaw(w, f.name+"_sum", f.labels, s.values, h.Sum())
+	writeRaw(w, f.name+"_count", f.labels, s.values, float64(h.Count()))
+}
+
+func writeRaw(w *bufio.Writer, name string, labels, values []string, v float64) {
+	writeSample(w, name, "", labels, values, "", v)
+}
+
+// writeSample renders one line: name[suffix]{labels...[,le="le"]} value.
+func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, le string, v float64) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(`le="`)
+			w.WriteString(le)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatValue(v))
+	w.WriteByte('\n')
+}
+
+// formatValue renders integers without an exponent and everything else
+// in shortest-roundtrip form, matching what Prometheus parsers expect.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,154 @@
+// Package telemetry is the repo's zero-dependency metrics core: atomic
+// counters, gauges and fixed-bucket histograms, grouped into labeled
+// families by a Registry that exposes them in Prometheus text format.
+//
+// The design constraint is the SWIFT hot path: Engine.Apply processes
+// tens of millions of events per second with zero allocations, and
+// instrumentation must not change that. Handles (*Counter, *Gauge,
+// *Histogram) are therefore pre-resolved once — a labeled family is a
+// map, but With() is called at peer-creation time, never per event —
+// and every mutation is a single atomic op on a struct the caller
+// already holds. All handle methods are nil-receiver safe, so
+// uninstrumented code paths pay one predictable branch and nothing
+// else.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value
+// is ready to use; a nil *Counter no-ops, so optional instrumentation
+// needs no call-site guards.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float-valued metric that can go up and down. The zero
+// value is ready to use and reads 0; a nil *Gauge no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (CAS loop; gauges are set-mostly, Add is for the odd
+// up/down tally).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative
+// upper bounds in ascending order (Prometheus "le" semantics); an
+// implicit +Inf bucket catches the overflow. Observe is lock-free: one
+// linear scan over a handful of bounds and three atomic ops. A nil
+// *Histogram no-ops.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-added
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram buckets must be strictly ascending")
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// DefLatencyBuckets covers the engine's inference latencies: 10 µs to
+// 100 ms in roughly-2.5x steps (seconds).
+var DefLatencyBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+}
+
+// DefDurationBuckets covers burst durations on the virtual stream
+// clock: half a second to twenty minutes (seconds).
+var DefDurationBuckets = []float64{
+	0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600, 1200,
+}

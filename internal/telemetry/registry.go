@@ -1,0 +1,274 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metric family kinds. Func-backed families sample a callback at scrape
+// time instead of holding series — the wrapper for counters that
+// already exist as atomics elsewhere (a BMP station's message count),
+// so wiring telemetry never double-counts or forks a data path.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k kind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one label-value combination of a family. Exactly one of
+// c/g/h is set, matching the family kind.
+type series struct {
+	values []string
+	key    string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name   string
+	help   string
+	k      kind
+	labels []string
+	bounds []float64 // histogram kinds only
+
+	fn func() float64 // func kinds only
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// seriesKey joins label values with an unprintable separator; label
+// values are arbitrary strings, so a printable join could collide.
+func seriesKey(values []string) string {
+	return strings.Join(values, "\xff")
+}
+
+// with returns the keyed series, creating it on first use.
+func (f *family) with(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: %s expects %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{values: append([]string(nil), values...), key: key}
+		switch f.k {
+		case kindCounter:
+			s.c = new(Counter)
+		case kindGauge:
+			s.g = new(Gauge)
+		case kindHistogram:
+			s.h = newHistogram(f.bounds)
+		default:
+			panic("telemetry: func-backed family has no series")
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// snapshot returns the family's series sorted by label values, for
+// deterministic exposition.
+func (f *family) snapshot() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. All methods are safe for concurrent use. Registering the same
+// name twice with an identical schema returns the existing family
+// (idempotent wiring); a schema mismatch panics — that is a programming
+// error, caught at startup.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	onScrape []func()
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help string, k kind, labels []string, bounds []float64, fn func() float64) *family {
+	if !validName(name) {
+		panic("telemetry: invalid metric name " + name)
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic("telemetry: invalid label name " + l + " on " + name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.k != k || len(f.labels) != len(labels) {
+			panic("telemetry: conflicting re-registration of " + name)
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic("telemetry: conflicting labels on re-registration of " + name)
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:   name,
+		help:   help,
+		k:      k,
+		labels: append([]string(nil), labels...),
+		bounds: bounds,
+		fn:     fn,
+		series: make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil, nil).with(nil).c
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil, nil).with(nil).g
+}
+
+// Histogram registers (or finds) an unlabeled histogram with the given
+// cumulative upper bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, kindHistogram, nil, buckets, nil).with(nil).h
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at
+// scrape time — the bridge for counters that already live as atomics in
+// another subsystem.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(name, help, kindCounterFunc, nil, nil, func() float64 { return float64(fn()) })
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGaugeFunc, nil, nil, fn)
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, kindCounter, labels, nil, nil)}
+}
+
+// With returns the pre-resolved counter for the label values; hold the
+// handle, don't call With on a hot path.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.with(values).c }
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, kindGauge, labels, nil, nil)}
+}
+
+// With returns the pre-resolved gauge for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.with(values).g }
+
+// Reset drops every series of the family. Scrape-time collectors that
+// re-enumerate a live population (e.g. per-peer FIB sizes) Reset then
+// re-fill, so departed members don't linger as stale samples.
+func (v *GaugeVec) Reset() {
+	v.f.mu.Lock()
+	v.f.series = make(map[string]*series)
+	v.f.mu.Unlock()
+}
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, kindHistogram, labels, buckets, nil)}
+}
+
+// With returns the pre-resolved histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(values).h }
+
+// OnScrape registers fn to run at the start of every exposition pass,
+// before any family renders. Collectors that derive gauges from live
+// state (pool occupancy, fleet size, per-peer FIB rule counts) refresh
+// them here instead of instrumenting the state's write paths.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.onScrape = append(r.onScrape, fn)
+	r.mu.Unlock()
+}
+
+// sortedFamilies runs the scrape hooks, then snapshots the family set
+// ordered by name. Hooks run outside the registry lock so they may
+// register families and resolve series freely.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	hooks := r.onScrape
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte: family
+// ordering by name, series ordering by label values, help and label
+// escaping, integer vs float rendering, cumulative histogram buckets
+// with +Inf, _sum and _count, and func-backed sampling.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+
+	c := reg.Counter("a_total", "line one\nline two \\ escaped")
+	c.Add(3)
+
+	vec := reg.CounterVec("b_peer_total", "per-peer counter", "peer")
+	vec.With("AS2/00000001").Add(2)
+	vec.With(`we"ird\`).Inc()
+
+	g := reg.Gauge("c_gauge", "a float gauge")
+	g.Set(2.5)
+
+	h := reg.HistogramVec("d_latency_seconds", "a histogram", []float64{0.1, 1}, "peer")
+	ph := h.With("p1")
+	ph.Observe(0.05)
+	ph.Observe(0.5)
+	ph.Observe(5)
+
+	reg.CounterFunc("e_sampled_total", "func-backed counter", func() uint64 { return 7 })
+	reg.GaugeFunc("f_sampled", "func-backed gauge", func() float64 { return -1.5 })
+
+	want := `# HELP a_total line one\nline two \\ escaped
+# TYPE a_total counter
+a_total 3
+# HELP b_peer_total per-peer counter
+# TYPE b_peer_total counter
+b_peer_total{peer="AS2/00000001"} 2
+b_peer_total{peer="we\"ird\\"} 1
+# HELP c_gauge a float gauge
+# TYPE c_gauge gauge
+c_gauge 2.5
+# HELP d_latency_seconds a histogram
+# TYPE d_latency_seconds histogram
+d_latency_seconds_bucket{peer="p1",le="0.1"} 1
+d_latency_seconds_bucket{peer="p1",le="1"} 2
+d_latency_seconds_bucket{peer="p1",le="+Inf"} 3
+d_latency_seconds_sum{peer="p1"} 5.55
+d_latency_seconds_count{peer="p1"} 3
+# HELP e_sampled_total func-backed counter
+# TYPE e_sampled_total counter
+e_sampled_total 7
+# HELP f_sampled func-backed gauge
+# TYPE f_sampled gauge
+f_sampled -1.5
+`
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Determinism: a second scrape of identical state is byte-identical.
+	var buf2 strings.Builder
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("two scrapes of identical state differ")
+	}
+}
+
+// TestRegistryIdempotentAndConflicts: same-schema re-registration
+// returns the existing family; a schema mismatch panics.
+func TestRegistryIdempotentAndConflicts(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.CounterVec("x_total", "help", "peer")
+	b := reg.CounterVec("x_total", "help", "peer")
+	a.With("p").Add(4)
+	if got := b.With("p").Value(); got != 4 {
+		t.Fatalf("re-registered vec sees %d, want 4 (must share series)", got)
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("kind conflict", func() { reg.Gauge("x_total", "help") })
+	mustPanic("label conflict", func() { reg.CounterVec("x_total", "help", "as") })
+	mustPanic("arity mismatch", func() { a.With("p", "q") })
+	mustPanic("bad name", func() { reg.Counter("2bad", "") })
+	mustPanic("bad label", func() { reg.CounterVec("ok_total", "", "bad-label") })
+	mustPanic("bad buckets", func() { reg.Histogram("h_seconds", "", []float64{1, 1}) })
+}
+
+// TestGaugeVecReset: Reset drops series so scrape-time collectors can
+// re-enumerate a live population without stale samples.
+func TestGaugeVecReset(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.GaugeVec("pop_gauge", "", "peer")
+	v.With("gone").Set(1)
+	v.Reset()
+	v.With("here").Set(2)
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "gone") {
+		t.Errorf("stale series survived Reset:\n%s", out)
+	}
+	if !strings.Contains(out, `pop_gauge{peer="here"} 2`) {
+		t.Errorf("refilled series missing:\n%s", out)
+	}
+}
+
+// TestOnScrapeRegistersFamilies: families created inside a scrape hook
+// appear in the same exposition pass.
+func TestOnScrapeRegistersFamilies(t *testing.T) {
+	reg := NewRegistry()
+	reg.OnScrape(func() {
+		reg.Gauge("late_gauge", "registered during scrape").Set(9)
+	})
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "late_gauge 9") {
+		t.Errorf("hook-registered family missing:\n%s", buf.String())
+	}
+}
+
+// TestNilHandlesNoOp: every handle method tolerates a nil receiver —
+// the contract that lets uninstrumented engines skip call-site guards.
+func TestNilHandlesNoOp(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram observed something")
+	}
+}
+
+// TestRegistryConcurrent hammers registration, mutation and scraping
+// from many goroutines; run under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.CounterVec("conc_total", "", "peer")
+	hist := reg.Histogram("conc_seconds", "", DefLatencyBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			peer := string(rune('a' + g))
+			c := vec.With(peer)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				hist.Observe(float64(i) * 1e-5)
+				if i%100 == 0 {
+					var buf strings.Builder
+					if err := reg.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := uint64(0)
+	for g := 0; g < 8; g++ {
+		total += vec.With(string(rune('a' + g))).Value()
+	}
+	if total != 8000 {
+		t.Errorf("counters total %d, want 8000", total)
+	}
+	if hist.Count() != 8000 {
+		t.Errorf("histogram count %d, want 8000", hist.Count())
+	}
+}

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// maxTraceDecisions bounds how many decisions one burst record keeps;
+// a runaway burst cannot grow a record without bound.
+const maxTraceDecisions = 64
+
+// DecisionTrace is one accepted inference inside a burst record.
+type DecisionTrace struct {
+	// At is the decision's offset on the peer's virtual stream clock.
+	At time.Duration `json:"at_ns"`
+	// InferLatency is how long the inference computation took.
+	InferLatency time.Duration `json:"infer_latency_ns"`
+	// FitScore is the score of the accepted link set.
+	FitScore float64 `json:"fit_score"`
+	// Links names the inferred failed links, e.g. "(5,6)".
+	Links []string `json:"links"`
+	// PredictedPrefixes counts the prefixes the reroute diverts.
+	PredictedPrefixes int `json:"predicted_prefixes"`
+	// Received is the withdrawal count the inference consumed.
+	Received int `json:"received"`
+	// RulesInstalled counts the stage-2 writes the decision performed.
+	RulesInstalled int `json:"rules_installed"`
+}
+
+// ProvisionTrace is the burst-end fallback outcome of a record.
+type ProvisionTrace struct {
+	At time.Duration `json:"at_ns"`
+	// Unchanged is true when BGP reconverged onto exactly the
+	// provisioned routes and the recompile was skipped.
+	Unchanged      bool `json:"unchanged"`
+	TaggedPrefixes int  `json:"tagged_prefixes"`
+	PathBitsUsed   int  `json:"path_bits_used"`
+	NextHops       int  `json:"next_hops"`
+}
+
+// BurstRecord is one burst's lifecycle: open at a detector trigger,
+// closed at burst end, optionally annotated with the fallback
+// re-provision that followed. Timestamps come in pairs — wall clock
+// (when the daemon saw it) and the peer's virtual stream clock (when it
+// happened on the session timeline), which diverge under accelerated
+// replays.
+type BurstRecord struct {
+	ID   uint64 `json:"id"`
+	Peer string `json:"peer"`
+	// StartWall/EndWall are daemon wall-clock times.
+	StartWall time.Time `json:"start_wall"`
+	EndWall   time.Time `json:"end_wall,omitzero"`
+	// StartAt/EndAt are virtual stream offsets.
+	StartAt time.Duration `json:"start_at_ns"`
+	EndAt   time.Duration `json:"end_at_ns,omitempty"`
+	// Open is true while the burst is still in progress.
+	Open bool `json:"open"`
+	// WithdrawalsAtStart is the window count that tripped the detector;
+	// Withdrawals is the burst's total once closed.
+	WithdrawalsAtStart int `json:"withdrawals_at_start"`
+	Withdrawals        int `json:"withdrawals"`
+	// Decisions lists the accepted inferences, oldest first (capped;
+	// DecisionsDropped counts any overflow).
+	Decisions        []DecisionTrace `json:"decisions,omitempty"`
+	DecisionsDropped int             `json:"decisions_dropped,omitempty"`
+	// Provision is the burst-end fallback outcome, when one ran.
+	Provision *ProvisionTrace `json:"provision,omitempty"`
+}
+
+// BurstRing is a bounded ring of burst lifecycle records — the
+// daemon's flight recorder, queryable as JSON from the ops plane. All
+// methods are safe for concurrent use; they run on burst events only
+// (start, decision, end, provision), never on the per-message hot path.
+type BurstRing struct {
+	mu    sync.Mutex
+	cap   int
+	recs  []*BurstRecord          // ring, oldest at head when full
+	head  int                     // index of the oldest record
+	next  uint64                  // next record ID
+	byKey map[string]*BurstRecord // latest record per peer, for updates
+}
+
+// NewBurstRing builds a ring keeping the last capacity bursts
+// (default 256 when capacity <= 0).
+func NewBurstRing(capacity int) *BurstRing {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &BurstRing{cap: capacity, byKey: make(map[string]*BurstRecord)}
+}
+
+// push appends rec, evicting the oldest record when full.
+func (r *BurstRing) push(rec *BurstRecord) {
+	if len(r.recs) < r.cap {
+		r.recs = append(r.recs, rec)
+		return
+	}
+	old := r.recs[r.head]
+	if r.byKey[old.Peer] == old {
+		delete(r.byKey, old.Peer)
+	}
+	r.recs[r.head] = rec
+	r.head = (r.head + 1) % r.cap
+}
+
+// Start opens a record for peer's new burst.
+func (r *BurstRing) Start(peer string, wall time.Time, at time.Duration, withdrawals int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	rec := &BurstRecord{
+		ID:                 r.next,
+		Peer:               peer,
+		StartWall:          wall,
+		StartAt:            at,
+		Open:               true,
+		WithdrawalsAtStart: withdrawals,
+		Withdrawals:        withdrawals,
+	}
+	r.push(rec)
+	r.byKey[peer] = rec
+}
+
+// Decision appends an accepted inference to peer's current burst. A
+// decision with no open burst (races around ring eviction) is dropped.
+func (r *BurstRing) Decision(peer string, d DecisionTrace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.byKey[peer]
+	if rec == nil || !rec.Open {
+		return
+	}
+	if len(rec.Decisions) >= maxTraceDecisions {
+		rec.DecisionsDropped++
+		return
+	}
+	rec.Decisions = append(rec.Decisions, d)
+}
+
+// End closes peer's current burst with its total withdrawal count.
+func (r *BurstRing) End(peer string, wall time.Time, at time.Duration, received int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.byKey[peer]
+	if rec == nil || !rec.Open {
+		return
+	}
+	rec.Open = false
+	rec.EndWall = wall
+	rec.EndAt = at
+	rec.Withdrawals = received
+}
+
+// Provision annotates peer's most recent burst with its fallback
+// re-provision outcome.
+func (r *BurstRing) Provision(peer string, p ProvisionTrace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.byKey[peer]
+	if rec == nil || rec.Open {
+		return
+	}
+	rec.Provision = &p
+}
+
+// Len returns the number of records held.
+func (r *BurstRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
+
+// Snapshot returns deep copies of the records, newest first — safe to
+// marshal while bursts keep evolving.
+func (r *BurstRing) Snapshot() []BurstRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]BurstRecord, 0, len(r.recs))
+	for i := len(r.recs) - 1; i >= 0; i-- {
+		rec := r.recs[(r.head+i)%len(r.recs)]
+		cp := *rec
+		cp.Decisions = append([]DecisionTrace(nil), rec.Decisions...)
+		if rec.Provision != nil {
+			p := *rec.Provision
+			cp.Provision = &p
+		}
+		out = append(out, cp)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func wall(s int) time.Time {
+	return time.Date(2026, 8, 7, 12, 0, s, 0, time.UTC)
+}
+
+// TestBurstRingLifecycle walks one burst through start → decision →
+// end → provision and checks the snapshot reflects every stage.
+func TestBurstRingLifecycle(t *testing.T) {
+	r := NewBurstRing(8)
+	r.Start("p1", wall(0), time.Second, 1500)
+	r.Decision("p1", DecisionTrace{
+		At: 2 * time.Second, FitScore: 0.9, Links: []string{"(5,6)"},
+		PredictedPrefixes: 1200, Received: 2000, RulesInstalled: 3,
+	})
+	recs := r.Snapshot()
+	if len(recs) != 1 || !recs[0].Open || len(recs[0].Decisions) != 1 {
+		t.Fatalf("mid-burst snapshot = %+v", recs)
+	}
+	r.End("p1", wall(5), 6*time.Second, 4000)
+	r.Provision("p1", ProvisionTrace{At: 6 * time.Second, TaggedPrefixes: 900, PathBitsUsed: 12, NextHops: 2})
+
+	recs = r.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("ring holds %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Open || rec.EndAt != 6*time.Second || rec.Withdrawals != 4000 {
+		t.Errorf("closed record = %+v", rec)
+	}
+	if rec.WithdrawalsAtStart != 1500 {
+		t.Errorf("withdrawals at start = %d, want 1500", rec.WithdrawalsAtStart)
+	}
+	if rec.Provision == nil || rec.Provision.TaggedPrefixes != 900 {
+		t.Errorf("provision = %+v", rec.Provision)
+	}
+	if len(rec.Decisions) != 1 || rec.Decisions[0].Links[0] != "(5,6)" {
+		t.Errorf("decisions = %+v", rec.Decisions)
+	}
+
+	// The record is ops-plane JSON; it must marshal.
+	if _, err := json.Marshal(recs); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+// TestBurstRingEviction: the ring is bounded; old records (and their
+// byKey entries) leave when capacity is exceeded, newest first wins.
+func TestBurstRingEviction(t *testing.T) {
+	r := NewBurstRing(2)
+	r.Start("a", wall(0), 0, 1)
+	r.End("a", wall(1), time.Second, 1)
+	r.Start("b", wall(2), 2*time.Second, 2)
+	r.Start("c", wall(3), 3*time.Second, 3) // evicts a
+	if r.Len() != 2 {
+		t.Fatalf("ring len = %d, want 2", r.Len())
+	}
+	recs := r.Snapshot()
+	if recs[0].Peer != "c" || recs[1].Peer != "b" {
+		t.Fatalf("snapshot order = [%s %s], want [c b]", recs[0].Peer, recs[1].Peer)
+	}
+	// An update to the evicted peer's burst is dropped, not resurrected.
+	r.Decision("a", DecisionTrace{})
+	r.End("a", wall(4), 4*time.Second, 9)
+	for _, rec := range r.Snapshot() {
+		if rec.Peer == "a" {
+			t.Fatal("evicted record resurrected")
+		}
+	}
+}
+
+// TestBurstRingDecisionCap: a runaway burst cannot grow one record
+// without bound; overflow is counted.
+func TestBurstRingDecisionCap(t *testing.T) {
+	r := NewBurstRing(4)
+	r.Start("p", wall(0), 0, 1)
+	for i := 0; i < maxTraceDecisions+5; i++ {
+		r.Decision("p", DecisionTrace{Received: i})
+	}
+	rec := r.Snapshot()[0]
+	if len(rec.Decisions) != maxTraceDecisions {
+		t.Errorf("kept %d decisions, want %d", len(rec.Decisions), maxTraceDecisions)
+	}
+	if rec.DecisionsDropped != 5 {
+		t.Errorf("dropped = %d, want 5", rec.DecisionsDropped)
+	}
+}
+
+// TestBurstRingSnapshotIsolation: mutating the ring after Snapshot must
+// not change the returned copies.
+func TestBurstRingSnapshotIsolation(t *testing.T) {
+	r := NewBurstRing(4)
+	r.Start("p", wall(0), 0, 10)
+	r.Decision("p", DecisionTrace{Received: 1})
+	snap := r.Snapshot()
+	r.Decision("p", DecisionTrace{Received: 2})
+	r.End("p", wall(1), time.Second, 99)
+	if len(snap[0].Decisions) != 1 || snap[0].Withdrawals != 10 || !snap[0].Open {
+		t.Errorf("snapshot mutated by later ring writes: %+v", snap[0])
+	}
+}
+
+// TestBurstRingNilSafe: a nil ring is inert, like nil metric handles.
+func TestBurstRingNilSafe(t *testing.T) {
+	var r *BurstRing
+	r.Start("p", wall(0), 0, 1)
+	r.Decision("p", DecisionTrace{})
+	r.End("p", wall(1), 0, 1)
+	r.Provision("p", ProvisionTrace{})
+	if r.Len() != 0 || r.Snapshot() != nil {
+		t.Error("nil ring not inert")
+	}
+}

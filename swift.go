@@ -58,6 +58,7 @@ import (
 	"swift/internal/netaddr"
 	"swift/internal/reroute"
 	swiftengine "swift/internal/swift"
+	"swift/internal/telemetry"
 	"swift/internal/topology"
 )
 
@@ -176,6 +177,51 @@ type (
 	// stream) into any Sink.
 	MRTSource = mrt.Source
 )
+
+// Telemetry surface. A MetricsRegistry holds Prometheus-exposable
+// families; EngineMetrics is the pre-resolved handle set an engine
+// reports into (zero-allocation on the steady-state hot path); a
+// BurstRing is the bounded flight recorder behind the ops plane's
+// /bursts endpoint; FleetTelemetry wires all of it through a Fleet.
+type (
+	// MetricsRegistry holds metric families and renders them in
+	// Prometheus text exposition format (it is a /metrics http.Handler).
+	MetricsRegistry = telemetry.Registry
+	// EngineMetrics is an engine's pre-resolved metric handle set; set
+	// it on Config.Metrics. The zero value (all-nil handles) disables
+	// instrumentation at the cost of one branch per flush.
+	EngineMetrics = swiftengine.Metrics
+	// BurstRing is a bounded ring of burst lifecycle trace records.
+	BurstRing = telemetry.BurstRing
+	// BurstRecord is one burst's lifecycle in the ring.
+	BurstRecord = telemetry.BurstRecord
+	// FleetTelemetry owns a fleet's per-peer metric families.
+	FleetTelemetry = controller.FleetTelemetry
+	// PeerStatus is one peer's operational snapshot (the ops plane's
+	// /peers row).
+	PeerStatus = controller.PeerStatus
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewBurstRing builds a burst trace ring keeping the last capacity
+// bursts (default 256 when capacity <= 0).
+func NewBurstRing(capacity int) *BurstRing { return telemetry.NewBurstRing(capacity) }
+
+// NewFleetTelemetry registers the per-peer engine metric families on
+// reg. Pass the fleet's FleetConfig through Instrument before NewFleet
+// and call RegisterFleetMetrics after; every engine then reports into
+// the registry and the ring.
+func NewFleetTelemetry(reg *MetricsRegistry, ring *BurstRing) *FleetTelemetry {
+	return controller.NewFleetTelemetry(reg, ring)
+}
+
+// RegisterFleetMetrics exports a fleet's aggregate and scrape-time
+// state (pool occupancy, per-peer FIB sizes, delivery counters) on reg.
+func RegisterFleetMetrics(reg *MetricsRegistry, f *Fleet) {
+	controller.RegisterFleetMetrics(reg, f)
+}
 
 // New builds an Engine. Load routes with LearnPrimary/LearnAlternate,
 // call Provision, then stream event batches through Apply.
