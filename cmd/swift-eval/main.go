@@ -8,10 +8,17 @@
 // against a vanilla router converging one FIB write at a time on the
 // same stream.
 //
-// The run is deterministic: the same -matrix and -seed produce a
-// byte-identical report.
+// -mode selects the fleet's inference mode: "per-peer" is classic
+// SWIFT (each session infers and acts alone), "fused" shares one
+// evidence aggregator across the fleet (cross-peer corroboration,
+// conflict vetoes and verdict pre-triggering), and "both" runs the two
+// on the same seed and prints the per-family comparison table.
+//
+// The run is deterministic: the same -matrix, -seed and -mode produce
+// a byte-identical report.
 //
 //	swift-eval -matrix default -seed 1 -o report.json
+//	swift-eval -matrix default -seed 1 -mode both
 //	swift-eval -list
 package main
 
@@ -27,6 +34,7 @@ import (
 func main() {
 	matrix := flag.String("matrix", "default", "scenario matrix to run")
 	seed := flag.Int64("seed", 1, "matrix seed (same seed, same report)")
+	mode := flag.String("mode", scenario.ModePerPeer, "evaluation mode: per-peer, fused or both")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout only)")
 	list := flag.Bool("list", false, "list matrix names and their scenarios, then exit")
 	quiet := flag.Bool("q", false, "suppress the rendered table")
@@ -36,8 +44,7 @@ func main() {
 		for _, name := range scenario.MatrixNames() {
 			specs, err := scenario.Matrix(name, *seed)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "swift-eval:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			fmt.Printf("%s (%d scenarios)\n", name, len(specs))
 			for _, s := range specs {
@@ -47,25 +54,45 @@ func main() {
 		return
 	}
 
-	rep, err := experiments.RunScenarioMatrix(*matrix, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "swift-eval:", err)
-		os.Exit(1)
+	var render string
+	var buf []byte
+	switch *mode {
+	case "both":
+		cmp, err := experiments.CompareScenarioModes(*matrix, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		render = experiments.RenderModeComparison(cmp)
+		if *out != "" {
+			if buf, err = cmp.JSON(); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		rep, err := experiments.RunScenarioMatrixMode(*matrix, *seed, *mode)
+		if err != nil {
+			fatal(err)
+		}
+		render = experiments.RenderScenarioMatrix(rep)
+		if *out != "" {
+			if buf, err = rep.JSON(); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	if !*quiet {
-		fmt.Print(experiments.RenderScenarioMatrix(rep))
+		fmt.Print(render)
 	}
 	if *out != "" {
-		buf, err := rep.JSON()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "swift-eval:", err)
-			os.Exit(1)
-		}
 		buf = append(buf, '\n')
 		if err := os.WriteFile(*out, buf, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "swift-eval:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "swift-eval: report written to %s\n", *out)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swift-eval:", err)
+	os.Exit(1)
 }

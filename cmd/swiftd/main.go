@@ -52,6 +52,7 @@ import (
 	"swift/internal/bgpd"
 	"swift/internal/bmp"
 	"swift/internal/controller"
+	"swift/internal/fusion"
 	"swift/internal/inference"
 	"swift/internal/mrt"
 	"swift/internal/netaddr"
@@ -76,6 +77,9 @@ func main() {
 		metricsInt = flag.Duration("metrics-interval", 10*time.Second, "periodic stats log interval (0 disables)")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		ringSize   = flag.Int("burst-ring", 256, "burst trace ring capacity (records kept for /bursts)")
+		fused      = flag.Bool("fusion", false, "enable fleet-level evidence fusion across BMP-monitored sessions (BMP mode only)")
+		fusionK    = flag.Int("fusion-k", 0, "fusion: peers whose corroborating evidence confirms a link (0 = default)")
+		fusionThr  = flag.Float64("fusion-threshold", 0, "fusion: fused Fit-Score a link must reach to be confirmed (0 = default)")
 	)
 	flag.Parse()
 
@@ -120,6 +124,12 @@ func main() {
 		httpAddr: *httpAddr,
 		interval: *metricsInt,
 	}
+	if *fused {
+		if *bmpListen == "" {
+			logger.Fatalf("-fusion requires -bmp-listen (fusion spans a fleet of monitored sessions)")
+		}
+		d.fusion = &fusion.Config{K: *fusionK, FuseThreshold: *fusionThr}
+	}
 	if *bmpListen != "" {
 		d.runBMP(*bmpListen, uint32(*localAS), *settle, alternates, uint32(*altAS), sigs)
 		return
@@ -135,6 +145,9 @@ type daemon struct {
 	ring     *telemetry.BurstRing
 	httpAddr string
 	interval time.Duration
+	// fusion, when set, shares one evidence aggregator across the BMP
+	// fleet's engines (-fusion; nil runs classic per-peer SWIFT).
+	fusion *fusion.Config
 }
 
 // serveOps starts the ops HTTP listener when -http was given. The
@@ -173,6 +186,7 @@ func (d *daemon) runBMP(addr string, localAS uint32, settle time.Duration, alter
 	logger := d.logger
 	ft := controller.NewFleetTelemetry(d.registry, d.ring)
 	fleet := controller.NewFleet(ft.Instrument(controller.FleetConfig{
+		Fusion: d.fusion,
 		Engine: func(key controller.PeerKey) swiftengine.Config {
 			cfg := swiftengine.Config{
 				LocalAS:         localAS,

@@ -1,6 +1,7 @@
 package bgpsim
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -125,6 +126,96 @@ func TestBurstSourceMultiPeerWaves(t *testing.T) {
 	for _, ev := range wave2 {
 		if ev.Peer != peers[0] {
 			t.Fatalf("wave 2 event on %v, want round-robin back to %v", ev.Peer, peers[0])
+		}
+	}
+}
+
+// TestBurstSourceMultiPeerOrderProperty is the randomized property
+// check behind the fused evaluation's determinism: for arbitrary
+// per-peer bursts — uneven sizes, arbitrary start skew, duplicate
+// timestamps within and across peers — the timestamp-merged interleave
+// must (1) preserve every peer's relative event order exactly, (2)
+// never move the stream clock backwards, (3) conserve the event count,
+// and (4) break cross-peer timestamp ties by peer position, so the
+// merge is a pure function of the inputs.
+func TestBurstSourceMultiPeerOrderProperty(t *testing.T) {
+	for trial := 0; trial < 64; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		nPeers := 2 + rng.Intn(4)
+		peers := make([]event.PeerKey, nPeers)
+		bursts := make([]*Burst, nPeers)
+		for i := range peers {
+			peers[i] = event.PeerKey{AS: uint32(2 + i), BGPID: uint32(i + 1)}
+			b := &Burst{Vantage: 1, Neighbor: peers[i].AS}
+			// Arbitrary skew, including zero (tied starts across peers).
+			skew := time.Duration(rng.Intn(4)) * 25 * time.Millisecond
+			at := skew
+			for j, n := 0, 1+rng.Intn(40); j < n; j++ {
+				// Coarse steps make cross-peer (and some same-peer)
+				// timestamp collisions common rather than exotic.
+				at += time.Duration(rng.Intn(3)) * 10 * time.Millisecond
+				b.Events = append(b.Events, Event{
+					At:     at,
+					Kind:   KindWithdraw,
+					Prefix: netaddr.PrefixFor(uint32(8+i), j),
+				})
+				b.Size++
+			}
+			bursts[i] = b
+		}
+		src := &BurstSource{Bursts: bursts, Peers: peers, BatchEvents: 1 + rng.Intn(16)}
+		var sink recordSink
+		if err := src.Run(&sink); err != nil {
+			t.Fatal(err)
+		}
+
+		want := 0
+		for _, b := range bursts {
+			want += len(b.Events)
+		}
+		if src.Events != want {
+			t.Fatalf("trial %d: Events = %d, want %d", trial, src.Events, want)
+		}
+
+		peerIdx := make(map[event.PeerKey]int, nPeers)
+		for i, p := range peers {
+			peerIdx[p] = i
+		}
+		next := make([]int, nPeers)
+		lastAt := time.Duration(-1)
+		lastPick := -1
+		total := 0
+		for _, ev := range sink.events {
+			if ev.Kind == event.KindTick {
+				continue
+			}
+			i, ok := peerIdx[ev.Peer]
+			if !ok {
+				t.Fatalf("trial %d: event attributed to unknown peer %v", trial, ev.Peer)
+			}
+			if ev.At < lastAt {
+				t.Fatalf("trial %d: stream clock moved backwards: %v after %v", trial, ev.At, lastAt)
+			}
+			if ev.At == lastAt && i < lastPick {
+				t.Fatalf("trial %d: tie at %v served peer %d after peer %d (ties must follow peer position)",
+					trial, ev.At, i, lastPick)
+			}
+			wantEv := bursts[i].Events[next[i]]
+			if ev.Prefix != wantEv.Prefix || ev.At != wantEv.At {
+				t.Fatalf("trial %d: peer %d event %d = (%v, %v), want (%v, %v) — per-peer order broken",
+					trial, i, next[i], ev.Prefix, ev.At, wantEv.Prefix, wantEv.At)
+			}
+			next[i]++
+			lastAt, lastPick = ev.At, i
+			total++
+		}
+		if total != want {
+			t.Fatalf("trial %d: sink saw %d events, want %d", trial, total, want)
+		}
+		for i := range bursts {
+			if next[i] != len(bursts[i].Events) {
+				t.Fatalf("trial %d: peer %d delivered %d of %d events", trial, i, next[i], len(bursts[i].Events))
+			}
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"swift/internal/event"
+	"swift/internal/fusion"
 	"swift/internal/netaddr"
 	"swift/internal/rib"
 	swiftengine "swift/internal/swift"
@@ -79,6 +80,14 @@ type FleetConfig struct {
 	// creation race it may run for a candidate that is then discarded,
 	// so it must only touch the peer it is given.
 	OnPeer func(p *FleetPeer)
+	// Fusion, when set, enables fleet-level evidence fusion: the fleet
+	// owns a fusion.Aggregator over its shared pool, every engine's
+	// inferences are offered as evidence through a per-peer gate, and
+	// confirmed verdicts fan back into all engines as external reroutes.
+	// Unless Fusion.ManualPump is set, a background goroutine publishes
+	// verdicts as evidence arrives; deterministic harnesses set
+	// ManualPump and call FusePump at their own barriers.
+	Fusion *fusion.Config
 	// QueueDepth is the per-peer batch channel depth (default 64).
 	// A full queue blocks Enqueue — backpressure, never loss.
 	QueueDepth int
@@ -124,6 +133,14 @@ type Fleet struct {
 	batches atomic.Uint64
 	ops     atomic.Uint64
 
+	// Evidence fusion (nil when FleetConfig.Fusion is unset). fuseKick
+	// nudges the background pump after evidence changes; fuseStop ends
+	// it on Close.
+	fusion   *fusion.Aggregator
+	fuseKick chan struct{}
+	fuseStop chan struct{}
+	fuseWG   sync.WaitGroup
+
 	// Push-fed aggregates, maintained by the per-engine observers so
 	// Metrics never has to lock every engine and walk its decision log.
 	decisions atomic.Int64
@@ -149,6 +166,15 @@ func NewFleet(cfg FleetConfig) *Fleet {
 	f := &Fleet{cfg: cfg, pool: rib.NewPool()}
 	for i := range f.stripes {
 		f.stripes[i].peers = make(map[PeerKey]*FleetPeer)
+	}
+	if cfg.Fusion != nil {
+		f.fusion = fusion.NewAggregator(*cfg.Fusion, f.pool)
+		if !cfg.Fusion.ManualPump {
+			f.fuseKick = make(chan struct{}, 1)
+			f.fuseStop = make(chan struct{})
+			f.fuseWG.Add(1)
+			go f.fusePumpLoop()
+		}
 	}
 	return f
 }
@@ -191,6 +217,9 @@ func (f *Fleet) Peer(key PeerKey) *FleetPeer {
 	}
 	if cfg.Pool == nil {
 		cfg.Pool = f.pool
+	}
+	if f.fusion != nil && cfg.Fusion == nil {
+		cfg.Fusion = f.fusion.Gate(key)
 	}
 	cand := &FleetPeer{
 		key:   key,
@@ -248,6 +277,12 @@ func (f *Fleet) ClosePeer(key PeerKey) bool {
 		return false
 	}
 	p.close(true)
+	if f.fusion != nil {
+		// The session's evidence stops corroborating anything; links it
+		// alone supported drop from the verdict on the next pump.
+		f.fusion.Retract(key)
+		f.kickFusePump()
+	}
 	f.logf("fleet: peer %s closed", key)
 	return true
 }
@@ -259,6 +294,9 @@ func (f *Fleet) ClosePeer(key PeerKey) bool {
 func (f *Fleet) wireObserver(p *FleetPeer, user swiftengine.Observer) swiftengine.Observer {
 	return swiftengine.Observer{
 		OnBurstStart: func(at time.Duration, withdrawals int) {
+			if f.fusion != nil {
+				f.fusion.BurstStart(p.key, at)
+			}
 			if f.cfg.Observer.OnBurstStart != nil {
 				f.cfg.Observer.OnBurstStart(p.key, at, withdrawals)
 			}
@@ -273,6 +311,13 @@ func (f *Fleet) wireObserver(p *FleetPeer, user swiftengine.Observer) swiftengin
 				p.rerouting = true
 				f.rerouting.Add(1)
 			}
+			if f.fusion != nil && !d.External {
+				// The evidence itself was recorded synchronously by the
+				// engine's gate Propose; only the cross-peer fan-out is
+				// deferred to the pump (applying verdicts here would take
+				// other peers' locks while holding this one).
+				f.kickFusePump()
+			}
 			if f.cfg.Observer.OnDecision != nil {
 				f.cfg.Observer.OnDecision(p.key, d)
 			}
@@ -284,6 +329,10 @@ func (f *Fleet) wireObserver(p *FleetPeer, user swiftengine.Observer) swiftengin
 			if p.rerouting {
 				p.rerouting = false
 				f.rerouting.Add(-1)
+			}
+			if f.fusion != nil {
+				f.fusion.BurstEnd(p.key, at)
+				f.kickFusePump()
 			}
 			if f.cfg.Observer.OnBurstEnd != nil {
 				f.cfg.Observer.OnBurstEnd(p.key, at, received)
@@ -496,6 +545,9 @@ func (f *Fleet) Sync() {
 // goroutine is in some stripe's map by then.
 func (f *Fleet) Close() {
 	if !f.closed.Swap(true) {
+		if f.fuseStop != nil {
+			close(f.fuseStop)
+		}
 		for i := range f.stripes {
 			// Snapshot under the stripe lock, close outside it: the
 			// stop-sentinel send can block on a full queue whose runner
@@ -514,6 +566,7 @@ func (f *Fleet) Close() {
 		}
 	}
 	f.wg.Wait()
+	f.fuseWG.Wait()
 }
 
 // Status renders a one-line fleet summary.

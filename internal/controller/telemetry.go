@@ -5,6 +5,7 @@ import (
 
 	swiftengine "swift/internal/swift"
 	"swift/internal/telemetry"
+	"swift/internal/topology"
 )
 
 // FleetTelemetry owns the per-peer metric families of an engine fleet
@@ -29,6 +30,12 @@ type FleetTelemetry struct {
 	provisionsUnchanged *telemetry.CounterVec
 	inferLatency        *telemetry.HistogramVec
 	burstDuration       *telemetry.HistogramVec
+
+	fusionProposals *telemetry.CounterVec
+	fusionVetoed    *telemetry.CounterVec
+	fusionExternal  *telemetry.CounterVec
+	fusionVerdicts  *telemetry.Counter
+	corroborating   *telemetry.Histogram
 }
 
 // NewFleetTelemetry registers the per-peer engine families on reg.
@@ -60,6 +67,17 @@ func NewFleetTelemetry(reg *telemetry.Registry, ring *telemetry.BurstRing) *Flee
 		burstDuration: reg.HistogramVec("swift_peer_burst_duration_seconds",
 			"Closed burst duration on the virtual stream clock.",
 			telemetry.DefDurationBuckets, "peer"),
+		fusionProposals: reg.CounterVec("swift_fusion_evidence_total",
+			"Inferences offered to the fleet fusion gate as evidence, per peer.", "peer"),
+		fusionVetoed: reg.CounterVec("swift_fusion_vetoed_total",
+			"Inferences the fusion conflict gate deferred, per peer.", "peer"),
+		fusionExternal: reg.CounterVec("swift_fusion_pretrigger_total",
+			"Externally-confirmed verdicts applied as pre-trigger reroutes, per peer.", "peer"),
+		fusionVerdicts: reg.Counter("swift_fusion_verdicts_total",
+			"Links confirmed by the fusion combining rule."),
+		corroborating: reg.Histogram("swift_fusion_corroborating_peers",
+			"Distinct peers supporting each link at confirmation time.",
+			[]float64{1, 2, 3, 4, 6, 8}),
 	}
 }
 
@@ -82,6 +100,9 @@ func (t *FleetTelemetry) EngineMetricsFor(peer string) swiftengine.Metrics {
 		InferencesDeferred:  t.deferred.With(peer),
 		Provisions:          t.provisions.With(peer),
 		ProvisionsUnchanged: t.provisionsUnchanged.With(peer),
+		FusionProposals:     t.fusionProposals.With(peer),
+		FusionVetoed:        t.fusionVetoed.With(peer),
+		FusionExternal:      t.fusionExternal.With(peer),
 		InferLatency:        t.inferLatency.With(peer),
 		BurstDuration:       t.burstDuration.With(peer),
 	}
@@ -103,6 +124,12 @@ func (t *FleetTelemetry) Instrument(cfg FleetConfig) FleetConfig {
 			ecfg.Observer = swiftengine.TraceObserver(t.ring, key.String()).Then(ecfg.Observer)
 		}
 		return ecfg
+	}
+	if cfg.Fusion != nil && cfg.Fusion.OnVerdict == nil {
+		cfg.Fusion.OnVerdict = func(_ topology.Link, supporters int, _ float64) {
+			t.fusionVerdicts.Inc()
+			t.corroborating.Observe(float64(supporters))
+		}
 	}
 	return cfg
 }
@@ -223,6 +250,18 @@ func RegisterFleetMetrics(reg *telemetry.Registry, f *Fleet) {
 	fibTags := reg.GaugeVec("swift_fib_tags", "Stage-1 tagged prefixes, per peer.", "peer")
 	fibRules := reg.GaugeVec("swift_fib_rules", "Stage-2 rules installed, per peer.", "peer")
 	ribPrefixes := reg.GaugeVec("swift_rib_prefixes", "Primary RIB prefixes, per peer.", "peer")
+
+	if agg := f.Fusion(); agg != nil {
+		reg.GaugeFunc("swift_fusion_bursting_peers",
+			"Fleet peers currently in-burst as seen by the fusion aggregator.",
+			func() float64 { return float64(agg.Stats().Bursting) })
+		reg.GaugeFunc("swift_fusion_verdict_links",
+			"Links currently confirmed by the fusion combining rule.",
+			func() float64 { return float64(agg.Stats().VerdictLinks) })
+		reg.CounterFunc("swift_fusion_epoch",
+			"Fusion verdict epoch (bumps whenever the confirmed link set changes).",
+			func() uint64 { return agg.Stats().Epoch })
+	}
 
 	reg.OnScrape(func() {
 		ps := f.pool.Stats()

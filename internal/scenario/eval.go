@@ -13,6 +13,7 @@ import (
 	"swift/internal/dataplane"
 	"swift/internal/encoding"
 	"swift/internal/event"
+	"swift/internal/fusion"
 	"swift/internal/inference"
 	"swift/internal/netaddr"
 	"swift/internal/reroute"
@@ -79,6 +80,8 @@ type peerState struct {
 	divertReady  map[netaddr.Prefix]time.Duration
 	predicted    map[netaddr.Prefix]bool
 	decisions    int
+	external     int // fused-verdict pre-triggers applied to this peer
+	vetoed       int // own inferences the fusion gate deferred
 
 	// Scoring.
 	ticks                      int
@@ -90,7 +93,18 @@ type peerState struct {
 // Eval replays the scenario and scores packet-level loss with SWIFT
 // enabled (the engine fleet's FIBs, fast-reroute overlay included) and
 // disabled (the vanilla per-prefix-write router) on the same stream.
-func (sc *Scenario) Eval() (*Report, error) {
+func (sc *Scenario) Eval() (*Report, error) { return sc.eval(false) }
+
+// EvalFused evaluates the scenario with fleet-level evidence fusion
+// enabled: the sessions share one fusion.Aggregator, wrong-link
+// inferences conflicting with stronger fleet evidence are vetoed, and
+// confirmed verdicts pre-trigger reroutes on lagging sessions. The
+// stream is delivered in per-peer segments with sync barriers in
+// between, so evidence reaches the aggregator in exact stream order and
+// the run is byte-deterministic like the per-peer one.
+func (sc *Scenario) EvalFused() (*Report, error) { return sc.eval(true) }
+
+func (sc *Scenario) eval(fused bool) (*Report, error) {
 	spec := sc.Spec
 
 	// 1. Capture the interleaved multi-session stream once.
@@ -146,8 +160,15 @@ func (sc *Scenario) Eval() (*Report, error) {
 		}
 		policy = &reroute.Policy{Cost: cost}
 	}
+	var fusionCfg *fusion.Config
+	if fused {
+		// ManualPump: verdicts fan out only at the loop's own tick
+		// barriers below, never from a background goroutine.
+		fusionCfg = &fusion.Config{ManualPump: true}
+	}
 	var provisionErr error
 	fleet := controller.NewFleet(controller.FleetConfig{
+		Fusion: fusionCfg,
 		Engine: func(key controller.PeerKey) swiftengine.Config {
 			return swiftengine.Config{
 				LocalAS:         sc.Vantage,
@@ -178,13 +199,24 @@ func (sc *Scenario) Eval() (*Report, error) {
 		Observer: controller.FleetObserver{
 			OnDecision: func(key controller.PeerKey, d swiftengine.Decision) {
 				pe := byKey[key]
-				pe.decisions++
+				if d.External {
+					pe.external++
+				} else {
+					pe.decisions++
+				}
 				ready := d.At + d.DataplaneTime
 				// First batch only: later decisions refine the rule set
 				// make-before-break, so a flow matched by rules since
 				// the first install is never re-blackholed.
 				if pe.rerouteReady == 0 {
 					pe.rerouteReady = ready
+				}
+				// An external verdict only widens the rule set; prefixes it
+				// newly predicts were already diverted by any earlier
+				// batch's link-granular rules, so never push their charged
+				// divert time past the first install window.
+				if d.External && pe.rerouteReady < ready {
+					ready = pe.rerouteReady
 				}
 				for _, p := range d.Predicted {
 					pe.predicted[p] = true
@@ -205,6 +237,29 @@ func (sc *Scenario) Eval() (*Report, error) {
 		return nil, fmt.Errorf("scenario %q: provision: %w", spec.Name, provisionErr)
 	}
 
+	// deliver hands a stream slice to the fleet. Per-peer evaluation
+	// rides the fleet's concurrent per-peer queues as-is. Fused
+	// evaluation serializes: maximal same-peer runs with a sync barrier
+	// between them, so the shared aggregator observes proposals in exact
+	// stream order and verdicts (and vetoes) are deterministic.
+	deliver := func(evs []event.Event) error {
+		if !fused {
+			return fleet.Apply(evs)
+		}
+		for len(evs) > 0 {
+			k := 1
+			for k < len(evs) && evs[k].Peer == evs[0].Peer {
+				k++
+			}
+			if err := fleet.Apply(evs[:k]); err != nil {
+				return err
+			}
+			fleet.Sync()
+			evs = evs[k:]
+		}
+		return nil
+	}
+
 	// 4. The virtual-time loop: deliver the stream slice up to each
 	// tick, then forward every flow through both dataplanes.
 	cursor := 0
@@ -214,12 +269,17 @@ func (sc *Scenario) Eval() (*Report, error) {
 			j++
 		}
 		if j > cursor {
-			if err := fleet.Apply(events[cursor:j]); err != nil {
+			if err := deliver(events[cursor:j]); err != nil {
 				return nil, err
 			}
 			cursor = j
 		}
 		fleet.Sync()
+		if fused {
+			// Fan the fused verdict out at the tick barrier — the manual
+			// pump point; pre-triggered peers record external decisions.
+			fleet.FusePump(t)
+		}
 		for _, pe := range peers {
 			pe.applyWrites(t)
 			sc.scoreTick(fleet, pe, t)
@@ -231,16 +291,29 @@ func (sc *Scenario) Eval() (*Report, error) {
 	// Drain the tail (the closing ticks) so bursts end and the engines
 	// run their burst-end fallback; not scored.
 	if cursor < len(events) {
-		if err := fleet.Apply(events[cursor:]); err != nil {
+		if err := deliver(events[cursor:]); err != nil {
 			return nil, err
 		}
 	}
 	fleet.Sync()
+	if fused {
+		for _, s := range sc.Sessions {
+			if p, ok := fleet.Lookup(s.Peer); ok {
+				pe := byKey[s.Peer]
+				p.Do(func(e *swiftengine.Engine) { pe.vetoed = e.Vetoed() })
+			}
+		}
+	}
 	fleet.Close()
 
 	// 5. Report.
+	mode := ModePerPeer
+	if fused {
+		mode = ModeFused
+	}
 	rep := &Report{
 		Name:     spec.Name,
+		Mode:     mode,
 		Seed:     spec.Seed,
 		Remote:   sc.Remote(),
 		Failure:  sc.FailureDesc,
@@ -393,7 +466,8 @@ func (sc *Scenario) scoreTick(fleet *controller.Fleet, pe *peerState, t time.Dur
 			delB := okB && sc.oracleValid(nhB, f.origin, t)
 
 			delS := delB
-			if nh, prio, ok := fib.ForwardDetail(f.addr); ok && prio == swiftengine.ReroutePriority {
+			if nh, prio, ok := fib.ForwardDetail(f.addr); ok &&
+				(prio == swiftengine.ReroutePriority || prio == swiftengine.ExternalReroutePriority) {
 				ready, known := pe.divertReady[f.prefix]
 				if !known {
 					ready = pe.rerouteReady
@@ -434,6 +508,8 @@ func (pe *peerState) report() PeerReport {
 		SwiftRestore: pe.lastSwiftLoss,
 		BGPRestore:   pe.lastBGPLoss,
 		Decisions:    pe.decisions,
+		External:     pe.external,
+		Vetoed:       pe.vetoed,
 		Withdrawn:    len(pe.truth),
 		Predicted:    len(pe.predicted),
 	}
@@ -464,16 +540,31 @@ func (pe *peerState) report() PeerReport {
 // the matrix order, so the output is deterministic regardless of
 // parallelism.
 func Run(matrix string, seed int64) (*MatrixReport, error) {
+	return RunMode(matrix, seed, false)
+}
+
+// RunMode is Run with the evaluation mode explicit: fused enables
+// fleet-level evidence fusion (EvalFused) on every scenario.
+func RunMode(matrix string, seed int64, fused bool) (*MatrixReport, error) {
 	specs, err := Matrix(matrix, seed)
 	if err != nil {
 		return nil, err
 	}
-	return RunSpecs(matrix, seed, specs)
+	return RunSpecsMode(matrix, seed, specs, fused)
 }
 
-// RunSpecs evaluates an explicit scenario list.
+// RunSpecs evaluates an explicit scenario list in per-peer mode.
 func RunSpecs(matrix string, seed int64, specs []Spec) (*MatrixReport, error) {
-	rep := &MatrixReport{Matrix: matrix, Seed: seed, Scenarios: make([]*Report, len(specs))}
+	return RunSpecsMode(matrix, seed, specs, false)
+}
+
+// RunSpecsMode evaluates an explicit scenario list in either mode.
+func RunSpecsMode(matrix string, seed int64, specs []Spec, fused bool) (*MatrixReport, error) {
+	mode := ModePerPeer
+	if fused {
+		mode = ModeFused
+	}
+	rep := &MatrixReport{Matrix: matrix, Mode: mode, Seed: seed, Scenarios: make([]*Report, len(specs))}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(specs) {
 		workers = len(specs)
@@ -500,7 +591,7 @@ func RunSpecs(matrix string, seed int64, specs []Spec) (*MatrixReport, error) {
 				if failed || i >= len(specs) {
 					return
 				}
-				r, err := evalSpec(specs[i])
+				r, err := evalSpec(specs[i], fused)
 				mu.Lock()
 				if err != nil {
 					errs = append(errs, fmt.Errorf("scenario %q: %w", specs[i].Name, err))
@@ -519,10 +610,10 @@ func RunSpecs(matrix string, seed int64, specs []Spec) (*MatrixReport, error) {
 	return rep, nil
 }
 
-func evalSpec(spec Spec) (*Report, error) {
+func evalSpec(spec Spec, fused bool) (*Report, error) {
 	sc, err := Build(spec)
 	if err != nil {
 		return nil, err
 	}
-	return sc.Eval()
+	return sc.eval(fused)
 }

@@ -5,6 +5,13 @@ import (
 	"time"
 )
 
+// Evaluation modes: per-peer is classic SWIFT (every session infers and
+// acts alone); fused shares one evidence aggregator across the fleet.
+const (
+	ModePerPeer = "per-peer"
+	ModeFused   = "fused"
+)
+
 // PeerReport is one session's packet-level outcome: the loss a SWIFTED
 // router and a vanilla router suffer on the same event stream, plus the
 // prediction quality of the accepted inferences against ground truth.
@@ -36,7 +43,12 @@ type PeerReport struct {
 	// of prefixes the decisions diverted. TP/FP/FN decompose Predicted
 	// against ground truth; FPR is FP over the session's unaffected
 	// prefixes and FNR is FN over Withdrawn.
-	Decisions int     `json:"decisions"`
+	Decisions int `json:"decisions"`
+	// External counts fused-verdict pre-triggers applied to the session
+	// and Vetoed its own inferences the fusion gate deferred; both are
+	// zero (and omitted) in per-peer mode.
+	External  int     `json:"external_decisions,omitempty"`
+	Vetoed    int     `json:"vetoed,omitempty"`
 	Withdrawn int     `json:"withdrawn"`
 	Predicted int     `json:"predicted"`
 	TP        int     `json:"tp"`
@@ -49,6 +61,7 @@ type PeerReport struct {
 // Report is one evaluated scenario.
 type Report struct {
 	Name   string `json:"name"`
+	Mode   string `json:"mode,omitempty"`
 	Seed   int64  `json:"seed"`
 	Remote bool   `json:"remote"`
 	// Failure describes the injected fault ("link (5,6)" / "as 6").
@@ -81,6 +94,7 @@ func (r *Report) aggregate() {
 // name and seed, byte-identical JSON.
 type MatrixReport struct {
 	Matrix    string    `json:"matrix"`
+	Mode      string    `json:"mode,omitempty"`
 	Seed      int64     `json:"seed"`
 	Scenarios []*Report `json:"scenarios"`
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"swift/internal/event"
+	"swift/internal/fusion"
 	"swift/internal/netaddr"
 	"swift/internal/telemetry"
 )
@@ -188,25 +189,39 @@ func BenchmarkEngineApplySteadyState(b *testing.B) {
 // TestApplySteadyStateZeroAllocInstrumented pins the telemetry design
 // contract: a fully instrumented engine's steady-state Apply allocates
 // nothing — handles are pre-resolved, tallies are batch-local, flushes
-// are plain atomic adds.
+// are plain atomic adds. The fused variant wires the engine into a
+// live evidence aggregator: steady-state deliveries make no decisions,
+// so the fusion gate must stay entirely off the hot path and the
+// contract is unchanged.
 func TestApplySteadyStateZeroAllocInstrumented(t *testing.T) {
 	const nEvents = 1024
 	prefixes := make([]netaddr.Prefix, nEvents)
 	for i := range prefixes {
 		prefixes[i] = netaddr.PrefixFor(8, i)
 	}
-	e := benchEngineMetrics(t, prefixes, benchMetrics(telemetry.NewRegistry()))
 	path := []uint32{2, 5, 6}
 	batch := make(event.Batch, 0, nEvents)
 	for i, p := range prefixes {
 		batch = append(batch, event.Announce(time.Duration(i)*time.Microsecond, p, path))
 	}
-	allocs := testing.AllocsPerRun(50, func() {
-		if err := e.Apply(batch); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("instrumented steady-state Apply allocates %.1f/op, want 0", allocs)
+	for _, mode := range []string{"plain", "fused"} {
+		t.Run(mode, func(t *testing.T) {
+			e := benchEngineMetrics(t, prefixes, benchMetrics(telemetry.NewRegistry()))
+			if mode == "fused" {
+				agg := fusion.NewAggregator(fusion.Config{}, e.Pool())
+				key := event.PeerKey{AS: 2, BGPID: 1}
+				e.cfg.Fusion = agg.Gate(key)
+				agg.BurstStart(key, 0)
+				defer agg.Retract(key)
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if err := e.Apply(batch); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("instrumented steady-state Apply (%s) allocates %.1f/op, want 0", mode, allocs)
+			}
+		})
 	}
 }

@@ -20,12 +20,23 @@ import (
 	"swift/internal/dataplane"
 	"swift/internal/encoding"
 	"swift/internal/event"
+	"swift/internal/fusion"
 	"swift/internal/inference"
 	"swift/internal/netaddr"
 	"swift/internal/reroute"
 	"swift/internal/rib"
 	"swift/internal/topology"
 )
+
+// FusionGate is the engine's hook into a fleet-level evidence-fusion
+// layer (internal/fusion). When configured, every accepted inference is
+// offered as a Proposal before its rules are installed; a veto defers
+// the reroute (the fleet holds materially stronger, disjoint evidence).
+// Propose is called at decision points only — never on the per-event
+// hot path — and runs synchronously on the applying goroutine.
+type FusionGate interface {
+	Propose(p fusion.Proposal) fusion.Answer
+}
 
 // Config assembles the engine's tunables. Zero values select the
 // paper's defaults everywhere.
@@ -53,6 +64,11 @@ type Config struct {
 	// the provisioned routes. Equivalence tests force the full recompile
 	// through this to pin that the skip never changes FIB contents.
 	DisableProvisionSkip bool
+	// Fusion, when set, offers every accepted inference to a fleet-level
+	// evidence-fusion gate before acting on it, and lets the fleet apply
+	// externally-confirmed verdicts via ApplyExternal. Nil (the default)
+	// keeps pure per-peer behavior.
+	Fusion FusionGate
 	// Observer receives push notifications at the engine's lifecycle
 	// points (burst start/end, decisions, provisioning).
 	Observer Observer
@@ -131,6 +147,16 @@ type Decision struct {
 	// InferLatency is the wall-clock time the inference computation
 	// took — the engine-side half of the paper's reaction-time budget.
 	InferLatency time.Duration
+	// External marks a decision applied from a fleet-level fused verdict
+	// (ApplyExternal) rather than this session's own inference. External
+	// decisions must not be re-offered as fusion evidence.
+	External bool
+	// WithdrawnStart splits Predicted: Predicted[:WithdrawnStart] are
+	// prefixes still routed across the links at decision time,
+	// Predicted[WithdrawnStart:] were already withdrawn on the session.
+	// External decisions carry only corroborated-withdrawn prefixes, so
+	// theirs is 0.
+	WithdrawnStart int
 }
 
 // ProvisionInfo describes one successful Provision pass.
@@ -200,6 +226,17 @@ type Engine struct {
 	rerouteActive  bool
 	decisions      []Decision
 	deferred       int // inferences rejected by the plausibility gate
+	vetoed         int // inferences deferred by the fusion conflict gate
+
+	// Fusion state: ownLinks are the links of the engine's own current
+	// reroute (nil when the active rules are external-only); extLinks the
+	// fleet verdict's links when externally applied; extEpoch the last
+	// verdict epoch seen (0 = none), so repeated pump publications of an
+	// unchanged verdict are no-ops.
+	ownLinks  []topology.Link
+	extLinks  []topology.Link
+	extActive bool
+	extEpoch  uint64
 
 	// provisionSig memoizes the RIB-content signature the current plan
 	// and tags were compiled from; a burst-end fallback whose RIBs carry
@@ -499,16 +536,6 @@ func (e *Engine) applyReroute(at time.Duration, res inference.Result, inferLat t
 	if e.scheme == nil {
 		return
 	}
-	before := e.fib.Writes()
-	if e.rerouteActive {
-		e.fib.RemoveRulesAt(reroutePriority)
-	}
-	rules := e.scheme.RerouteRules(res.Links)
-	for i := range rules {
-		rules[i].Priority = reroutePriority
-	}
-	e.fib.InstallRules(rules)
-	e.rerouteActive = true
 	// The rules match tags, and stage-1 tags persist through the burst:
 	// prefixes already withdrawn in the control plane are diverted too,
 	// so the covered set is the union of still-active and withdrawn
@@ -517,11 +544,45 @@ func (e *Engine) applyReroute(at time.Duration, res inference.Result, inferLat t
 	// withdrawn then re-announced across the links can appear in both
 	// halves (as it always could).
 	predicted := e.tracker.AppendPredicted(nil, res.Links)
+	wStart := len(predicted)
 	predicted = e.tracker.AppendWithdrawnOn(predicted, res.Links)
+	if e.cfg.Fusion != nil {
+		// Offer the inference as fleet evidence; a veto means another
+		// in-burst vantage currently holds materially stronger, disjoint
+		// evidence, so acting on this one would likely divert the wrong
+		// link's prefixes. The evidence is recorded either way.
+		ans := e.cfg.Fusion.Propose(fusion.Proposal{
+			At:        at,
+			Links:     res.Links,
+			FS:        res.FS,
+			Received:  res.Received,
+			Withdrawn: predicted[wStart:],
+		})
+		e.cfg.Metrics.FusionProposals.Inc()
+		if !ans.Act {
+			e.vetoed++
+			e.cfg.Metrics.FusionVetoed.Inc()
+			e.logf("reroute vetoed at %v: links %v fs %.3f conflicts with fleet evidence fs %.3f",
+				at, res.Links, res.FS, ans.ConflictFS)
+			return
+		}
+	}
+	before := e.fib.Writes()
+	if e.rerouteActive {
+		e.fib.RemoveRulesAt(reroutePriority)
+	}
+	e.ownLinks = append(e.ownLinks[:0], res.Links...)
+	rules := e.scheme.RerouteRules(e.ownLinks)
+	for i := range rules {
+		rules[i].Priority = reroutePriority
+	}
+	e.fib.InstallRules(rules)
+	e.rerouteActive = true
 	d := Decision{
 		At:             at,
 		Result:         res,
 		Predicted:      predicted,
+		WithdrawnStart: wStart,
 		RulesInstalled: e.fib.Writes() - before,
 		InferLatency:   inferLat,
 	}
@@ -543,20 +604,154 @@ func dataplaneCost(c time.Duration) time.Duration {
 	return c
 }
 
+// linksCovered reports whether every link of needles is in haystack.
+func linksCovered(needles, haystack []topology.Link) bool {
+	for _, n := range needles {
+		found := false
+		for _, h := range haystack {
+			if h == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyExternal installs fast-reroute rules for a fleet-confirmed
+// failed-link set — the fan-out half of evidence fusion. External
+// rules live in their own priority tier (ExternalReroutePriority, just
+// below the engine's own at ReroutePriority) so a later local
+// inference neither churns them nor pays their install cost, and an
+// own rule wins wherever the two tiers overlap. The recorded
+// prediction is the verdict's corroborated-withdrawn prefixes
+// restricted to this session's coverage of the links, NOT the
+// session's full speculative crossing set — pre-triggering a lagging
+// peer must not inflate its false-positive rate.
+//
+// Re-publication of an unchanged verdict (same epoch) is a no-op, as is
+// a verdict the engine's own rules already cover. Like every mutation,
+// it must run on the engine's applying goroutine (a fleet calls it
+// under the peer lock).
+func (e *Engine) ApplyExternal(v fusion.Verdict) {
+	if e.scheme == nil || len(v.Links) == 0 {
+		return
+	}
+	if e.extEpoch == v.Epoch {
+		return
+	}
+	e.extEpoch = v.Epoch
+	if e.rerouteActive && linksCovered(v.Links, e.ownLinks) {
+		// The engine's own inference already diverts these links. If an
+		// earlier, wider verdict left an external tier standing (the
+		// fleet walked back a link), retire it — keeping stale rules
+		// would divert links nobody confirms anymore.
+		if e.extActive {
+			e.extActive = false
+			e.extLinks = e.extLinks[:0]
+			e.fib.RemoveRulesAt(extReroutePriority)
+		}
+		return
+	}
+	before := e.fib.Writes()
+	if e.extActive {
+		e.fib.RemoveRulesAt(extReroutePriority)
+	}
+	e.extLinks = append(e.extLinks[:0], v.Links...)
+	e.extActive = true
+	rules := e.scheme.RerouteRules(e.extLinks)
+	for i := range rules {
+		rules[i].Priority = extReroutePriority
+	}
+	e.fib.InstallRules(rules)
+	// Corroborated prediction: the verdict's withdrawn-somewhere set
+	// intersected with the prefixes this session has itself seen
+	// withdrawn across the confirmed links — control-plane facts on BOTH
+	// ends, never speculation. The session's speculative crossing set is
+	// deliberately excluded: scenario bursts withdraw a sample of the
+	// crossing prefixes, and predicting the rest here is exactly the
+	// false-positive inflation fusion exists to avoid. The installed
+	// rules still divert whole links, so flows the prediction undercounts
+	// restore through the rule match anyway.
+	local := e.tracker.AppendWithdrawnOn(nil, v.Links)
+	cover := make(map[netaddr.Prefix]struct{}, len(local))
+	for _, p := range local {
+		cover[p] = struct{}{}
+	}
+	predicted := make([]netaddr.Prefix, 0, len(v.Predicted))
+	for _, p := range v.Predicted {
+		if _, ok := cover[p]; ok {
+			predicted = append(predicted, p)
+		}
+	}
+	d := Decision{
+		At: v.At,
+		Result: inference.Result{
+			Links:    append([]topology.Link(nil), v.Links...),
+			FS:       v.FS,
+			Received: v.Supporters,
+			Accepted: true,
+		},
+		Predicted:      predicted,
+		RulesInstalled: e.fib.Writes() - before,
+		External:       true,
+	}
+	d.DataplaneTime = time.Duration(d.RulesInstalled) * dataplaneCost(e.cfg.RuleUpdateCost)
+	e.decisions = append(e.decisions, d)
+	e.cfg.Metrics.Decisions.Inc()
+	e.cfg.Metrics.FusionExternal.Inc()
+	e.cfg.Metrics.RulesInstalled.Add(uint64(d.RulesInstalled))
+	e.logf("external reroute at %v: links %v (fused fs %.3f, %d supporters), %d prefixes corroborated, %d rules",
+		v.At, v.Links, v.FS, v.Supporters, len(predicted), d.RulesInstalled)
+	if e.cfg.Observer.OnDecision != nil {
+		e.cfg.Observer.OnDecision(d)
+	}
+}
+
+// ClearExternal retires an externally-applied verdict: the fleet's
+// confirmed link set emptied (its supporting bursts ended or were
+// retracted). The external tier is removed wholesale; own-inference
+// rules, living in their own tier, are untouched.
+func (e *Engine) ClearExternal(at time.Duration) error {
+	e.extEpoch = 0
+	if !e.extActive {
+		return nil
+	}
+	e.extActive = false
+	e.extLinks = e.extLinks[:0]
+	if e.scheme != nil {
+		e.fib.RemoveRulesAt(extReroutePriority)
+	}
+	return nil
+}
+
+// Vetoed returns how many inferences the fusion conflict gate deferred.
+func (e *Engine) Vetoed() int { return e.vetoed }
+
+// ExternalActive reports whether an externally-confirmed verdict is
+// currently applied.
+func (e *Engine) ExternalActive() bool { return e.extActive }
+
 // ReroutePriority is the stage-2 priority of SWIFT's fast-reroute
-// rules; primary rules sit at PrimaryPriority. Exported so evaluation
+// rules; fleet-confirmed external verdicts install one notch below at
+// ExternalReroutePriority (a fresher local inference wins on overlap),
+// and primary rules sit at PrimaryPriority. Exported so evaluation
 // harnesses forwarding packets through the FIB can attribute a match to
 // the rule class that produced it.
 const (
-	ReroutePriority = 10
-	PrimaryPriority = 0
+	ReroutePriority         = 10
+	ExternalReroutePriority = 9
+	PrimaryPriority         = 0
 )
 
-// reroutePriority and primaryPriority keep the engine's internal
-// call sites short.
+// Internal aliases keep the engine's call sites short.
 const (
-	reroutePriority = ReroutePriority
-	primaryPriority = PrimaryPriority
+	reroutePriority    = ReroutePriority
+	extReroutePriority = ExternalReroutePriority
+	primaryPriority    = PrimaryPriority
 )
 
 // endBurst is SWIFT's fallback (§3): BGP has converged, the RIB holds
@@ -574,6 +769,16 @@ func (e *Engine) endBurst(at time.Duration) error {
 	}
 	e.tracker.Reset()
 	e.lastTriggerAt = 0
+	// Drop fusion state with the burst: the session reconverged, so both
+	// its own links and any externally-applied verdict stop mattering
+	// here. A still-live fleet verdict re-applies on the next pump.
+	e.ownLinks = e.ownLinks[:0]
+	e.extLinks = e.extLinks[:0]
+	if e.extActive {
+		e.fib.RemoveRulesAt(extReroutePriority)
+		e.extActive = false
+	}
+	e.extEpoch = 0
 	if e.rerouteActive {
 		e.fib.RemoveRulesAt(reroutePriority)
 		e.rerouteActive = false

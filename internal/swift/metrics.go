@@ -35,6 +35,13 @@ type Metrics struct {
 	// Unchanged/total is the provision-skip hit ratio.
 	Provisions          *telemetry.Counter
 	ProvisionsUnchanged *telemetry.Counter
+	// FusionProposals counts inferences offered to the fleet fusion
+	// gate; FusionVetoed those the gate deferred on conflicting
+	// evidence; FusionExternal the externally-confirmed verdicts applied
+	// (pre-trigger provisions).
+	FusionProposals *telemetry.Counter
+	FusionVetoed    *telemetry.Counter
+	FusionExternal  *telemetry.Counter
 	// InferLatency observes each inference run's computation time in
 	// seconds (accepted or not).
 	InferLatency *telemetry.Histogram
@@ -104,6 +111,7 @@ func TraceObserver(ring *telemetry.BurstRing, peer string) Observer {
 				PredictedPrefixes: len(d.Predicted),
 				Received:          d.Result.Received,
 				RulesInstalled:    d.RulesInstalled,
+				External:          d.External,
 			})
 		},
 		OnBurstEnd: func(at time.Duration, received int) {

@@ -7,6 +7,8 @@
 //	                  callback reports down)
 //	GET /peers        per-peer fleet status as JSON
 //	GET /bursts       the burst trace ring, newest first, as JSON
+//	GET /fusion       fusion aggregator stats + current verdict as JSON
+//	                  (when the fleet runs with fusion enabled)
 //	GET /debug/pprof/ the standard Go profiler endpoints
 //
 // NewHandler also completes the scrape-side wiring: given a fleet it
@@ -19,9 +21,11 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"swift/internal/bmp"
 	"swift/internal/controller"
+	"swift/internal/fusion"
 	"swift/internal/telemetry"
 )
 
@@ -84,12 +88,67 @@ func NewHandler(cfg Config) http.Handler {
 			writeJSON(w, cfg.Ring.Snapshot())
 		})
 	}
+	if cfg.Fleet != nil && cfg.Fleet.Fusion() != nil {
+		agg := cfg.Fleet.Fusion()
+		mux.HandleFunc("GET /fusion", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, fusionStatus(agg))
+		})
+	}
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// FusionStatus is the GET /fusion payload: the aggregator's counters
+// plus the currently confirmed verdict, when one stands.
+type FusionStatus struct {
+	Peers          int            `json:"peers"`
+	Bursting       int            `json:"bursting"`
+	EvidenceEvents uint64         `json:"evidence_events"`
+	Vetoes         uint64         `json:"vetoes"`
+	VerdictLinks   int            `json:"verdict_links"`
+	Epoch          uint64         `json:"epoch"`
+	Verdict        *FusionVerdict `json:"verdict,omitempty"`
+}
+
+// FusionVerdict is the JSON shape of a confirmed fleet verdict.
+type FusionVerdict struct {
+	Links      []string      `json:"links"`
+	Predicted  int           `json:"predicted_prefixes"`
+	FS         float64       `json:"fit_score"`
+	At         time.Duration `json:"at_ns"`
+	Supporters int           `json:"supporters"`
+	Epoch      uint64        `json:"epoch"`
+}
+
+func fusionStatus(agg *fusion.Aggregator) FusionStatus {
+	s := agg.Stats()
+	st := FusionStatus{
+		Peers:          s.Peers,
+		Bursting:       s.Bursting,
+		EvidenceEvents: s.EvidenceEvents,
+		Vetoes:         s.Vetoes,
+		VerdictLinks:   s.VerdictLinks,
+		Epoch:          s.Epoch,
+	}
+	if v, ok := agg.Snapshot(0); ok {
+		links := make([]string, len(v.Links))
+		for i, l := range v.Links {
+			links[i] = l.String()
+		}
+		st.Verdict = &FusionVerdict{
+			Links:      links,
+			Predicted:  len(v.Predicted),
+			FS:         v.FS,
+			At:         v.At,
+			Supporters: v.Supporters,
+			Epoch:      v.Epoch,
+		}
+	}
+	return st
 }
 
 // writeJSON renders v indented; the payloads are operator-facing and

@@ -25,6 +25,10 @@ type DecisionTrace struct {
 	Received int `json:"received"`
 	// RulesInstalled counts the stage-2 writes the decision performed.
 	RulesInstalled int `json:"rules_installed"`
+	// External marks a fleet-fused verdict applied to this peer rather
+	// than the session's own inference. For external records, Received
+	// carries the verdict's corroborating-peer count.
+	External bool `json:"external,omitempty"`
 }
 
 // ProvisionTrace is the burst-end fallback outcome of a record.

@@ -53,6 +53,7 @@ import (
 	"swift/internal/controller"
 	"swift/internal/encoding"
 	"swift/internal/event"
+	"swift/internal/fusion"
 	"swift/internal/inference"
 	"swift/internal/mrt"
 	"swift/internal/netaddr"
@@ -176,6 +177,24 @@ type (
 	// MRTSource replays MRT collector archives (RIB snapshot + update
 	// stream) into any Sink.
 	MRTSource = mrt.Source
+)
+
+// Cross-peer evidence fusion: a fleet configured with
+// FleetConfig.Fusion shares one FusionAggregator across its engines —
+// per-peer inferences become fleet evidence, corroborated links become
+// verdicts, and verdicts pre-trigger reroutes on lagging sessions.
+type (
+	// FusionConfig parameterizes the aggregator (set it on
+	// FleetConfig.Fusion; zero values take calibrated defaults).
+	FusionConfig = fusion.Config
+	// FusionAggregator is the fleet-level evidence store; reach it via
+	// Fleet.Fusion for stats and verdict snapshots.
+	FusionAggregator = fusion.Aggregator
+	// FusionVerdict is a confirmed failed-link set with its fused
+	// Fit-Score, supporter count and corroborated prefix union.
+	FusionVerdict = fusion.Verdict
+	// FusionStats is an aggregator's counter snapshot.
+	FusionStats = fusion.Stats
 )
 
 // Telemetry surface. A MetricsRegistry holds Prometheus-exposable
