@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"swift/internal/experiments"
 	"swift/internal/scenario"
@@ -56,9 +57,12 @@ func main() {
 
 	var render string
 	var buf []byte
+	var elapsed time.Duration
 	switch *mode {
 	case "both":
+		start := time.Now()
 		cmp, err := experiments.CompareScenarioModes(*matrix, *seed)
+		elapsed = time.Since(start)
 		if err != nil {
 			fatal(err)
 		}
@@ -69,7 +73,8 @@ func main() {
 			}
 		}
 	default:
-		rep, err := experiments.RunScenarioMatrixMode(*matrix, *seed, *mode)
+		rep, dt, err := experiments.RunScenarioMatrixModeTimed(*matrix, *seed, *mode)
+		elapsed = dt
 		if err != nil {
 			fatal(err)
 		}
@@ -80,6 +85,10 @@ func main() {
 			}
 		}
 	}
+	// Wall clock goes to stderr only: the report (stdout/-o) must stay
+	// byte-identical run to run for the determinism smoke.
+	fmt.Fprintf(os.Stderr, "swift-eval: matrix %q (%s) evaluated in %s\n",
+		*matrix, *mode, elapsed.Round(time.Millisecond))
 	if !*quiet {
 		fmt.Print(render)
 	}

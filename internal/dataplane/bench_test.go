@@ -1,14 +1,24 @@
 package dataplane
 
 import (
+	"fmt"
 	"testing"
 
 	"swift/internal/encoding"
 	"swift/internal/netaddr"
 )
 
+// The LPM benchmarks measure three structures side by side on the same
+// tables and address samples: the Poptrie (the FIB's stage-1 read path
+// — 16-bit direct root + popcount-indexed stride-6 levels), the
+// compressed binary Trie it fronts (the authoritative ordered store,
+// and the read path before PR 8), and the map-plus-length-scan baseline
+// the trie replaced in PR 5 (newMapLPM in lpm_test.go, retained as the
+// reference point of the whole trajectory).
+
 // benchPrefixes builds a mixed-length table shaped like a provisioned
-// stage 1: mostly /32 host routes plus covering blocks.
+// stage 1: mostly /32 host routes plus covering blocks — the hot-case
+// table the trie lost to the map on (BENCH_5: 177ns vs 13ns).
 func benchPrefixes(n int) []netaddr.Prefix {
 	out := make([]netaddr.Prefix, 0, n)
 	for i := 0; i < n; i++ {
@@ -21,18 +31,57 @@ func benchPrefixes(n int) []netaddr.Prefix {
 	return out
 }
 
-// BenchmarkLPMLookupTrie measures stage-1 longest-prefix match through
-// the compressed trie.
-func BenchmarkLPMLookupTrie(b *testing.B) {
-	var tr Trie
-	ps := benchPrefixes(100000)
-	for i, p := range ps {
-		tr.Insert(p, encoding.Tag(i%64))
-	}
+// benchAddrs samples hit addresses from a prefix table.
+func benchAddrs(ps []netaddr.Prefix) []uint32 {
 	addrs := make([]uint32, 1024)
 	for i := range addrs {
 		addrs[i] = ps[(i*97)%len(ps)].Addr()
 	}
+	return addrs
+}
+
+func fillPoptrie(ps []netaddr.Prefix) *Poptrie {
+	var pt Poptrie
+	for i, p := range ps {
+		pt.Insert(p, encoding.Tag(i%64))
+	}
+	return &pt
+}
+
+func fillTrie(ps []netaddr.Prefix) *Trie {
+	var tr Trie
+	for i, p := range ps {
+		tr.Insert(p, encoding.Tag(i%64))
+	}
+	return &tr
+}
+
+func fillMap(ps []netaddr.Prefix) *mapLPM {
+	r := newMapLPM()
+	for i, p := range ps {
+		r.Insert(p, encoding.Tag(i%64))
+	}
+	return r
+}
+
+// BenchmarkLPMLookupPoptrie measures stage-1 longest-prefix match on
+// the hot /32-heavy table through the direct-index + popcount read
+// path — the number that has to beat the map.
+func BenchmarkLPMLookupPoptrie(b *testing.B) {
+	pt := fillPoptrie(benchPrefixes(100000))
+	addrs := benchAddrs(benchPrefixes(100000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+// BenchmarkLPMLookupTrie measures the same lookups through the
+// authoritative compressed trie (the pre-PR-8 read path).
+func BenchmarkLPMLookupTrie(b *testing.B) {
+	tr := fillTrie(benchPrefixes(100000))
+	addrs := benchAddrs(benchPrefixes(100000))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -40,18 +89,75 @@ func BenchmarkLPMLookupTrie(b *testing.B) {
 	}
 }
 
-// BenchmarkLPMLookupMap measures the map-plus-length-scan baseline the
-// trie replaced (kept as the reference structure in lpm_test.go).
+// BenchmarkLPMLookupMap measures the map-plus-length-scan baseline,
+// retained since PR 5 as the fixed reference of the lookup trajectory.
 func BenchmarkLPMLookupMap(b *testing.B) {
-	r := newMapLPM()
-	ps := benchPrefixes(100000)
-	for i, p := range ps {
-		r.Insert(p, encoding.Tag(i%64))
+	r := fillMap(benchPrefixes(100000))
+	addrs := benchAddrs(benchPrefixes(100000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Lookup(addrs[i%len(addrs)])
 	}
-	addrs := make([]uint32, 1024)
-	for i := range addrs {
-		addrs[i] = ps[(i*97)%len(ps)].Addr()
+}
+
+// BenchmarkLPMLookupBatch measures the burst-amortized stage-1 path:
+// one LookupBatch call resolving 256 addresses, reported per packet.
+func BenchmarkLPMLookupBatch(b *testing.B) {
+	pt := fillPoptrie(benchPrefixes(100000))
+	addrs := benchAddrs(benchPrefixes(100000))[:256]
+	tags := make([]encoding.Tag, len(addrs))
+	ok := make([]bool, len(addrs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.LookupBatch(addrs, tags, ok)
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(addrs)), "ns/packet")
+}
+
+// benchDensePrefixes spreads n prefixes over /16../24 — the shape of a
+// full Internet table (BGP tables are /24-dominated with covering
+// aggregates) at realistic size, so the hit-latency target is proven at
+// 512k entries, not just the small fixtures.
+func benchDensePrefixes(n int) []netaddr.Prefix {
+	out := make([]netaddr.Prefix, 0, n)
+	for i := 0; i < n; i++ {
+		length := 16 + i%9
+		addr := (uint32(i)*2654435761 + 40503) & netaddr.Mask(length)
+		out = append(out, netaddr.MakePrefix(addr, length))
+	}
+	return out
+}
+
+// BenchmarkLPMLookupDensePoptrie / ...DenseTrie / ...DenseMap: hit
+// lookups against a 512k-entry /16../24 full-table shape.
+func BenchmarkLPMLookupDensePoptrie(b *testing.B) {
+	ps := benchDensePrefixes(512 << 10)
+	pt := fillPoptrie(ps)
+	addrs := benchAddrs(ps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkLPMLookupDenseTrie(b *testing.B) {
+	ps := benchDensePrefixes(512 << 10)
+	tr := fillTrie(ps)
+	addrs := benchAddrs(ps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkLPMLookupDenseMap(b *testing.B) {
+	ps := benchDensePrefixes(512 << 10)
+	r := fillMap(ps)
+	addrs := benchAddrs(ps)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -60,8 +166,8 @@ func BenchmarkLPMLookupMap(b *testing.B) {
 }
 
 // benchMixedLengths spreads prefixes over many distinct lengths
-// (8..32), the shape of a real Internet table — the case the old
-// length-probe scan degrades on (one map probe per populated length).
+// (8..32), hits at varying depths — the case the old length-probe scan
+// degrades on (one map probe per populated length).
 func benchMixedLengths(n int) []netaddr.Prefix {
 	out := make([]netaddr.Prefix, 0, n)
 	for i := 0; i < n; i++ {
@@ -73,14 +179,21 @@ func benchMixedLengths(n int) []netaddr.Prefix {
 	return out
 }
 
-// BenchmarkLPMMixedLengthsTrie / ...Map: lookups against a table with
-// 25 populated prefix lengths, hits at varying depths.
-func BenchmarkLPMMixedLengthsTrie(b *testing.B) {
-	var tr Trie
+// BenchmarkLPMMixedLengths{Poptrie,Trie,Map}: lookups against a table
+// with 25 populated prefix lengths.
+func BenchmarkLPMMixedLengthsPoptrie(b *testing.B) {
 	ps := benchMixedLengths(100000)
-	for i, p := range ps {
-		tr.Insert(p, encoding.Tag(i%64))
+	pt := fillPoptrie(ps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Lookup(ps[(i*97)%len(ps)].Addr())
 	}
+}
+
+func BenchmarkLPMMixedLengthsTrie(b *testing.B) {
+	ps := benchMixedLengths(100000)
+	tr := fillTrie(ps)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -89,11 +202,8 @@ func BenchmarkLPMMixedLengthsTrie(b *testing.B) {
 }
 
 func BenchmarkLPMMixedLengthsMap(b *testing.B) {
-	r := newMapLPM()
 	ps := benchMixedLengths(100000)
-	for i, p := range ps {
-		r.Insert(p, encoding.Tag(i%64))
-	}
+	r := fillMap(ps)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -101,14 +211,20 @@ func BenchmarkLPMMixedLengthsMap(b *testing.B) {
 	}
 }
 
-// BenchmarkLPMMissTrie / ...Map: addresses with no covering prefix.
-// The trie rejects at the first diverging node; the scan probes every
-// populated length before giving up.
-func BenchmarkLPMMissTrie(b *testing.B) {
-	var tr Trie
-	for i, p := range benchMixedLengths(100000) {
-		tr.Insert(p, encoding.Tag(i%64))
+// BenchmarkLPMMiss{Poptrie,Trie,Map}: addresses with no covering
+// prefix. The poptrie rejects on the root probe, the trie at the first
+// diverging node; the scan probes every populated length.
+func BenchmarkLPMMissPoptrie(b *testing.B) {
+	pt := fillPoptrie(benchMixedLengths(100000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Lookup(0xf0000000 | uint32(i))
 	}
+}
+
+func BenchmarkLPMMissTrie(b *testing.B) {
+	tr := fillTrie(benchMixedLengths(100000))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -117,10 +233,7 @@ func BenchmarkLPMMissTrie(b *testing.B) {
 }
 
 func BenchmarkLPMMissMap(b *testing.B) {
-	r := newMapLPM()
-	for i, p := range benchMixedLengths(100000) {
-		r.Insert(p, encoding.Tag(i%64))
-	}
+	r := fillMap(benchMixedLengths(100000))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -128,14 +241,25 @@ func BenchmarkLPMMissMap(b *testing.B) {
 	}
 }
 
-// BenchmarkLPMInsertDeleteTrie measures a full withdraw/re-announce
-// churn cycle against a warm 100k-entry trie.
-func BenchmarkLPMInsertDeleteTrie(b *testing.B) {
-	var tr Trie
+// BenchmarkLPMInsertDelete{Poptrie,Trie} measure a full
+// withdraw/re-announce churn cycle against a warm 100k-entry table —
+// the poptrie pays the incremental read-path mirror on top of the trie
+// write.
+func BenchmarkLPMInsertDeletePoptrie(b *testing.B) {
 	ps := benchPrefixes(100000)
-	for i, p := range ps {
-		tr.Insert(p, encoding.Tag(i%64))
+	pt := fillPoptrie(ps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ps[i%len(ps)]
+		pt.Delete(p)
+		pt.Insert(p, encoding.Tag(i%64))
 	}
+}
+
+func BenchmarkLPMInsertDeleteTrie(b *testing.B) {
+	ps := benchPrefixes(100000)
+	tr := fillTrie(ps)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -145,8 +269,9 @@ func BenchmarkLPMInsertDeleteTrie(b *testing.B) {
 	}
 }
 
-// BenchmarkForward measures the full two-stage pipeline lookup.
-func BenchmarkForward(b *testing.B) {
+// benchFIB provisions the two-stage pipeline the Forward benchmarks
+// share: 100k stage-1 entries, 8 stage-2 rules.
+func benchFIB() (*FIB, []uint32) {
 	f := New(Config{})
 	for i := 0; i < 100000; i++ {
 		f.SetTag(netaddr.PrefixFor(uint32(100+i%50), i/50), encoding.Tag(i%64))
@@ -158,9 +283,61 @@ func BenchmarkForward(b *testing.B) {
 	for i := range addrs {
 		addrs[i] = netaddr.PrefixFor(uint32(100+i%50), i).Addr()
 	}
+	return f, addrs
+}
+
+// BenchmarkForward measures the full two-stage pipeline, one packet per
+// call.
+func BenchmarkForward(b *testing.B) {
+	f, addrs := benchFIB()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Forward(addrs[i%len(addrs)])
+	}
+}
+
+// BenchmarkForwardBatch measures the burst pipeline: one ForwardBatch
+// call moving 256 packets through both stages, reported per packet.
+func BenchmarkForwardBatch(b *testing.B) {
+	f, addrs := benchFIB()
+	burst := addrs[:256]
+	nh := make([]uint32, len(burst))
+	ok := make([]bool, len(burst))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ForwardBatch(burst, nh, ok)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(burst)), "ns/packet")
+}
+
+// BenchmarkForwardBurst documents the amortization curve NDN-DPDK-style
+// burst sizing rests on: batched vs per-packet forwarding at burst
+// sizes 1, 16, 64 and 256, each reported per packet.
+func BenchmarkForwardBurst(b *testing.B) {
+	f, addrs := benchFIB()
+	for _, size := range []int{1, 16, 64, 256} {
+		burst := addrs[:size]
+		nh := make([]uint32, size)
+		ok := make([]bool, size)
+		b.Run(fmt.Sprintf("batched-%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.ForwardBatch(burst, nh, ok)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/packet")
+		})
+		b.Run(fmt.Sprintf("perpacket-%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, a := range burst {
+					f.Forward(a)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/packet")
+		})
 	}
 }

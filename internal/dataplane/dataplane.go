@@ -42,13 +42,20 @@ func (c Config) cost() time.Duration {
 }
 
 // FIB is the simulated two-stage forwarding table. Stage 1 is a
-// compressed binary trie (see Trie) looked up by longest-prefix match;
-// stage 2 is a priority-ordered ternary rule list over the tags stage 1
+// lookup-optimized LPM (see Poptrie): a 16-bit direct-index root array
+// with compressed popcount-indexed deeper levels as the read path,
+// fronting the compressed binary trie that stays the authoritative
+// ordered store (batched updates, iteration, deterministic Dump).
+// Stage 2 is a priority-ordered ternary rule list over the tags stage 1
 // produces.
 type FIB struct {
 	cfg    Config
-	stage1 Trie
+	stage1 Poptrie
 	stage2 []encoding.Rule
+
+	// batchTags is the scratch stage-1 output of the batched forwarding
+	// path, grown to the largest burst seen.
+	batchTags []encoding.Tag
 
 	writes  int
 	elapsed time.Duration
@@ -91,7 +98,7 @@ func (f *FIB) SetTag(p netaddr.Prefix, t encoding.Tag) {
 // retained), which keeps burst-end re-provisioning cheap for the
 // caller: the scheme's freshly compiled tag map is consumed in place.
 func (f *FIB) ReplaceTags(m map[netaddr.Prefix]encoding.Tag) {
-	f.stage1 = *TrieFromMap(m)
+	f.stage1.Replace(m)
 	f.charge(len(m))
 }
 
@@ -180,6 +187,72 @@ func (f *FIB) ForwardDetail(addr uint32) (nextHop uint32, priority int, ok bool)
 // tests and experiments that reason per prefix.
 func (f *FIB) ForwardPrefix(p netaddr.Prefix) (uint32, bool) {
 	return f.Forward(p.Addr())
+}
+
+// ForwardBatch runs the full pipeline for a burst of packets in one
+// call: nh[i], ok[i] receive what Forward(addrs[i]) would return. nh
+// and ok must be at least len(addrs) long. One batched stage-1 pass
+// resolves every tag before stage-2 matching, amortizing per-packet
+// call overhead the way NDN-DPDK forwards in bursts.
+func (f *FIB) ForwardBatch(addrs []uint32, nh []uint32, ok []bool) {
+	tags := f.stageOne(addrs, ok)
+	nh = nh[:len(addrs)]
+	rules := f.stage2
+	for i := range addrs {
+		if !ok[i] {
+			nh[i] = 0
+			continue
+		}
+		t := tags[i]
+		matched := false
+		for _, r := range rules {
+			if t&r.Mask == r.Value {
+				nh[i], matched = r.NextHop, true
+				break
+			}
+		}
+		if !matched {
+			nh[i], ok[i] = 0, false
+		}
+	}
+}
+
+// ForwardDetailBatch is ForwardBatch returning also each packet's
+// matched stage-2 priority, the batched counterpart of ForwardDetail.
+// nh, prio and ok must be at least len(addrs) long.
+func (f *FIB) ForwardDetailBatch(addrs []uint32, nh []uint32, prio []int, ok []bool) {
+	tags := f.stageOne(addrs, ok)
+	nh = nh[:len(addrs)]
+	prio = prio[:len(addrs)]
+	rules := f.stage2
+	for i := range addrs {
+		if !ok[i] {
+			nh[i], prio[i] = 0, 0
+			continue
+		}
+		t := tags[i]
+		matched := false
+		for _, r := range rules {
+			if t&r.Mask == r.Value {
+				nh[i], prio[i], matched = r.NextHop, r.Priority, true
+				break
+			}
+		}
+		if !matched {
+			nh[i], prio[i], ok[i] = 0, 0, false
+		}
+	}
+}
+
+// stageOne resolves a burst of stage-1 lookups into the FIB's scratch
+// tag buffer, returning it sized to the burst.
+func (f *FIB) stageOne(addrs []uint32, ok []bool) []encoding.Tag {
+	if cap(f.batchTags) < len(addrs) {
+		f.batchTags = make([]encoding.Tag, len(addrs))
+	}
+	tags := f.batchTags[:len(addrs)]
+	f.stage1.LookupBatch(addrs, tags, ok)
+	return tags
 }
 
 // Dump renders the complete forwarding state deterministically: every

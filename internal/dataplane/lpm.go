@@ -191,6 +191,28 @@ func (t *Trie) Lookup(addr uint32) (encoding.Tag, bool) {
 	return best, found
 }
 
+// lookupMax returns the longest tagged prefix of length <= maxBits
+// containing addr, encoded as the Poptrie root covers are: length+1,
+// with 0 meaning no match. It is the oracle the poptrie consults when a
+// deleted short prefix exposes the next-best cover of a root slot.
+func (t *Trie) lookupMax(addr uint32, maxBits uint8) (encoding.Tag, uint8) {
+	var best encoding.Tag
+	l := uint8(0)
+	for n := t.root; n != nil && n.bits <= maxBits; {
+		if addr&n.mask != n.key {
+			break
+		}
+		if n.tagged {
+			best, l = n.tag, n.bits+1
+		}
+		if n.bits == 32 {
+			break
+		}
+		n = n.child[bitAt(addr, n.bits)]
+	}
+	return best, l
+}
+
 // Get returns the tag stored exactly at p (no LPM).
 func (t *Trie) Get(p netaddr.Prefix) (encoding.Tag, bool) {
 	addr, plen := p.Addr(), uint8(p.Len())

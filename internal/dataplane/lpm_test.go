@@ -110,16 +110,19 @@ func TestTrieBasics(t *testing.T) {
 	}
 }
 
-// TestTriePropertyVsReference drives the trie and the brute-force
-// reference through long randomized insert/delete/lookup sequences —
-// including tag overwrites and full withdraw-then-re-announce cycles —
-// and requires identical observable behavior throughout.
+// TestTriePropertyVsReference drives the trie AND the poptrie read
+// path against the brute-force reference through long randomized
+// insert/delete/lookup sequences — tag overwrites, full
+// withdraw-then-re-announce cycles, whole-table Replace swaps and
+// batched ops — and requires the three structures to agree on every
+// observable after every (batch) operation.
 func TestTriePropertyVsReference(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			var tr Trie
+			var pop Poptrie
 			ref := newMapLPM()
 
 			// A confined universe of prefixes so operations collide:
@@ -131,51 +134,97 @@ func TestTriePropertyVsReference(t *testing.T) {
 				addr := uint32(10)<<24 | uint32(rng.Intn(8))<<16 | uint32(rng.Intn(16))<<8 | uint32(rng.Intn(4))
 				universe = append(universe, netaddr.MakePrefix(addr&netaddr.Mask(length), length))
 			}
+			var batchTags [32]encoding.Tag
+			var batchOK [32]bool
 			probe := func() {
-				for i := 0; i < 32; i++ {
-					addr := uint32(10)<<24 | uint32(rng.Intn(8))<<16 | uint32(rng.Intn(16))<<8 | uint32(rng.Intn(256))
+				var addrs [32]uint32
+				for i := range addrs {
+					addrs[i] = uint32(10)<<24 | uint32(rng.Intn(8))<<16 | uint32(rng.Intn(16))<<8 | uint32(rng.Intn(256))
+				}
+				pop.LookupBatch(addrs[:], batchTags[:], batchOK[:])
+				for i, addr := range addrs {
 					gt, gok := tr.Lookup(addr)
+					pt, pok := pop.Lookup(addr)
 					wt, wok := ref.Lookup(addr)
 					if gt != wt || gok != wok {
-						t.Fatalf("Lookup(%08x) = %v,%v want %v,%v", addr, gt, gok, wt, wok)
+						t.Fatalf("trie Lookup(%08x) = %v,%v want %v,%v", addr, gt, gok, wt, wok)
 					}
+					if pt != wt || pok != wok {
+						t.Fatalf("poptrie Lookup(%08x) = %v,%v want %v,%v", addr, pt, pok, wt, wok)
+					}
+					if batchTags[i] != wt || batchOK[i] != wok {
+						t.Fatalf("poptrie LookupBatch(%08x) = %v,%v want %v,%v", addr, batchTags[i], batchOK[i], wt, wok)
+					}
+				}
+			}
+			insert := func(step int, p netaddr.Prefix, tag encoding.Tag) {
+				got, pgot, want := tr.Insert(p, tag), pop.Insert(p, tag), ref.Insert(p, tag)
+				if got != want || pgot != want {
+					t.Fatalf("step %d: Insert(%s) fresh trie=%v pop=%v want %v", step, p, got, pgot, want)
+				}
+			}
+			remove := func(step int, p netaddr.Prefix) {
+				got, pgot, want := tr.Delete(p), pop.Delete(p), ref.Delete(p)
+				if got != want || pgot != want {
+					t.Fatalf("step %d: Delete(%s) trie=%v pop=%v want %v", step, p, got, pgot, want)
 				}
 			}
 
 			for step := 0; step < 4000; step++ {
 				p := universe[rng.Intn(len(universe))]
-				switch rng.Intn(10) {
+				switch rng.Intn(12) {
 				case 0, 1, 2, 3, 4: // insert / overwrite
-					tag := encoding.Tag(rng.Intn(64))
-					if got, want := tr.Insert(p, tag), ref.Insert(p, tag); got != want {
-						t.Fatalf("step %d: Insert(%s) fresh=%v want %v", step, p, got, want)
-					}
+					insert(step, p, encoding.Tag(rng.Intn(64)))
 				case 5, 6, 7: // delete (possibly absent)
-					if got, want := tr.Delete(p), ref.Delete(p); got != want {
-						t.Fatalf("step %d: Delete(%s) = %v want %v", step, p, got, want)
-					}
+					remove(step, p)
 				case 8: // withdraw-then-re-announce cycle with a new tag
-					tr.Delete(p)
-					ref.Delete(p)
-					tag := encoding.Tag(rng.Intn(64))
-					if got, want := tr.Insert(p, tag), ref.Insert(p, tag); got != want {
-						t.Fatalf("step %d: cycle Insert(%s) fresh=%v want %v", step, p, got, want)
-					}
+					remove(step, p)
+					insert(step, p, encoding.Tag(rng.Intn(64)))
 				case 9: // full flush of a random half, then re-announce
 					for _, q := range universe[:len(universe)/2] {
-						if got, want := tr.Delete(q), ref.Delete(q); got != want {
-							t.Fatalf("step %d: flush Delete(%s) = %v want %v", step, q, got, want)
-						}
+						remove(step, q)
 					}
 					for _, q := range universe[:len(universe)/4] {
-						tag := encoding.Tag(rng.Intn(64))
-						if got, want := tr.Insert(q, tag), ref.Insert(q, tag); got != want {
-							t.Fatalf("step %d: re-announce Insert(%s) = %v want %v", step, q, got, want)
+						insert(step, q, encoding.Tag(rng.Intn(64)))
+					}
+				case 10: // batched churn: one InsertBatch + one DeleteBatch
+					entries := make([]TagEntry, 0, 8)
+					dels := make([]netaddr.Prefix, 0, 4)
+					for i := 0; i < 8; i++ {
+						entries = append(entries, TagEntry{Prefix: universe[rng.Intn(len(universe))], Tag: encoding.Tag(rng.Intn(64))})
+					}
+					for i := 0; i < 4; i++ {
+						dels = append(dels, universe[rng.Intn(len(universe))])
+					}
+					fresh, pfresh := tr.InsertBatch(entries), pop.InsertBatch(entries)
+					wfresh := 0
+					for _, e := range entries {
+						if ref.Insert(e.Prefix, e.Tag) {
+							wfresh++
 						}
 					}
+					if fresh != wfresh || pfresh != wfresh {
+						t.Fatalf("step %d: InsertBatch fresh trie=%d pop=%d want %d", step, fresh, pfresh, wfresh)
+					}
+					hit, phit := tr.DeleteBatch(dels), pop.DeleteBatch(dels)
+					whit := 0
+					for _, q := range dels {
+						if ref.Delete(q) {
+							whit++
+						}
+					}
+					if hit != whit || phit != whit {
+						t.Fatalf("step %d: DeleteBatch hit trie=%d pop=%d want %d", step, hit, phit, whit)
+					}
+				case 11: // whole-table swap: the burst-end ReplaceTags path
+					snap := make(map[netaddr.Prefix]encoding.Tag, len(ref.m))
+					for q, tag := range ref.m {
+						snap[q] = tag
+					}
+					pop.Replace(snap)
 				}
-				if tr.Len() != len(ref.m) {
-					t.Fatalf("step %d: Len = %d, reference %d", step, tr.Len(), len(ref.m))
+				if tr.Len() != len(ref.m) || pop.Len() != len(ref.m) {
+					t.Fatalf("step %d: Len trie=%d pop=%d, reference %d", step, tr.Len(), pop.Len(), len(ref.m))
 				}
 				if step%64 == 0 {
 					probe()
@@ -197,6 +246,9 @@ func TestTriePropertyVsReference(t *testing.T) {
 			for p, want := range ref.m {
 				if got, ok := tr.Get(p); !ok || got != want {
 					t.Fatalf("Get(%s) = %v,%v want %v,true", p, got, ok, want)
+				}
+				if got, ok := pop.Get(p); !ok || got != want {
+					t.Fatalf("poptrie Get(%s) = %v,%v want %v,true", p, got, ok, want)
 				}
 			}
 		})

@@ -1,0 +1,404 @@
+package dataplane
+
+import (
+	"math/bits"
+
+	"swift/internal/encoding"
+	"swift/internal/netaddr"
+)
+
+// Poptrie is the lookup-optimized stage-1 LPM structure: a DIR-24-8 /
+// poptrie hybrid fronting the authoritative compressed binary Trie.
+//
+// The read path is a 16-bit-stride direct-index root array — one probe
+// resolves every prefix of length <= 16 — whose entries point, for
+// chunks holding a >/16 tail, into compressed popcount-indexed stride-6
+// nodes (two 64-bit occupancy vectors per node, children and pushed
+// leaf tags stored densely and addressed by popcount), so a /32 hit
+// costs the root probe plus at most three node hops and a miss rejects
+// at the first empty vector. The trie remains the ordered store: exact
+// match, iteration and the deterministic Dump contract delegate to it,
+// and it is the oracle consulted when deleting a short prefix exposes
+// the next-best cover for a root slot.
+//
+// Updates are incremental, mirrored from the trie's insert/delete path:
+// a long prefix repaints one node's 64 leaf slots from the node-local
+// prefix set, a short prefix touches its 2^(16-len) root slots, and a
+// whole-table swap (Replace) just marks the read path dirty so the next
+// lookup rebuilds it in one pass — burst-end re-provisioning pays
+// nothing until the table is actually read.
+//
+// The zero value is an empty structure ready for use. Like the Trie it
+// fronts, a Poptrie is not safe for concurrent use.
+type Poptrie struct {
+	trie Trie
+
+	// rootLeaf[s] is the tag of the longest <=16-bit prefix covering
+	// chunk s when no node exists for s; rootNode[s], when non-nil, is
+	// the stride-6 subtree for the chunk's >/16 tail (the chunk's cover
+	// then lives in the node's default, not here).
+	rootLeaf []rootLeaf
+	rootNode []*popNode
+
+	// dirty marks the read path stale after Replace; the next lookup
+	// rebuilds it from the trie.
+	dirty bool
+}
+
+// rootLeaf packs a root slot's cover so one cache line resolves both
+// the tag and the presence/length test. l encodes "no cover" as 0 and a
+// cover of length n as n+1, so the cleared state is the empty one.
+type rootLeaf struct {
+	tag encoding.Tag
+	l   uint8
+}
+
+// popNode is one stride-6 level of a chunk subtree. Occupied leaf slots
+// (leafBits) and children (intBits) are popcount-indexed into the dense
+// leaves/children slices. local holds the node's own prefixes — those
+// whose length lands within this node's six bits — from which the 64
+// leaf slots are repainted on every local update; defTag/defLen carry
+// the chunk's <=16-bit cover on depth-16 nodes (same 0 = none encoding
+// as rootLeaf.l).
+type popNode struct {
+	leafBits uint64
+	intBits  uint64
+	leaves   []encoding.Tag
+	children []*popNode
+	local    []localPfx
+	defTag   encoding.Tag
+	defLen   uint8
+}
+
+// localPfx is one prefix terminating inside a node: pat is its
+// remaining bits left-aligned in the 6-bit stride, rem (1..6) how many
+// of them are significant. It paints leaf slots [pat, pat+2^(6-rem)).
+type localPfx struct {
+	pat uint8
+	rem uint8
+	tag encoding.Tag
+}
+
+// Len returns the number of tagged prefixes.
+func (p *Poptrie) Len() int { return p.trie.Len() }
+
+// Get returns the tag stored exactly at pfx (no LPM).
+func (p *Poptrie) Get(pfx netaddr.Prefix) (encoding.Tag, bool) { return p.trie.Get(pfx) }
+
+// ForEach visits every tagged prefix in ascending netaddr order — the
+// trie's deterministic iteration, unchanged by the read structure.
+func (p *Poptrie) ForEach(fn func(pfx netaddr.Prefix, tag encoding.Tag)) { p.trie.ForEach(fn) }
+
+// Trie exposes the authoritative ordered store (read-only use).
+func (p *Poptrie) Trie() *Trie { return &p.trie }
+
+// Insert sets pfx's tag, returning true when pfx was not present
+// before, and mirrors the write into the read path.
+func (p *Poptrie) Insert(pfx netaddr.Prefix, tag encoding.Tag) bool {
+	fresh := p.trie.Insert(pfx, tag)
+	if !p.dirty {
+		p.ensure()
+		p.insertRead(pfx.Addr(), pfx.Len(), tag)
+	}
+	return fresh
+}
+
+// Delete removes pfx's tag, reporting whether it was present.
+func (p *Poptrie) Delete(pfx netaddr.Prefix) bool {
+	if !p.trie.Delete(pfx) {
+		return false
+	}
+	if !p.dirty && p.rootLeaf != nil {
+		p.deleteRead(pfx.Addr(), pfx.Len())
+	}
+	return true
+}
+
+// InsertBatch applies a batch of tag writes and returns how many were
+// new.
+func (p *Poptrie) InsertBatch(entries []TagEntry) int {
+	fresh := 0
+	for _, e := range entries {
+		if p.Insert(e.Prefix, e.Tag) {
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// DeleteBatch removes a batch of prefixes and returns how many were
+// present.
+func (p *Poptrie) DeleteBatch(ps []netaddr.Prefix) int {
+	hit := 0
+	for _, pfx := range ps {
+		if p.Delete(pfx) {
+			hit++
+		}
+	}
+	return hit
+}
+
+// Replace swaps in a complete table built from m. The read path is only
+// marked stale: the next lookup rebuilds it in one pass over the trie.
+func (p *Poptrie) Replace(m map[netaddr.Prefix]encoding.Tag) {
+	p.trie = *TrieFromMap(m)
+	p.dirty = true
+}
+
+// Lookup returns the tag of the longest tagged prefix containing addr.
+func (p *Poptrie) Lookup(addr uint32) (encoding.Tag, bool) {
+	if p.dirty {
+		p.rebuild()
+	}
+	if p.rootNode == nil {
+		return 0, false
+	}
+	s := addr >> 16
+	n := p.rootNode[s]
+	if n == nil {
+		rl := p.rootLeaf[s]
+		return rl.tag, rl.l != 0
+	}
+	best, ok := n.defTag, n.defLen != 0
+	key := addr << 16
+	for {
+		bit := uint64(1) << (key >> 26)
+		key <<= 6
+		if n.leafBits&bit != 0 {
+			best, ok = n.leaves[bits.OnesCount64(n.leafBits&(bit-1))], true
+		}
+		if n.intBits&bit == 0 {
+			return best, ok
+		}
+		n = n.children[bits.OnesCount64(n.intBits&(bit-1))]
+	}
+}
+
+// LookupBatch resolves a burst of addresses in one call: tags[i], ok[i]
+// receive what Lookup(addrs[i]) would return. tags and ok must be at
+// least len(addrs) long. Batching amortizes the per-call overhead and
+// keeps the root array hot across the burst, NDN-DPDK style.
+func (p *Poptrie) LookupBatch(addrs []uint32, tags []encoding.Tag, ok []bool) {
+	if p.dirty {
+		p.rebuild()
+	}
+	tags = tags[:len(addrs)]
+	ok = ok[:len(addrs)]
+	if p.rootNode == nil {
+		for i := range addrs {
+			tags[i], ok[i] = 0, false
+		}
+		return
+	}
+	for i, addr := range addrs {
+		n := p.rootNode[addr>>16]
+		if n == nil {
+			rl := p.rootLeaf[addr>>16]
+			tags[i], ok[i] = rl.tag, rl.l != 0
+			continue
+		}
+		best, found := n.defTag, n.defLen != 0
+		key := addr << 16
+		for {
+			bit := uint64(1) << (key >> 26)
+			key <<= 6
+			if n.leafBits&bit != 0 {
+				best, found = n.leaves[bits.OnesCount64(n.leafBits&(bit-1))], true
+			}
+			if n.intBits&bit == 0 {
+				break
+			}
+			n = n.children[bits.OnesCount64(n.intBits&(bit-1))]
+		}
+		tags[i], ok[i] = best, found
+	}
+}
+
+// ensure allocates the root arrays on first use.
+func (p *Poptrie) ensure() {
+	if p.rootLeaf == nil {
+		p.rootLeaf = make([]rootLeaf, 1<<16)
+		p.rootNode = make([]*popNode, 1<<16)
+	}
+}
+
+// rebuild reconstructs the read path from the trie in one ordered pass.
+func (p *Poptrie) rebuild() {
+	p.dirty = false
+	p.ensure()
+	clear(p.rootLeaf)
+	clear(p.rootNode)
+	p.trie.ForEach(func(pfx netaddr.Prefix, tag encoding.Tag) {
+		p.insertRead(pfx.Addr(), pfx.Len(), tag)
+	})
+}
+
+// insertRead mirrors one insert into the read structures.
+func (p *Poptrie) insertRead(addr uint32, plen int, tag encoding.Tag) {
+	if plen <= 16 {
+		p.insertShort(addr, plen, tag)
+		return
+	}
+	s := addr >> 16
+	n := p.rootNode[s]
+	if n == nil {
+		// First long prefix in the chunk: the root slot's cover moves
+		// into the node default.
+		rl := p.rootLeaf[s]
+		n = &popNode{defTag: rl.tag, defLen: rl.l}
+		p.rootNode[s] = n
+		p.rootLeaf[s] = rootLeaf{}
+	}
+	d, key := 16, addr<<16
+	for plen > d+6 {
+		n = n.ensureChild(uint(key >> 26))
+		key <<= 6
+		d += 6
+	}
+	// addr is masked to plen, so the top 6 remaining bits already have
+	// zeros below the rem significant ones.
+	n.setLocal(uint8(key>>26), uint8(plen-d), tag)
+	n.repaint()
+}
+
+// insertShort expands a <=16-bit prefix over its root slots, longest
+// cover winning per slot (equal length means the same prefix — an
+// overwrite).
+func (p *Poptrie) insertShort(addr uint32, plen int, tag encoding.Tag) {
+	l := uint8(plen) + 1
+	lo := addr >> 16
+	hi := lo + 1<<(16-plen)
+	for s := lo; s < hi; s++ {
+		if n := p.rootNode[s]; n != nil {
+			if l >= n.defLen {
+				n.defTag, n.defLen = tag, l
+			}
+		} else if l >= p.rootLeaf[s].l {
+			p.rootLeaf[s] = rootLeaf{tag: tag, l: l}
+		}
+	}
+}
+
+// deleteRead mirrors one delete; the trie (already updated) supplies
+// the next-best cover where a short prefix was the visible one.
+func (p *Poptrie) deleteRead(addr uint32, plen int) {
+	if plen <= 16 {
+		p.deleteShort(addr, plen)
+		return
+	}
+	s := addr >> 16
+	n := p.rootNode[s]
+	if n == nil {
+		return
+	}
+	if p.deleteLong(n, addr<<16, plen-16) {
+		// Chunk subtree emptied: its cover returns to the root slot.
+		p.rootLeaf[s] = rootLeaf{tag: n.defTag, l: n.defLen}
+		p.rootNode[s] = nil
+	}
+}
+
+// deleteShort withdraws a <=16-bit prefix: every slot it was the
+// visible cover of (cover length equal — a slot cannot be covered by
+// two distinct prefixes of one length) falls back to the next-best
+// cover the already-updated trie reports.
+func (p *Poptrie) deleteShort(addr uint32, plen int) {
+	l := uint8(plen) + 1
+	lo := addr >> 16
+	hi := lo + 1<<(16-plen)
+	for s := lo; s < hi; s++ {
+		if n := p.rootNode[s]; n != nil {
+			if n.defLen == l {
+				n.defTag, n.defLen = p.trie.lookupMax(s<<16, 16)
+			}
+		} else if p.rootLeaf[s].l == l {
+			tag, nl := p.trie.lookupMax(s<<16, 16)
+			p.rootLeaf[s] = rootLeaf{tag: tag, l: nl}
+		}
+	}
+}
+
+// deleteLong removes the prefix (key left-aligned, rem bits remaining)
+// from the subtree under n, collapsing emptied nodes; it reports
+// whether n itself is now empty.
+func (p *Poptrie) deleteLong(n *popNode, key uint32, rem int) bool {
+	if rem <= 6 {
+		n.removeLocal(uint8(key>>26), uint8(rem))
+		n.repaint()
+	} else {
+		bit := uint64(1) << (key >> 26)
+		if n.intBits&bit != 0 {
+			pos := bits.OnesCount64(n.intBits & (bit - 1))
+			if p.deleteLong(n.children[pos], key<<6, rem-6) {
+				copy(n.children[pos:], n.children[pos+1:])
+				n.children = n.children[:len(n.children)-1]
+				n.intBits &^= bit
+			}
+		}
+	}
+	return n.leafBits == 0 && n.intBits == 0
+}
+
+// ensureChild returns the child at slot idx, creating (and
+// popcount-inserting) it when absent.
+func (n *popNode) ensureChild(idx uint) *popNode {
+	bit := uint64(1) << idx
+	pos := bits.OnesCount64(n.intBits & (bit - 1))
+	if n.intBits&bit != 0 {
+		return n.children[pos]
+	}
+	c := &popNode{}
+	n.children = append(n.children, nil)
+	copy(n.children[pos+1:], n.children[pos:])
+	n.children[pos] = c
+	n.intBits |= bit
+	return c
+}
+
+// setLocal installs or overwrites the node-local prefix (pat, rem).
+func (n *popNode) setLocal(pat, rem uint8, tag encoding.Tag) {
+	for i := range n.local {
+		if n.local[i].pat == pat && n.local[i].rem == rem {
+			n.local[i].tag = tag
+			return
+		}
+	}
+	n.local = append(n.local, localPfx{pat: pat, rem: rem, tag: tag})
+}
+
+// removeLocal drops the node-local prefix (pat, rem) if present.
+func (n *popNode) removeLocal(pat, rem uint8) {
+	for i := range n.local {
+		if n.local[i].pat == pat && n.local[i].rem == rem {
+			n.local[i] = n.local[len(n.local)-1]
+			n.local = n.local[:len(n.local)-1]
+			return
+		}
+	}
+}
+
+// repaint rebuilds the node's 64 leaf slots from its local prefix set:
+// every local expands over 2^(6-rem) slots, the longest winning each
+// slot, and the dense popcount-indexed leaves vector is re-emitted in
+// slot order — so the painted state is independent of insertion order.
+func (n *popNode) repaint() {
+	var tag [64]encoding.Tag
+	var ln [64]uint8 // 0 = unpainted, else rem
+	for _, e := range n.local {
+		lo := uint(e.pat)
+		hi := lo + 1<<(6-e.rem)
+		for s := lo; s < hi; s++ {
+			if e.rem > ln[s] {
+				ln[s], tag[s] = e.rem, e.tag
+			}
+		}
+	}
+	n.leafBits = 0
+	n.leaves = n.leaves[:0]
+	for s := 0; s < 64; s++ {
+		if ln[s] != 0 {
+			n.leafBits |= uint64(1) << uint(s)
+			n.leaves = append(n.leaves, tag[s])
+		}
+	}
+}

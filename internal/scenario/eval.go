@@ -83,7 +83,14 @@ type peerState struct {
 	external     int // fused-verdict pre-triggers applied to this peer
 	vetoed       int // own inferences the fusion gate deferred
 
-	// Scoring.
+	// Scoring. addrs is the flow set's destination burst, built once;
+	// the per-dataplane result slices are reused every tick so the two
+	// FIBs forward the whole set in one ForwardBatch/ForwardDetailBatch
+	// call each instead of one pipeline walk per packet.
+	addrs                      []uint32
+	nhB, nhS                   []uint32
+	okB, okS                   []bool
+	prioS                      []int
 	ticks                      int
 	swiftLost, bgpLost         int64
 	lastSwiftLoss, lastBGPLoss time.Duration
@@ -369,6 +376,15 @@ func (sc *Scenario) newPeerState(sess Session, neighbors []uint32) *peerState {
 		pe.flows = append(pe.flows, flow{prefix: p, origin: origin, addr: p.Addr()})
 	}
 	pe.affected = make([]bool, len(pe.flows))
+	pe.addrs = make([]uint32, len(pe.flows))
+	for i := range pe.flows {
+		pe.addrs[i] = pe.flows[i].addr
+	}
+	pe.nhB = make([]uint32, len(pe.flows))
+	pe.nhS = make([]uint32, len(pe.flows))
+	pe.okB = make([]bool, len(pe.flows))
+	pe.okS = make([]bool, len(pe.flows))
+	pe.prioS = make([]int, len(pe.flows))
 
 	// Ground truth and the write queue: the vanilla router processes
 	// the stream message by message, each message paying one FIB write
@@ -458,22 +474,24 @@ func (sc *Scenario) scoreTick(fleet *controller.Fleet, pe *peerState, t time.Dur
 	if !ok {
 		return
 	}
+	// Both dataplanes forward the whole flow set in one burst: the
+	// vanilla router's FIB outside the peer lock, the engine's under it.
+	pe.bgpFIB.ForwardBatch(pe.addrs, pe.nhB, pe.okB)
 	p.Do(func(e *swiftengine.Engine) {
-		fib := e.FIB()
+		e.FIB().ForwardDetailBatch(pe.addrs, pe.nhS, pe.prioS, pe.okS)
 		for i := range pe.flows {
 			f := &pe.flows[i]
-			nhB, okB := pe.bgpFIB.Forward(f.addr)
-			delB := okB && sc.oracleValid(nhB, f.origin, t)
+			delB := pe.okB[i] && sc.oracleValid(pe.nhB[i], f.origin, t)
 
 			delS := delB
-			if nh, prio, ok := fib.ForwardDetail(f.addr); ok &&
+			if prio := pe.prioS[i]; pe.okS[i] &&
 				(prio == swiftengine.ReroutePriority || prio == swiftengine.ExternalReroutePriority) {
 				ready, known := pe.divertReady[f.prefix]
 				if !known {
 					ready = pe.rerouteReady
 				}
 				if t >= ready {
-					delS = sc.oracleValid(nh, f.origin, t)
+					delS = sc.oracleValid(pe.nhS[i], f.origin, t)
 				}
 				// Before ready the rule batch is still being written;
 				// updates are make-before-break, so the pre-reroute
