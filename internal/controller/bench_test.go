@@ -58,7 +58,7 @@ func BenchmarkFleetApplyParallel(b *testing.B) {
 	for i := range prefixes {
 		prefixes[i] = netaddr.PrefixFor(8, i)
 	}
-	for _, engines := range []int{1, 2, 4, 8} {
+	for _, engines := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("engines=%d", engines), func(b *testing.B) {
 			f := NewFleet(FleetConfig{
 				Engine: func(key PeerKey) swiftengine.Config {
@@ -142,6 +142,118 @@ func BenchmarkFleetApplyParallel(b *testing.B) {
 			}
 			b.ReportMetric(float64(engines), "peers")
 			b.ReportMetric(float64(events*engines)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			// Per-cycle wall clock in milliseconds: the speedup curve is
+			// this column flat (perfect overlap) vs linear (serialized).
+			b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "ms/cycle")
 		})
 	}
+}
+
+// BenchmarkFleetIngest100 measures the dataplane fan-out: one
+// BMP-station-shaped source — a single goroutine whose flushes carry
+// short interleaved per-peer runs, the way many monitored sessions
+// multiplex onto one TCP connection — feeding 100 engines through
+// Fleet.Apply. Every announcement replaces the prefix's route (two
+// paths alternate), so the number measures demux + shard delivery +
+// real engine work, not a no-op fast path.
+func BenchmarkFleetIngest100(b *testing.B) {
+	const (
+		nPeers    = 100
+		nPrefixes = 128
+		run       = 8   // events per peer per flush run
+		chunk     = 512 // events per Apply batch
+	)
+	prefixes := make([]netaddr.Prefix, nPrefixes)
+	for i := range prefixes {
+		prefixes[i] = netaddr.PrefixFor(8, i)
+	}
+	pathA := []uint32{2, 5, 6}
+	pathB := []uint32{2, 9, 6}
+
+	f := NewFleet(FleetConfig{
+		Engine: func(key PeerKey) swiftengine.Config {
+			cfg := swiftengine.Config{LocalAS: 1, PrimaryNeighbor: 2}
+			cfg.Inference.UseHistory = false
+			return cfg
+		},
+		QueueDepth: 256,
+	})
+	defer f.Close()
+
+	keys := make([]PeerKey, nPeers)
+	for i := range keys {
+		keys[i] = PeerKey{AS: 2, BGPID: uint32(i + 1)}
+	}
+	// Two streams, each a full-table refresh onto one path: rounds of
+	// `run` consecutive events per peer, rotating through all peers.
+	// Iterations alternate streams, so every announcement replaces the
+	// prefix's route while the pool's interned paths stay live.
+	build := func(path []uint32, at time.Duration) (event.Batch, time.Duration) {
+		var stream event.Batch
+		seq := make([]int, nPeers)
+		for block := 0; block < nPrefixes/run; block++ {
+			for pi, key := range keys {
+				for e := 0; e < run; e++ {
+					at += time.Microsecond
+					stream = append(stream, event.Announce(at, prefixes[seq[pi]], path).WithPeer(key))
+					seq[pi]++
+				}
+			}
+		}
+		return stream, at
+	}
+	streamB, at := build(pathB, 0)
+	streamA, at := build(pathA, at)
+	split := func(stream event.Batch) (out []event.Batch) {
+		for lo := 0; lo < len(stream); lo += chunk {
+			hi := lo + chunk
+			if hi > len(stream) {
+				hi = len(stream)
+			}
+			out = append(out, stream[lo:hi:hi])
+		}
+		return out
+	}
+	sides := [2][]event.Batch{split(streamB), split(streamA)}
+	span := at + time.Second
+
+	// Seed every table onto path A so each timed announcement is a
+	// route replacement, not an insert.
+	for _, key := range keys {
+		p := f.Peer(key)
+		for _, pfx := range prefixes {
+			p.LearnPrimary(pfx, pathA)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		batches := sides[n%2]
+		for _, batch := range batches {
+			if err := f.Apply(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		f.Sync()
+		b.StopTimer()
+		if n%2 == 1 {
+			for _, side := range sides {
+				for _, batch := range side {
+					shiftFleetBatch(batch, span)
+				}
+			}
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	for _, key := range keys {
+		n := 0
+		f.Peer(key).Do(func(e *swiftengine.Engine) { n = e.RIB().Len() })
+		if n != nPrefixes {
+			b.Fatalf("peer %s holds %d prefixes, want %d", key, n, nPrefixes)
+		}
+	}
+	b.ReportMetric(float64(len(streamA))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "ms/cycle")
 }

@@ -13,6 +13,7 @@ import (
 	"swift/internal/fusion"
 	"swift/internal/netaddr"
 	"swift/internal/rib"
+	"swift/internal/ring"
 	swiftengine "swift/internal/swift"
 )
 
@@ -88,9 +89,15 @@ type FleetConfig struct {
 	// verdicts as evidence arrives; deterministic harnesses set
 	// ManualPump and call FusePump at their own barriers.
 	Fusion *fusion.Config
-	// QueueDepth is the per-peer batch channel depth (default 64).
-	// A full queue blocks Enqueue — backpressure, never loss.
+	// QueueDepth is the per-shard delivery ring depth (default 64,
+	// rounded up to a power of two). A full ring blocks Enqueue —
+	// backpressure, never loss.
 	QueueDepth int
+	// Workers is the number of dataplane worker goroutines, each owning
+	// one shard of the peer engines (default GOMAXPROCS). Peers are
+	// pinned to shards by a stable key hash, so one peer's batches are
+	// always applied by one worker, in order.
+	Workers int
 	// Logf, when set, receives one line per fleet event.
 	Logf func(format string, args ...any)
 }
@@ -100,6 +107,13 @@ func (c FleetConfig) queueDepth() int {
 		return 64
 	}
 	return c.QueueDepth
+}
+
+func (c FleetConfig) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // fleetStripes is the lock-stripe count of the peer map. Peer lookup is
@@ -115,8 +129,12 @@ type fleetStripe struct {
 // Fleet is a pool of per-peer SWIFT engines — the multi-session
 // deployment of §4.1 ("a router runs one engine per session, in
 // parallel") behind a single ingestion front end. Peers are created on
-// first use; each owns its engine and a goroutine that applies
-// delivered batches, so N peers reroute independently and in parallel.
+// first use and pinned to one of a fixed set of dataplane workers
+// (NDN-DPDK's input/forward thread split): each worker owns a shard of
+// the engines and drains pre-demuxed per-peer batches from its own
+// bounded ring, so concurrent bursts on different peers — including
+// their burst-end provisioning passes — overlap across workers while
+// one peer's events stay strictly ordered.
 //
 // A Fleet is an event.Sink: Apply demultiplexes a batch on each event's
 // Peer key, so any Source feeds a fleet exactly as it would feed one
@@ -127,6 +145,7 @@ type Fleet struct {
 	cfg     FleetConfig
 	pool    *rib.Pool
 	stripes [fleetStripes]fleetStripe
+	workers []*fleetWorker
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 
@@ -167,6 +186,13 @@ func NewFleet(cfg FleetConfig) *Fleet {
 	for i := range f.stripes {
 		f.stripes[i].peers = make(map[PeerKey]*FleetPeer)
 	}
+	f.workers = make([]*fleetWorker, cfg.workerCount())
+	for i := range f.workers {
+		w := &fleetWorker{fleet: f, idx: i, ring: ring.New[delivery](cfg.queueDepth())}
+		f.workers[i] = w
+		f.wg.Add(1)
+		go w.run()
+	}
 	if cfg.Fusion != nil {
 		f.fusion = fusion.NewAggregator(*cfg.Fusion, f.pool)
 		if !cfg.Fusion.ManualPump {
@@ -187,6 +213,75 @@ func (f *Fleet) stripe(key PeerKey) *fleetStripe {
 	return &f.stripes[h%fleetStripes]
 }
 
+// worker returns the dataplane worker the key's peer is pinned to. The
+// assignment is a pure function of the key, so a peer torn down and
+// re-created lands on the same shard — its new session's batches queue
+// behind the old session's drain, never beside it.
+func (f *Fleet) worker(key PeerKey) *fleetWorker {
+	h := key.AS*0x9e3779b9 ^ key.BGPID*0x85ebca6b
+	return f.workers[h%uint32(len(f.workers))]
+}
+
+// fleetWorker is one dataplane shard: a goroutine draining deliveries
+// for its pinned peers from a bounded ring. Engines only ever run on
+// their shard's worker (setup and inspection calls still lock the
+// engine directly), so per-peer FIFO comes from ring order alone.
+type fleetWorker struct {
+	fleet *Fleet
+	idx   int
+	ring  *ring.Ring[delivery]
+	// full counts pushes that found the ring full and had to block —
+	// the backpressure signal surfaced on /metrics.
+	full atomic.Uint64
+}
+
+// run drains the shard ring until the fleet closes it, then finishes
+// whatever had already landed — drain-then-exit, never loss.
+func (w *fleetWorker) run() {
+	defer w.fleet.wg.Done()
+	buf := make([]delivery, 0, 32)
+	for {
+		buf = w.ring.PopBatchWait(buf)
+		if len(buf) == 0 {
+			return
+		}
+		for i := range buf {
+			w.process(buf[i])
+			buf[i] = delivery{} // drop the batch reference
+		}
+	}
+}
+
+func (w *fleetWorker) process(d delivery) {
+	if d.stop {
+		// Peer teardown sentinel: every batch the peer's session ever
+		// enqueued sits before this in the ring (ClosePeer waited out
+		// in-flight senders before pushing it), so the engine is idle.
+		if d.release {
+			d.peer.mu.Lock()
+			d.peer.engine.Release()
+			d.peer.mu.Unlock()
+			if f := w.fleet; f.fusion != nil {
+				// The session's evidence stops corroborating anything;
+				// links it alone supported drop on the next pump. A
+				// successor session for the key enqueues behind this
+				// sentinel, so its evidence survives the retraction.
+				f.fusion.Retract(d.peer.key)
+				f.kickFusePump()
+			}
+		}
+		return
+	}
+	if d.peer == nil {
+		// Fleet-level sync barrier.
+		if d.done != nil {
+			close(d.done)
+		}
+		return
+	}
+	d.peer.apply(d)
+}
+
 // Lookup returns the peer for key if it exists.
 func (f *Fleet) Lookup(key PeerKey) (*FleetPeer, bool) {
 	s := f.stripe(key)
@@ -196,13 +291,13 @@ func (f *Fleet) Lookup(key PeerKey) (*FleetPeer, bool) {
 	return p, ok
 }
 
-// Peer returns the engine peer for key, creating it (and its delivery
-// goroutine) on first use. Creation — including the OnPeer hook, which
-// may be expensive (e.g. loading an alternates RIB) — runs off the
-// stripe lock so it never stalls other peers' hot-path lookups; two
-// racing creators both initialize a candidate and the insert
-// double-checks, so OnPeer may run for a discarded candidate (it must
-// only touch the peer it is given).
+// Peer returns the engine peer for key, creating it on first use and
+// pinning it to its shard worker. Creation — including the OnPeer
+// hook, which may be expensive (e.g. loading an alternates RIB) — runs
+// off the stripe lock so it never stalls other peers' hot-path
+// lookups; two racing creators both initialize a candidate and the
+// insert double-checks, so OnPeer may run for a discarded candidate
+// (it must only touch the peer it is given).
 func (f *Fleet) Peer(key PeerKey) *FleetPeer {
 	s := f.stripe(key)
 	s.mu.RLock()
@@ -222,10 +317,9 @@ func (f *Fleet) Peer(key PeerKey) *FleetPeer {
 		cfg.Fusion = f.fusion.Gate(key)
 	}
 	cand := &FleetPeer{
-		key:   key,
-		fleet: f,
-		ch:    make(chan delivery, f.cfg.queueDepth()),
-		dead:  make(chan struct{}),
+		key:    key,
+		fleet:  f,
+		worker: f.worker(key),
 	}
 	cfg.Observer = f.wireObserver(cand, cfg.Observer)
 	cand.engine = swiftengine.New(cfg)
@@ -243,28 +337,26 @@ func (f *Fleet) Peer(key PeerKey) *FleetPeer {
 	}
 	if f.closed.Load() {
 		// The fleet closed while we were creating: register the peer
-		// dead (Enqueue reports false, no goroutine) so a racing Close
-		// never misses a running goroutine in its sweep. The closed
-		// store happens before Close takes this stripe's lock, so
-		// either we see it here or Close's sweep sees the map entry.
+		// dead (Enqueue reports false) so its batches are refused
+		// rather than landing on a closed ring. The closed store
+		// happens before Close takes this stripe's lock, so either we
+		// see it here or Close's sweep sees the map entry.
 		cand.closing.Store(true)
-		close(cand.dead)
 		s.peers[key] = cand
 		return cand
 	}
 	s.peers[key] = cand
-	f.wg.Add(1)
-	go cand.run()
 	f.logf("fleet: peer %s created", key)
 	return cand
 }
 
 // ClosePeer tears one session down: the peer leaves the pool
 // immediately (later traffic for the key builds a fresh peer), its
-// queue drains on the delivery goroutine, and the engine's path
+// in-flight batches drain on the shard worker, and the engine's path
 // references are released back to the shared pool. It reports whether
-// the key named a live peer. Teardown is asynchronous; Close still
-// waits for every torn-down goroutine.
+// the key named a live peer. Teardown is asynchronous; the release
+// happens once the worker reaches the peer's stop sentinel, behind
+// everything its session enqueued.
 func (f *Fleet) ClosePeer(key PeerKey) bool {
 	s := f.stripe(key)
 	s.mu.Lock()
@@ -276,13 +368,10 @@ func (f *Fleet) ClosePeer(key PeerKey) bool {
 	if !ok {
 		return false
 	}
+	// Evidence retraction rides the stop sentinel: the worker retracts
+	// after the session's last batch has applied, so a burst observed
+	// mid-drain cannot re-register the peer behind the retraction.
 	p.close(true)
-	if f.fusion != nil {
-		// The session's evidence stops corroborating anything; links it
-		// alone supported drop from the verdict on the next pump.
-		f.fusion.Retract(key)
-		f.kickFusePump()
-	}
 	f.logf("fleet: peer %s closed", key)
 	return true
 }
@@ -355,39 +444,26 @@ func (f *Fleet) wireObserver(p *FleetPeer, user swiftengine.Observer) swiftengin
 // Apply demultiplexes one event batch across the pool — the Sink
 // surface that makes a Fleet and an Engine interchangeable behind any
 // Source. Events are routed on their Peer key (peers are created on
-// first use) and enqueued to the per-peer delivery goroutines; each
-// peer's relative event order is preserved. A full peer queue blocks —
-// backpressure, never loss. Apply reports ErrClosed after Close.
+// first use) and enqueued to the shard rings; each peer's relative
+// event order is preserved. A full shard ring blocks — backpressure,
+// never loss. Apply reports ErrClosed after Close.
 func (f *Fleet) Apply(b event.Batch) error {
 	if len(b) == 0 {
 		return nil
 	}
-	// Fast path: sources flush per-peer batches, so a batch is almost
-	// always single-peer.
-	key := b[0].Peer
-	mixed := false
-	for i := 1; i < len(b); i++ {
-		if b[i].Peer != key {
-			mixed = true
-			break
+	// Deliver maximal single-peer runs as subslices of b. Sources flush
+	// per-peer batches, so the whole batch is almost always one run;
+	// interleaved batches split with zero allocations because a batch
+	// is retained until applied anyway — aliasing it is the contract.
+	start := 0
+	for i := 1; i <= len(b); i++ {
+		if i < len(b) && b[i].Peer == b[start].Peer {
+			continue
 		}
-	}
-	if !mixed {
-		return f.deliver(key, b)
-	}
-	// Mixed batch: split per peer in first-seen order.
-	byPeer := make(map[PeerKey]event.Batch)
-	var order []PeerKey
-	for _, ev := range b {
-		if _, ok := byPeer[ev.Peer]; !ok {
-			order = append(order, ev.Peer)
-		}
-		byPeer[ev.Peer] = append(byPeer[ev.Peer], ev)
-	}
-	for _, k := range order {
-		if err := f.deliver(k, byPeer[k]); err != nil {
+		if err := f.deliver(b[start].Peer, b[start:i:i]); err != nil {
 			return err
 		}
+		start = i
 	}
 	return nil
 }
@@ -530,39 +606,56 @@ func (f *Fleet) Metrics() FleetMetrics {
 }
 
 // Sync blocks until every batch enqueued before the call has been
-// applied by its peer's goroutine.
+// applied by its shard worker. It costs one barrier per worker, not
+// per peer: a done sentinel lands behind everything already in each
+// ring, so draining all the sentinels drains all prior batches.
 func (f *Fleet) Sync() {
-	for _, p := range f.Peers() {
-		p.Sync()
+	dones := make([]chan struct{}, 0, len(f.workers))
+	for _, w := range f.workers {
+		done := make(chan struct{})
+		if w.ring.Push(delivery{done: done}) {
+			dones = append(dones, done)
+		}
+	}
+	for _, done := range dones {
+		<-done
 	}
 }
 
-// Close stops every peer goroutine after its queue drains, then waits.
+// Close stops the shard workers after their rings drain, then waits.
 // The engines stay inspectable afterwards (unlike ClosePeer, Close does
-// not release them). Peers created concurrently with Close come out
-// dead (Enqueue reports false) rather than leaked: the closed flag is
-// published before the sweep takes each stripe lock, so every running
-// goroutine is in some stripe's map by then.
+// not release them). The sequence is refuse-then-drain: every peer is
+// marked closing (new senders refuse), in-flight senders are waited
+// out (their batches either landed or were refused), and only then are
+// the rings closed — the workers finish whatever landed and exit, so
+// nothing accepted is ever dropped. Peers created concurrently with
+// Close come out dead (Enqueue reports false) rather than leaked: the
+// closed flag is published before the sweep takes each stripe lock, so
+// either the creator sees it or the sweep sees the map entry.
 func (f *Fleet) Close() {
 	if !f.closed.Swap(true) {
 		if f.fuseStop != nil {
 			close(f.fuseStop)
 		}
+		var peers []*FleetPeer
 		for i := range f.stripes {
-			// Snapshot under the stripe lock, close outside it: the
-			// stop-sentinel send can block on a full queue whose runner
-			// may be in an observer hook touching fleet accessors, and
-			// those must not deadlock against a held stripe lock.
 			s := &f.stripes[i]
 			s.mu.Lock()
-			peers := make([]*FleetPeer, 0, len(s.peers))
 			for _, p := range s.peers {
 				peers = append(peers, p)
 			}
 			s.mu.Unlock()
-			for _, p := range peers {
-				p.close(false)
+		}
+		for _, p := range peers {
+			p.closing.Store(true)
+		}
+		for _, p := range peers {
+			for p.senders.Load() != 0 {
+				runtime.Gosched()
 			}
+		}
+		for _, w := range f.workers {
+			w.ring.Close()
 		}
 	}
 	f.wg.Wait()
@@ -583,29 +676,32 @@ func (f *Fleet) logf(format string, args ...any) {
 	}
 }
 
-// delivery is one hand-off to a peer goroutine: an event batch, a pure
-// synchronization point (nil batch, done channel), or the teardown
-// sentinel.
+// delivery is one hand-off to a shard worker: an event batch for one
+// peer, a synchronization point (nil batch, done channel; peer nil for
+// a fleet-wide barrier), or a peer's teardown sentinel.
 type delivery struct {
+	peer    *FleetPeer
 	batch   event.Batch
 	done    chan<- struct{} // closed after the batch is applied (Sync)
-	stop    bool            // teardown sentinel: drain, then exit
+	stop    bool            // peer teardown sentinel
 	release bool            // with stop: release the engine's pool refs
 }
 
-// FleetPeer is one peer's engine plus its delivery queue. Streaming
-// events arrive as event.Batches on a dedicated goroutine; setup calls
+// FleetPeer is one peer's engine pinned to a shard worker. Streaming
+// events arrive as event.Batches applied on the worker; setup calls
 // (Learn*, Provision) and inspection lock the engine directly.
 //
 // The delivery path is lock-free: Enqueue is an atomic in-flight count,
-// one closing-flag load and a channel send — no per-session mutex on
-// the demux path, so concurrent sources feeding different peers (or
-// even one peer) never serialize on anything but the queue itself.
-// Teardown closes dead, waits out the in-flight senders, then drains:
-// a batch either lands and is applied, or Enqueue reports false.
+// one closing-flag load and a ring push — no per-session mutex on the
+// demux path, so concurrent sources feeding different peers (or even
+// one peer) never serialize on anything but the shard ring itself.
+// Teardown refuses new senders, waits out the in-flight ones (their
+// batches either landed in the ring or were refused), and then lets
+// the worker drain past everything that landed.
 type FleetPeer struct {
-	key   PeerKey
-	fleet *Fleet
+	key    PeerKey
+	fleet  *Fleet
+	worker *fleetWorker
 
 	mu     sync.Mutex // guards engine (and rerouting, via the observer)
 	engine *swiftengine.Engine
@@ -614,10 +710,8 @@ type FleetPeer struct {
 	// runs under mu.
 	rerouting bool
 
-	ch      chan delivery
-	dead    chan struct{} // closed by the runner once teardown begins
-	closing atomic.Bool   // set by close(); new senders refuse
-	senders atomic.Int64  // in-flight Enqueue/Sync calls
+	closing atomic.Bool  // set by close(); new senders refuse
+	senders atomic.Int64 // in-flight Enqueue/Sync calls
 
 	withdrawals   atomic.Uint64
 	announcements atomic.Uint64
@@ -626,43 +720,6 @@ type FleetPeer struct {
 
 // Key returns the peer's identity.
 func (p *FleetPeer) Key() PeerKey { return p.key }
-
-// run applies delivered batches until the teardown sentinel arrives.
-func (p *FleetPeer) run() {
-	defer p.fleet.wg.Done()
-	for d := range p.ch {
-		if d.stop {
-			p.shutdown(d.release)
-			return
-		}
-		p.apply(d)
-	}
-}
-
-// shutdown completes teardown on the runner: publish death, wait out
-// the in-flight senders (their batches either landed in the queue or
-// were refused), drain what landed, and optionally release the engine.
-func (p *FleetPeer) shutdown(release bool) {
-	close(p.dead)
-	for p.senders.Load() != 0 {
-		runtime.Gosched()
-	}
-	for {
-		select {
-		case d := <-p.ch:
-			if !d.stop {
-				p.apply(d)
-			}
-		default:
-			if release {
-				p.mu.Lock()
-				p.engine.Release()
-				p.mu.Unlock()
-			}
-			return
-		}
-	}
-}
 
 func (p *FleetPeer) apply(d delivery) {
 	if len(d.batch) > 0 {
@@ -697,30 +754,32 @@ func (p *FleetPeer) apply(d delivery) {
 	}
 }
 
-// Enqueue hands a batch to the peer goroutine, blocking when the queue
-// is full (backpressure propagates to the router's TCP connection).
-// It reports false after the peer (or its fleet) has closed; a false
-// return means the batch was NOT delivered. The batch is retained until
-// applied; callers must not reuse its backing array. The ops counter
-// (withdraw/announce events, ticks excluded) advances as the peer
-// goroutine applies the batch.
+// Enqueue hands a batch to the peer's shard worker, blocking when the
+// shard ring is full (backpressure propagates to the router's TCP
+// connection). It reports false after the peer (or its fleet) has
+// closed; a false return means the batch was NOT delivered. The batch
+// is retained until applied; callers must not reuse its backing array.
+// The ops counter (withdraw/announce events, ticks excluded) advances
+// as the worker applies the batch.
 func (p *FleetPeer) Enqueue(b event.Batch) bool {
 	p.senders.Add(1)
 	defer p.senders.Add(-1)
 	if p.closing.Load() {
 		return false
 	}
-	select {
-	case p.ch <- delivery{batch: b}:
-		p.fleet.batches.Add(1)
-		return true
-	case <-p.dead:
-		return false
+	w := p.worker
+	if !w.ring.TryPush(delivery{peer: p, batch: b}) {
+		w.full.Add(1)
+		if !w.ring.Push(delivery{peer: p, batch: b}) {
+			return false // ring closed: fleet shut down mid-push
+		}
 	}
+	p.fleet.batches.Add(1)
+	return true
 }
 
-// Sync blocks until everything enqueued before it has been applied. It
-// returns immediately on a closed peer.
+// Sync blocks until everything enqueued to this peer before it has
+// been applied. It returns immediately on a closed peer.
 func (p *FleetPeer) Sync() {
 	p.senders.Add(1)
 	if p.closing.Load() {
@@ -728,23 +787,28 @@ func (p *FleetPeer) Sync() {
 		return
 	}
 	done := make(chan struct{})
-	select {
-	case p.ch <- delivery{done: done}:
+	if !p.worker.ring.Push(delivery{peer: p, done: done}) {
 		p.senders.Add(-1)
-		<-done
-	case <-p.dead:
-		p.senders.Add(-1)
+		return
 	}
+	p.senders.Add(-1)
+	<-done
 }
 
-// close begins teardown: refuse new senders, then hand the runner the
-// stop sentinel (the runner is alive until it processes one, so the
-// send always completes). Idempotent.
+// close begins teardown: refuse new senders, wait out the in-flight
+// ones so every batch the session delivered is already in the ring,
+// then push the stop sentinel behind them — the worker reaches it only
+// after the session's last batch is applied. The push fails only when
+// the fleet itself closed first; then the worker drains and exits with
+// the engine left allocated, exactly Close's semantics. Idempotent.
 func (p *FleetPeer) close(release bool) {
 	if p.closing.Swap(true) {
 		return
 	}
-	p.ch <- delivery{stop: true, release: release}
+	for p.senders.Load() != 0 {
+		runtime.Gosched()
+	}
+	p.worker.ring.Push(delivery{peer: p, stop: true, release: release})
 }
 
 // LearnPrimary installs a table-transfer route on the peer's primary

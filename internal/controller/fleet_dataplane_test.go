@@ -1,0 +1,279 @@
+package controller
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"swift/internal/event"
+	"swift/internal/fusion"
+	"swift/internal/netaddr"
+	swiftengine "swift/internal/swift"
+)
+
+// TestFleetPerPeerFIFOAcrossShards is the per-peer ordering property
+// test for the sharded dataplane: many peers spread across every shard
+// worker, each fed a sequence of single-withdrawal bursts whose start
+// times encode the enqueue order, producers interleaving their peers'
+// events into shared mixed batches with randomized run lengths. If the
+// demux, the ring, or the worker ever reorders one peer's deliveries,
+// a burst-start timestamp arrives out of sequence.
+func TestFleetPerPeerFIFOAcrossShards(t *testing.T) {
+	const (
+		producers = 3
+		perProd   = 4 // peers per producer
+		rounds    = 40
+	)
+	var mu sync.Mutex
+	starts := make(map[PeerKey][]time.Duration)
+	f := NewFleet(FleetConfig{
+		Engine: func(key PeerKey) swiftengine.Config {
+			cfg := swiftengine.Config{LocalAS: 1, PrimaryNeighbor: 2}
+			cfg.Burst.StartThreshold = 1
+			cfg.Inference.TriggerEvery = 1 << 20
+			cfg.Inference.UseHistory = false
+			return cfg
+		},
+		Observer: FleetObserver{
+			OnBurstStart: func(peer PeerKey, at time.Duration, _ int) {
+				mu.Lock()
+				starts[peer] = append(starts[peer], at)
+				mu.Unlock()
+			},
+		},
+		QueueDepth: 8, // small rings so wraparound and backpressure engage
+		Workers:    4,
+	})
+	defer f.Close()
+
+	pfx := netaddr.PrefixFor(8, 1)
+	var wg sync.WaitGroup
+	for prod := 0; prod < producers; prod++ {
+		wg.Add(1)
+		go func(prod int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(prod + 1)))
+			keys := make([]PeerKey, perProd)
+			next := make([]int, perProd)
+			for i := range keys {
+				keys[i] = PeerKey{AS: 2, BGPID: uint32(prod*perProd + i + 1)}
+			}
+			var batch event.Batch
+			for {
+				done := true
+				// Random run lengths over this producer's peers; one
+				// mixed batch may carry several peers and several rounds.
+				for i, key := range keys {
+					runLen := 1 + rng.Intn(3)
+					for r := 0; r < runLen && next[i] < rounds; r++ {
+						at := time.Duration(next[i]) * 2 * time.Hour
+						batch = append(batch,
+							event.Withdraw(at+time.Second, pfx).WithPeer(key),
+							event.Tick(at+time.Hour).WithPeer(key))
+						next[i]++
+					}
+					if next[i] < rounds {
+						done = false
+					}
+				}
+				if len(batch) > 0 {
+					if err := f.Apply(batch); err != nil {
+						t.Errorf("producer %d: %v", prod, err)
+						return
+					}
+					batch = nil // retained until applied
+				}
+				if done {
+					return
+				}
+			}
+		}(prod)
+	}
+	wg.Wait()
+	f.Sync()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(starts) != producers*perProd {
+		t.Fatalf("bursts observed on %d peers, want %d", len(starts), producers*perProd)
+	}
+	for key, ats := range starts {
+		if len(ats) != rounds {
+			t.Errorf("peer %s: %d bursts, want %d", key, len(ats), rounds)
+			continue
+		}
+		for i, at := range ats {
+			want := time.Duration(i)*2*time.Hour + time.Second
+			if at != want {
+				t.Fatalf("peer %s: burst %d started at %v, want %v — deliveries reordered", key, i, at, want)
+			}
+		}
+	}
+}
+
+// TestFleetApplyMixedAllocs pins the mixed-batch demux: splitting an
+// interleaved batch into per-peer runs must not allocate (the old demux
+// built a map and an order slice per batch).
+func TestFleetApplyMixedAllocs(t *testing.T) {
+	f := NewFleet(FleetConfig{QueueDepth: 1024})
+	defer f.Close()
+	keyA := PeerKey{AS: 2, BGPID: 1}
+	keyB := PeerKey{AS: 2, BGPID: 2}
+	// Tick-only events: the engines' quiet-state tick path does no
+	// work, so every allocation measured belongs to the delivery layer.
+	mixed := make(event.Batch, 0, 8)
+	for i := 0; i < 4; i++ {
+		at := time.Duration(i+1) * time.Second
+		mixed = append(mixed,
+			event.Tick(at).WithPeer(keyA),
+			event.Tick(at).WithPeer(keyB))
+	}
+	// Warm up: create both peers and grow any lazy buffers.
+	for i := 0; i < 16; i++ {
+		if err := f.Apply(mixed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Sync()
+	avg := testing.AllocsPerRun(100, func() {
+		if err := f.Apply(mixed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	f.Sync()
+	if avg >= 1 {
+		t.Errorf("mixed-batch Apply allocates %.1f objects per batch, want 0", avg)
+	}
+}
+
+// TestFleetDataplaneChurnRace interleaves every mutating surface of
+// the sharded dataplane — mixed-batch Apply across all peers, per-peer
+// teardown, manual fusion pumps, and finally Close racing them all —
+// so the race detector can see any unsynchronized state. Run with
+// -race in CI.
+func TestFleetDataplaneChurnRace(t *testing.T) {
+	const peers = 8
+	prefixes := make([]netaddr.Prefix, 64)
+	for i := range prefixes {
+		prefixes[i] = netaddr.PrefixFor(8, i)
+	}
+	cfg := FleetConfig{
+		Fusion: &fusion.Config{ManualPump: true},
+		Engine: func(key PeerKey) swiftengine.Config {
+			ecfg := swiftengine.Config{LocalAS: 1, PrimaryNeighbor: 2}
+			ecfg.Burst.StartThreshold = 8
+			ecfg.Inference.TriggerEvery = 16
+			ecfg.Inference.UseHistory = false
+			ecfg.Encoding.MinPrefixes = 1 << 20
+			return ecfg
+		},
+		OnPeer: func(p *FleetPeer) {
+			for _, pfx := range prefixes {
+				p.LearnPrimary(pfx, []uint32{2, 5, 6})
+				p.LearnAlternate(3, pfx, []uint32{3, 6})
+			}
+		},
+		QueueDepth: 16,
+		Workers:    3, // not a divisor of peers: shards stay uneven
+	}
+	f := NewFleet(cfg)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Applier: mixed batches touching every peer.
+	for a := 0; a < 2; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			at := time.Duration(a) * time.Minute
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var b event.Batch
+				for pi := 0; pi < peers; pi++ {
+					key := PeerKey{AS: 2, BGPID: uint32(pi + 1)}
+					at += time.Millisecond
+					if round%8 == 7 {
+						b = append(b, event.Tick(at+time.Hour).WithPeer(key))
+					} else {
+						b = append(b, event.Withdraw(at, prefixes[round%len(prefixes)]).WithPeer(key))
+					}
+				}
+				if err := f.Apply(b); err != nil {
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+					t.Error(err)
+					return
+				}
+			}
+		}(a)
+	}
+	// Churner: tear peers down while their batches are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f.ClosePeer(PeerKey{AS: 2, BGPID: uint32(rng.Intn(peers) + 1)})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Pumper: manual fusion fan-out under the peer locks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f.FusePump(time.Duration(i) * time.Second)
+		}
+	}()
+
+	time.Sleep(200 * time.Millisecond)
+	// Close while appliers, churner and pumper are still running.
+	f.Close()
+	close(stop)
+	wg.Wait()
+
+	if err := f.Apply(event.Batch{event.Tick(time.Hour).WithPeer(PeerKey{AS: 2, BGPID: 1})}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Apply after Close = %v, want ErrClosed", err)
+	}
+	_ = f.Metrics() // must not deadlock or race post-close
+}
+
+// TestFleetShardAssignmentStable pins the peer→shard map: the same key
+// always lands on the same worker, including across teardown and
+// re-creation — the property per-peer FIFO rests on.
+func TestFleetShardAssignmentStable(t *testing.T) {
+	f := NewFleet(FleetConfig{Workers: 4})
+	defer f.Close()
+	for i := 0; i < 32; i++ {
+		key := PeerKey{AS: uint32(i % 5), BGPID: uint32(i)}
+		first := f.Peer(key).worker.idx
+		f.ClosePeer(key)
+		if again := f.Peer(key).worker.idx; again != first {
+			t.Fatalf("key %s moved shard %d → %d across re-creation", key, first, again)
+		}
+	}
+	counts := make(map[int]int)
+	for _, p := range f.Peers() {
+		counts[p.worker.idx]++
+	}
+	if len(counts) < 2 {
+		t.Errorf("32 peers all landed on %d shard(s); assignment is degenerate", len(counts))
+	}
+}

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"strconv"
 	"time"
 
 	swiftengine "swift/internal/swift"
@@ -242,6 +243,19 @@ func RegisterFleetMetrics(reg *telemetry.Registry, f *Fleet) {
 	peers := reg.Gauge("swift_fleet_peers", "Live peers in the fleet.")
 	rerouting := reg.Gauge("swift_fleet_rerouting_peers",
 		"Peers with fast-reroute rules installed right now.")
+	reg.CounterFunc("swift_fleet_ring_full_total",
+		"Batch pushes that found their shard ring full and had to block (backpressure).",
+		func() uint64 {
+			var n uint64
+			for _, w := range f.workers {
+				n += w.full.Load()
+			}
+			return n
+		})
+	ringDepth := reg.GaugeVec("swift_fleet_ring_depth",
+		"Deliveries buffered in each shard worker's ring.", "shard")
+	shardPeers := reg.GaugeVec("swift_fleet_shard_peers",
+		"Live peers pinned to each shard worker.", "shard")
 	poolPaths := reg.Gauge("swift_pool_paths", "Live interned AS paths in the shared pool.")
 	poolLinks := reg.Gauge("swift_pool_links", "Numbered AS links in the shared pool.")
 	poolFree := reg.Gauge("swift_pool_free_slots", "Freed intern slots awaiting reuse.")
@@ -276,11 +290,18 @@ func RegisterFleetMetrics(reg *telemetry.Registry, f *Fleet) {
 		ribPrefixes.Reset()
 		list := f.Peers()
 		peers.Set(float64(len(list)))
+		perShard := make([]int, len(f.workers))
 		for _, p := range list {
 			st := p.Status()
 			fibTags.With(st.Peer).Set(float64(st.FIBTags))
 			fibRules.With(st.Peer).Set(float64(st.FIBRules))
 			ribPrefixes.With(st.Peer).Set(float64(st.RIBPrefixes))
+			perShard[p.worker.idx]++
+		}
+		for _, w := range f.workers {
+			shard := strconv.Itoa(w.idx)
+			ringDepth.With(shard).Set(float64(w.ring.Len()))
+			shardPeers.With(shard).Set(float64(perShard[w.idx]))
 		}
 	})
 }

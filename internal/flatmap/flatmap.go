@@ -1,0 +1,254 @@
+// Package flatmap provides an open-addressing hash map specialized for
+// the repo's 64-bit value-type keys (netaddr.Prefix, dense ids). The
+// RIB hot path spends a third of a burst cycle in generic map probes:
+// announce-replace does four and a withdrawal three, each paying the
+// runtime's hash interface and group machinery. A flat linear-probe
+// table with an inlined multiply hash does the same lookups in a few
+// nanoseconds, keeps entries in one cache-friendly slab, and — because
+// the key is constrained to an integer kind — needs no per-key
+// hashing setup at all.
+//
+// Deletions use backward-shift compaction (no tombstones), so probe
+// chains never degrade under the withdraw/re-announce churn of a
+// routing burst. The zero key is stored out of line: netaddr's
+// Invalid/default-route prefix is the uint64 zero and must remain a
+// legal key, so slots use key==0 as the empty marker and a dedicated
+// zero-entry carries that one key.
+//
+// Maps are not concurrency-safe; every owner here confines one map to
+// one goroutine (or its own lock), exactly like the Go maps they
+// replace.
+package flatmap
+
+// Uint64 is the key constraint: any 64-bit integer kind.
+type Uint64 interface{ ~uint64 }
+
+// Map is a flat hash map from K to V. The zero value is an empty map
+// ready for use (it allocates its slab on first Put).
+type Map[K Uint64, V any] struct {
+	keys []K // key==0 marks an empty slot
+	vals []V
+	mask uint64
+	n    int // live entries, excluding the zero key
+
+	zeroSet bool // the out-of-line entry for key 0
+	zeroVal V
+}
+
+const minCap = 16
+
+// hash is a Fibonacci multiply; the high bits feed the index, so
+// clustered key ranges (dense prefixes, sequential ids) spread evenly.
+func (m *Map[K, V]) hash(k K) uint64 {
+	return (uint64(k) * 0x9e3779b97f4a7c15) >> 32 & m.mask
+}
+
+// Len returns the number of stored entries.
+func (m *Map[K, V]) Len() int {
+	if m.zeroSet {
+		return m.n + 1
+	}
+	return m.n
+}
+
+// Get returns the value stored for k.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	if k == 0 {
+		return m.zeroVal, m.zeroSet
+	}
+	if m.n == 0 {
+		var zero V
+		return zero, false
+	}
+	i := m.hash(k)
+	for {
+		kk := m.keys[i]
+		if kk == k {
+			return m.vals[i], true
+		}
+		if kk == 0 {
+			var zero V
+			return zero, false
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Ptr returns a pointer to k's stored value for in-place mutation, or
+// nil when absent. The pointer is invalidated by any Put, Delete,
+// Clear or Reserve.
+func (m *Map[K, V]) Ptr(k K) *V {
+	if k == 0 {
+		if m.zeroSet {
+			return &m.zeroVal
+		}
+		return nil
+	}
+	if m.n == 0 {
+		return nil
+	}
+	i := m.hash(k)
+	for {
+		kk := m.keys[i]
+		if kk == k {
+			return &m.vals[i]
+		}
+		if kk == 0 {
+			return nil
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Put stores v for k, replacing any previous value.
+func (m *Map[K, V]) Put(k K, v V) {
+	if k == 0 {
+		m.zeroSet, m.zeroVal = true, v
+		return
+	}
+	// Grow at 13/16 (~0.8) load; linear probing stays short well past
+	// that with a multiply hash, and the slab is half the footprint of
+	// a lower factor.
+	if len(m.keys) == 0 || m.n >= len(m.keys)-len(m.keys)>>2+len(m.keys)>>4 {
+		m.grow()
+	}
+	i := m.hash(k)
+	for {
+		kk := m.keys[i]
+		if kk == k {
+			m.vals[i] = v
+			return
+		}
+		if kk == 0 {
+			m.keys[i] = k
+			m.vals[i] = v
+			m.n++
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Delete removes k, reporting whether it was present.
+func (m *Map[K, V]) Delete(k K) bool {
+	if k == 0 {
+		ok := m.zeroSet
+		m.zeroSet = false
+		var zero V
+		m.zeroVal = zero
+		return ok
+	}
+	if m.n == 0 {
+		return false
+	}
+	i := m.hash(k)
+	for {
+		kk := m.keys[i]
+		if kk == 0 {
+			return false
+		}
+		if kk == k {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	// Backward-shift: walk the cluster after i, moving back any entry
+	// whose home slot precedes (or is) the hole; stop at the first
+	// empty slot. Probe chains stay exact with no tombstones.
+	var zero V
+	j := i
+	for {
+		j = (j + 1) & m.mask
+		kk := m.keys[j]
+		if kk == 0 {
+			break
+		}
+		h := m.hash(kk)
+		// kk may shift into the hole at i only if its home h does not
+		// sit inside the (i, j] arc — i.e. the hole is on kk's probe
+		// path. Circular comparison via distances from h.
+		if (j-h)&m.mask >= (i-h)&m.mask {
+			m.keys[i] = kk
+			m.vals[i] = m.vals[j]
+			i = j
+		}
+	}
+	m.keys[i] = 0
+	m.vals[i] = zero
+	m.n--
+	return true
+}
+
+// Clear removes every entry, keeping the slab for reuse.
+func (m *Map[K, V]) Clear() {
+	clear(m.keys)
+	clear(m.vals)
+	m.n = 0
+	m.zeroSet = false
+	var zero V
+	m.zeroVal = zero
+}
+
+// ForEach calls fn for every entry in unspecified order. fn must not
+// mutate the map.
+func (m *Map[K, V]) ForEach(fn func(k K, v V)) {
+	if m.zeroSet {
+		fn(0, m.zeroVal)
+	}
+	if m.n == 0 {
+		return
+	}
+	for i, k := range m.keys {
+		if k != 0 {
+			fn(k, m.vals[i])
+		}
+	}
+}
+
+// Clone returns a deep copy of the map.
+func (m *Map[K, V]) Clone() Map[K, V] {
+	out := *m
+	out.keys = append([]K(nil), m.keys...)
+	out.vals = append([]V(nil), m.vals...)
+	return out
+}
+
+// Reserve grows the slab so n entries fit without rehashing.
+func (m *Map[K, V]) Reserve(n int) {
+	need := minCap
+	for need-need>>2+need>>4 <= n {
+		need <<= 1
+	}
+	if need > len(m.keys) {
+		m.rehash(need)
+	}
+}
+
+func (m *Map[K, V]) grow() {
+	n := len(m.keys) * 2
+	if n < minCap {
+		n = minCap
+	}
+	m.rehash(n)
+}
+
+func (m *Map[K, V]) rehash(n int) {
+	oldK, oldV := m.keys, m.vals
+	m.keys = make([]K, n)
+	m.vals = make([]V, n)
+	m.mask = uint64(n - 1)
+	m.n = 0
+	for i, k := range oldK {
+		if k != 0 {
+			// Insert without load checks: the new slab fits by
+			// construction.
+			j := m.hash(k)
+			for m.keys[j] != 0 {
+				j = (j + 1) & m.mask
+			}
+			m.keys[j] = k
+			m.vals[j] = oldV[i]
+			m.n++
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package flatmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZeroKeyOutOfLine(t *testing.T) {
+	var m Map[uint64, string]
+	if _, ok := m.Get(0); ok {
+		t.Fatal("empty map reports zero key")
+	}
+	m.Put(0, "zero")
+	if v, ok := m.Get(0); !ok || v != "zero" {
+		t.Fatalf("Get(0) = %q,%v, want zero,true", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", m.Len())
+	}
+	if p := m.Ptr(0); p == nil || *p != "zero" {
+		t.Fatal("Ptr(0) missing")
+	}
+	if !m.Delete(0) {
+		t.Fatal("Delete(0) reported absent")
+	}
+	if m.Delete(0) {
+		t.Fatal("second Delete(0) reported present")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len() = %d after delete, want 0", m.Len())
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	var m Map[uint64, int]
+	for i := uint64(1); i <= 100; i++ {
+		m.Put(i, int(i*10))
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len() = %d, want 100", m.Len())
+	}
+	m.Put(50, 999) // replace
+	if v, _ := m.Get(50); v != 999 {
+		t.Fatalf("Get(50) = %d after replace, want 999", v)
+	}
+	if p := m.Ptr(51); p == nil {
+		t.Fatal("Ptr(51) = nil")
+	} else {
+		*p = -1
+	}
+	if v, _ := m.Get(51); v != -1 {
+		t.Fatalf("Get(51) = %d after Ptr write, want -1", v)
+	}
+	for i := uint64(1); i <= 100; i += 2 {
+		if !m.Delete(i) {
+			t.Fatalf("Delete(%d) reported absent", i)
+		}
+	}
+	for i := uint64(1); i <= 100; i++ {
+		v, ok := m.Get(i)
+		if i%2 == 1 && ok {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if i%2 == 0 {
+			want := int(i * 10)
+			if i == 50 {
+				want = 999
+			}
+			if !ok || (v != want && i != 51) {
+				t.Fatalf("Get(%d) = %d,%v, want %d,true", i, v, ok, want)
+			}
+		}
+	}
+}
+
+// TestModel cross-checks random operations against a builtin map —
+// the backward-shift deletion is the part worth hammering, since a
+// wrong move condition silently breaks later probes.
+func TestModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var m Map[uint64, int]
+	ref := make(map[uint64]int)
+	// Keys drawn from a small range force long shared probe chains.
+	for op := 0; op < 200000; op++ {
+		k := uint64(rng.Intn(512)) // includes 0
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Int()
+			m.Put(k, v)
+			ref[k] = v
+		case 1:
+			got := m.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		case 2:
+			v, ok := m.Get(k)
+			rv, rok := ref[k]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("op %d: Get(%d) = %d,%v, want %d,%v", op, k, v, ok, rv, rok)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len() = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+	m.ForEach(func(k uint64, v int) {
+		if rv, ok := ref[k]; !ok || rv != v {
+			t.Fatalf("ForEach visited %d=%d, want %d,%v", k, v, rv, ok)
+		}
+		delete(ref, k)
+	})
+	if len(ref) != 0 {
+		t.Fatalf("ForEach missed %d entries", len(ref))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	var m Map[uint64, int]
+	for i := uint64(0); i < 50; i++ {
+		m.Put(i, int(i))
+	}
+	c := m.Clone()
+	c.Put(7, 700)
+	c.Delete(8)
+	if v, _ := m.Get(7); v != 7 {
+		t.Fatalf("clone write leaked into original: Get(7) = %d", v)
+	}
+	if _, ok := m.Get(8); !ok {
+		t.Fatal("clone delete leaked into original")
+	}
+	if v, _ := c.Get(7); v != 700 {
+		t.Fatalf("clone Get(7) = %d, want 700", v)
+	}
+}
+
+func TestClearKeepsSlab(t *testing.T) {
+	var m Map[uint64, int]
+	for i := uint64(0); i < 100; i++ {
+		m.Put(i, int(i))
+	}
+	cap0 := len(m.keys)
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("Len() = %d after Clear, want 0", m.Len())
+	}
+	if len(m.keys) != cap0 {
+		t.Fatalf("Clear dropped the slab: %d → %d", cap0, len(m.keys))
+	}
+	m.Put(3, 33)
+	if v, ok := m.Get(3); !ok || v != 33 {
+		t.Fatal("map unusable after Clear")
+	}
+}
+
+func TestReserve(t *testing.T) {
+	var m Map[uint64, int]
+	m.Reserve(1000)
+	slab := len(m.keys)
+	for i := uint64(1); i <= 1000; i++ {
+		m.Put(i, int(i))
+	}
+	if len(m.keys) != slab {
+		t.Fatalf("rehash despite Reserve: slab %d → %d", slab, len(m.keys))
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"swift/internal/flatmap"
 	"swift/internal/netaddr"
 	"swift/internal/rib"
 	"swift/internal/stats"
@@ -114,7 +115,8 @@ type Tracker struct {
 	// rare prefix withdrawn more than once in a burst (path exploration:
 	// withdraw, re-announce, withdraw), every path it was withdrawn
 	// with. Unions dedup exactly with it, without per-prefix hash sets.
-	wSeen map[netaddr.Prefix]rib.PathHandle
+	// wSeen is probed once per withdrawal, so it uses the flat map.
+	wSeen flatmap.Map[netaddr.Prefix, rib.PathHandle]
 	multi map[netaddr.Prefix][]rib.PathHandle
 
 	// Incremental scoring state. ord keeps the burst's touched links
@@ -151,7 +153,6 @@ func NewTracker(cfg Config, table *rib.Table) *Tracker {
 	t := &Tracker{
 		cfg:   cfg,
 		rib:   table,
-		wSeen: make(map[netaddr.Prefix]rib.PathHandle),
 		multi: make(map[netaddr.Prefix][]rib.PathHandle),
 	}
 	t.sorter.t = t
@@ -205,7 +206,7 @@ func (t *Tracker) Reset() {
 		t.rib.ReleaseHandle(h)
 	}
 	t.wPaths = t.wPaths[:0]
-	clear(t.wSeen)
+	t.wSeen.Clear()
 	clear(t.multi)
 	t.totalW = 0
 	t.clearDirty()
@@ -252,13 +253,17 @@ func (t *Tracker) ObserveWithdraw(p netaddr.Prefix) {
 	}
 	t.wByPath[pid] = append(t.wByPath[pid], p)
 
-	// Duplicate-withdrawal bookkeeping for exact unions.
-	if lst, ok := t.multi[p]; ok {
-		t.multi[p] = append(lst, h)
-	} else if prev, ok := t.wSeen[p]; ok {
-		t.multi[p] = []rib.PathHandle{prev, h}
+	// Duplicate-withdrawal bookkeeping for exact unions. First-withdrawal
+	// is the overwhelmingly common case, so it pays exactly one flat-map
+	// probe; the multi index is only consulted on a repeat.
+	if prev, seen := t.wSeen.Get(p); seen {
+		if lst, ok := t.multi[p]; ok {
+			t.multi[p] = append(lst, h)
+		} else {
+			t.multi[p] = []rib.PathHandle{prev, h}
+		}
 	} else {
-		t.wSeen[p] = h
+		t.wSeen.Put(p, h)
 	}
 }
 

@@ -12,6 +12,7 @@
 package rib
 
 import (
+	"swift/internal/flatmap"
 	"swift/internal/netaddr"
 	"swift/internal/topology"
 )
@@ -46,7 +47,12 @@ type pathRoutes struct {
 type Table struct {
 	localAS uint32
 	pool    *Pool
-	routes  map[netaddr.Prefix]routeRef
+	// routes is a flat open-addressing map: route lookup, install and
+	// withdrawal are the three most-executed operations in a burst
+	// cycle, and the flat probe is several times cheaper than a generic
+	// map's. Pointer-free, so the GC never scans the table's only
+	// O(prefixes) structure.
+	routes flatmap.Map[netaddr.Prefix, routeRef]
 	// perPath groups the table's prefixes by PathID. The slice is
 	// indexed by pool-scoped ids, so with a fleet-shared pool it is
 	// sparse (32 bytes per id the pool has numbered, used or not);
@@ -81,6 +87,13 @@ type Table struct {
 	// set is the scratch LinkSet behind the []topology.Link query
 	// surface.
 	set LinkSet
+	// cachePID is a two-entry intern cache: the ids of the last paths
+	// this table installed. Burst churn re-announces the same one or
+	// two paths thousands of times in a row; when the cached path is
+	// still live in this table, Announce takes a refcount instead of
+	// re-keying the shared pool's intern map.
+	cachePID [2]PathID
+	cacheSet [2]bool
 }
 
 // New returns an empty table for a session of localAS with a private
@@ -94,7 +107,6 @@ func NewWithPool(localAS uint32, pool *Pool) *Table {
 	return &Table{
 		localAS:   localAS,
 		pool:      pool,
-		routes:    make(map[netaddr.Prefix]routeRef),
 		firstLink: make(map[uint32]LinkID),
 	}
 }
@@ -106,13 +118,13 @@ func (t *Table) Pool() *Pool { return t.pool }
 func (t *Table) LocalAS() uint32 { return t.localAS }
 
 // Len returns the number of routed prefixes.
-func (t *Table) Len() int { return len(t.routes) }
+func (t *Table) Len() int { return t.routes.Len() }
 
 // Path returns the current AS path for p (nil when absent). The slice
 // is the pool's canonical copy: valid while the route stays installed,
 // never mutated.
 func (t *Table) Path(p netaddr.Prefix) []uint32 {
-	ref, ok := t.routes[p]
+	ref, ok := t.routes.Get(p)
 	if !ok {
 		return nil
 	}
@@ -123,7 +135,7 @@ func (t *Table) Path(p netaddr.Prefix) []uint32 {
 // is valid only while the route stays installed; callers needing it
 // longer must Retain it.
 func (t *Table) HandleOf(p netaddr.Prefix) (PathHandle, bool) {
-	ref, ok := t.routes[p]
+	ref, ok := t.routes.Get(p)
 	if !ok {
 		return PathHandle{}, false
 	}
@@ -162,7 +174,7 @@ func (t *Table) Links(p netaddr.Prefix) []topology.Link {
 // buffer immediately. Re-announcing the current path is a near-free
 // no-op.
 func (t *Table) Announce(p netaddr.Prefix, path []uint32) (old []uint32) {
-	ref, exists := t.routes[p]
+	ref, exists := t.routes.Get(p)
 	if exists {
 		e := t.perPath[ref.pid].ent
 		old = e.path
@@ -172,9 +184,39 @@ func (t *Table) Announce(p netaddr.Prefix, path []uint32) (old []uint32) {
 		t.removeRoute(p, ref)
 		t.pool.Release(PathHandle{e})
 	}
-	h := t.pool.Intern(path)
+	h, ok := t.cachedIntern(path)
+	if !ok {
+		h = t.pool.Intern(path)
+		t.cacheSet[1], t.cachePID[1] = t.cacheSet[0], t.cachePID[0]
+		t.cacheSet[0], t.cachePID[0] = true, h.e.id
+	}
 	t.addRoute(p, h.e)
 	return old
+}
+
+// cachedIntern resolves path against the two-entry install cache: when
+// a cached id still names a path live in this table with the same
+// content, the table already pins the entry, so taking one more
+// reference is a plain refcount add — no pool map probe, no key
+// build. Single-threaded like the rest of the table; liveness is
+// guaranteed by the table's own references, never by pool internals.
+func (t *Table) cachedIntern(path []uint32) (PathHandle, bool) {
+	for i, set := range &t.cacheSet {
+		if !set {
+			continue
+		}
+		pid := t.cachePID[i]
+		if int(pid) >= len(t.perPath) {
+			continue
+		}
+		g := &t.perPath[pid]
+		if len(g.prefixes) > 0 && g.ent.id == pid && pathsEqual(g.ent.path, path) {
+			h := PathHandle{g.ent}
+			t.pool.Retain(h, 1)
+			return h, true
+		}
+	}
+	return PathHandle{}, false
 }
 
 func pathsEqual(a, b []uint32) bool {
@@ -208,13 +250,13 @@ func (t *Table) Withdraw(p netaddr.Prefix) (old []uint32) {
 // paths alive — and their PathIDs stable — for the duration of a burst
 // without copying anything.
 func (t *Table) WithdrawHandle(p netaddr.Prefix) (PathHandle, bool) {
-	ref, ok := t.routes[p]
+	ref, ok := t.routes.Get(p)
 	if !ok {
 		return PathHandle{}, false
 	}
 	e := t.perPath[ref.pid].ent
 	t.removeRoute(p, ref)
-	delete(t.routes, p)
+	t.routes.Delete(p)
 	return PathHandle{e}, true
 }
 
@@ -236,7 +278,7 @@ func (t *Table) addRoute(p netaddr.Prefix, e *pathEntry) {
 		g.pos = int32(len(t.livePaths))
 		t.livePaths = append(t.livePaths, e.id)
 	}
-	t.routes[p] = routeRef{pid: e.id, idx: int32(len(g.prefixes))}
+	t.routes.Put(p, routeRef{pid: e.id, idx: int32(len(g.prefixes))})
 	g.prefixes = append(g.prefixes, p)
 	t.sig ^= SigMix(uint64(p) ^ e.hash)
 	t.linkDelta(e, +1)
@@ -250,9 +292,7 @@ func (t *Table) removeRoute(p netaddr.Prefix, ref routeRef) {
 	if int(ref.idx) != last {
 		moved := g.prefixes[last]
 		g.prefixes[ref.idx] = moved
-		mref := t.routes[moved]
-		mref.idx = ref.idx
-		t.routes[moved] = mref
+		t.routes.Ptr(moved).idx = ref.idx
 	}
 	g.prefixes = g.prefixes[:last]
 	if last == 0 {
@@ -528,9 +568,9 @@ func (t *Table) ActiveLinks() []topology.Link {
 // ForEach calls fn for every (prefix, path) pair. Iteration order is
 // unspecified; fn must not mutate the table.
 func (t *Table) ForEach(fn func(p netaddr.Prefix, path []uint32)) {
-	for p, ref := range t.routes {
+	t.routes.ForEach(func(p netaddr.Prefix, ref routeRef) {
 		fn(p, t.perPath[ref.pid].ent.path)
-	}
+	})
 }
 
 // ForEachPath calls fn once per unique path with the group of prefixes
@@ -551,10 +591,7 @@ func (t *Table) ForEachPath(fn func(path []uint32, prefixes []netaddr.Prefix)) {
 // tags.
 func (t *Table) Clone() *Table {
 	out := NewWithPool(t.localAS, t.pool)
-	out.routes = make(map[netaddr.Prefix]routeRef, len(t.routes))
-	for p, ref := range t.routes {
-		out.routes[p] = ref
-	}
+	out.routes = t.routes.Clone()
 	out.perPath = make([]pathRoutes, len(t.perPath))
 	for _, id := range t.livePaths {
 		g := &t.perPath[id]
@@ -585,7 +622,8 @@ func (t *Table) Release() {
 		g.prefixes = g.prefixes[:0]
 	}
 	t.livePaths = t.livePaths[:0]
-	clear(t.routes)
+	t.routes.Clear()
+	t.cacheSet = [2]bool{}
 	for i := range t.onLink {
 		t.onLink[i] = 0
 	}
