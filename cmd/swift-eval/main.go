@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"swift/internal/experiments"
@@ -94,11 +95,36 @@ func main() {
 	}
 	if *out != "" {
 		buf = append(buf, '\n')
-		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		if err := writeFileAtomic(*out, buf); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "swift-eval: report written to %s\n", *out)
 	}
+}
+
+// writeFileAtomic writes via a temp file in the target directory plus
+// rename, so an interrupted run never leaves a truncated report for
+// CI's byte-compare to trip over.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -34,6 +34,12 @@
 // periodic stats log line (0 disables it) and -log-level filters the
 // daemon log (debug, info, warn, error).
 //
+// In BMP mode -snapshot-dir enables warm restarts: the fleet is
+// checkpointed to <dir>/fleet.snap on SIGUSR1, on POST /snapshot and on
+// shutdown, and a start that finds a snapshot restores every peer's
+// provisioned engine from it instead of waiting for routers to re-dump
+// their tables. /healthz reports whether the start was warm or cold.
+//
 // SIGINT/SIGTERM shut either mode down cleanly: sessions close with a
 // CEASE notification, the BMP station drains its engine fleet, and the
 // final status is printed before exit.
@@ -41,10 +47,12 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -77,6 +85,7 @@ func main() {
 		metricsInt = flag.Duration("metrics-interval", 10*time.Second, "periodic stats log interval (0 disables)")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		ringSize   = flag.Int("burst-ring", 256, "burst trace ring capacity (records kept for /bursts)")
+		snapDir    = flag.String("snapshot-dir", "", "directory for warm-restart snapshots (BMP mode only): restore on start, checkpoint on SIGUSR1, POST /snapshot and shutdown")
 		fused      = flag.Bool("fusion", false, "enable fleet-level evidence fusion across BMP-monitored sessions (BMP mode only)")
 		fusionK    = flag.Int("fusion-k", 0, "fusion: peers whose corroborating evidence confirms a link (0 = default)")
 		fusionThr  = flag.Float64("fusion-threshold", 0, "fusion: fused Fit-Score a link must reach to be confirmed (0 = default)")
@@ -114,8 +123,16 @@ func main() {
 
 	// Graceful shutdown on SIGINT/SIGTERM: both modes get a signal
 	// channel and finish their writes instead of dying mid-stream.
+	// With -snapshot-dir, SIGUSR1 additionally checkpoints the fleet
+	// without shutting down.
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	if *snapDir != "" {
+		if *bmpListen == "" {
+			logger.Fatalf("-snapshot-dir requires -bmp-listen (snapshots capture an engine fleet)")
+		}
+		signal.Notify(sigs, syscall.SIGUSR1)
+	}
 
 	d := daemon{
 		logger:   logger,
@@ -131,6 +148,7 @@ func main() {
 		d.fusion = &fusion.Config{K: *fusionK, FuseThreshold: *fusionThr}
 	}
 	if *bmpListen != "" {
+		d.snapDir = *snapDir
 		d.runBMP(*bmpListen, uint32(*localAS), *settle, alternates, uint32(*altAS), sigs)
 		return
 	}
@@ -148,6 +166,8 @@ type daemon struct {
 	// fusion, when set, shares one evidence aggregator across the BMP
 	// fleet's engines (-fusion; nil runs classic per-peer SWIFT).
 	fusion *fusion.Config
+	// snapDir, when set, holds the warm-restart snapshot (BMP mode).
+	snapDir string
 }
 
 // serveOps starts the ops HTTP listener when -http was given. The
@@ -185,7 +205,7 @@ func (d *daemon) metricsC() (<-chan time.Time, func()) {
 func (d *daemon) runBMP(addr string, localAS uint32, settle time.Duration, alternates []mrt.RIBRecord, altAS uint32, sigs <-chan os.Signal) {
 	logger := d.logger
 	ft := controller.NewFleetTelemetry(d.registry, d.ring)
-	fleet := controller.NewFleet(ft.Instrument(controller.FleetConfig{
+	fleetCfg := ft.Instrument(controller.FleetConfig{
 		Fusion: d.fusion,
 		Engine: func(key controller.PeerKey) swiftengine.Config {
 			cfg := swiftengine.Config{
@@ -204,13 +224,72 @@ func (d *daemon) runBMP(addr string, localAS uint32, settle time.Duration, alter
 			}
 		},
 		Logf: logger.Debugf,
-	}))
+	})
+
+	// Warm restart: a snapshot in -snapshot-dir restores the whole
+	// provisioned fleet before the listener opens; any failure falls
+	// back to a cold start (monitored routers re-dump on reconnect).
+	var fleet *controller.Fleet
+	restoreStatus := "restore: cold start (no snapshot)"
+	snapPath := filepath.Join(d.snapDir, "fleet.snap")
+	if d.snapDir != "" {
+		if file, err := os.Open(snapPath); err == nil {
+			start := time.Now()
+			restored, rerr := controller.RestoreFleet(file, fleetCfg)
+			file.Close()
+			if rerr != nil {
+				logger.Warnf("snapshot restore from %s failed, cold start: %v", snapPath, rerr)
+				restoreStatus = fmt.Sprintf("restore: failed (%v), cold start", rerr)
+			} else {
+				fleet = restored
+				took := time.Since(start).Round(time.Millisecond)
+				restoreStatus = fmt.Sprintf("restore: warm, %d peers from %s in %s", fleet.Len(), snapPath, took)
+				logger.Infof("restored %d peers from %s in %s", fleet.Len(), snapPath, took)
+			}
+		} else if !os.IsNotExist(err) {
+			logger.Warnf("snapshot %s unreadable, cold start: %v", snapPath, err)
+			restoreStatus = fmt.Sprintf("restore: failed (%v), cold start", err)
+		}
+	}
+	if fleet == nil {
+		fleet = controller.NewFleet(fleetCfg)
+	}
+
+	// checkpoint writes the fleet snapshot with temp+rename so the
+	// restore path never sees a torn file; SIGUSR1, POST /snapshot and
+	// shutdown all funnel through it.
+	checkpoint := func() error {
+		tmp, err := os.CreateTemp(d.snapDir, "fleet.snap.tmp*")
+		if err != nil {
+			return err
+		}
+		if err := fleet.Snapshot(tmp); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := os.Rename(tmp.Name(), snapPath); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		return nil
+	}
+
 	station := bmp.NewStation(bmp.StationConfig{
 		Sink:        fleet,
 		TableSettle: settle,
 		Logf:        logger.Infof,
 	})
-	d.serveOps(ops.Config{Fleet: fleet, Station: station})
+	opsCfg := ops.Config{Fleet: fleet, Station: station}
+	if d.snapDir != "" {
+		opsCfg.Snapshot = checkpoint
+		opsCfg.RestoreStatus = func() string { return restoreStatus }
+	}
+	d.serveOps(opsCfg)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -226,9 +305,26 @@ func (d *daemon) runBMP(addr string, localAS uint32, settle time.Duration, alter
 	for {
 		select {
 		case sig := <-sigs:
+			if sig == syscall.SIGUSR1 {
+				if err := checkpoint(); err != nil {
+					logger.Warnf("snapshot checkpoint: %v", err)
+				} else {
+					logger.Infof("snapshot checkpointed to %s", snapPath)
+				}
+				continue
+			}
 			logger.Infof("%v: shutting down station", sig)
 			if err := station.Close(); err != nil {
 				logger.Warnf("station close: %v", err)
+			}
+			if d.snapDir != "" {
+				// The station has drained, so this captures the fleet's
+				// final state; the next start restores it.
+				if err := checkpoint(); err != nil {
+					logger.Warnf("shutdown snapshot: %v", err)
+				} else {
+					logger.Infof("shutdown snapshot written to %s", snapPath)
+				}
 			}
 			fleet.Close()
 			logger.Infof("final: %s", fleet.Status())

@@ -3,6 +3,7 @@ package dataplane
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"swift/internal/encoding"
@@ -276,5 +277,105 @@ func TestTrieBatchOps(t *testing.T) {
 	}
 	if tr.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+// TestTrieFromSorted drives the bulk restore constructor against
+// per-entry Insert over randomized prefix sets: identical structure
+// observables (Len, ForEach order, random lookups), identical behavior
+// under further mutation, and rejection of unsorted input. The poptrie
+// RestoreSorted wrapper is exercised the same way, including the lazy
+// read-path rebuild after the bulk swap.
+func TestTrieFromSorted(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		set := map[netaddr.Prefix]encoding.Tag{}
+		n := 1 + rng.Intn(600)
+		for i := 0; i < n; i++ {
+			length := 4 + rng.Intn(29) // 4..32
+			addr := uint32(rng.Intn(1<<20)) << 12
+			p := netaddr.MakePrefix(addr&netaddr.Mask(length), length)
+			set[p] = encoding.Tag(1 + rng.Intn(1<<16))
+		}
+		entries := make([]TagEntry, 0, len(set))
+		var ref Trie
+		for p, tag := range set {
+			entries = append(entries, TagEntry{Prefix: p, Tag: tag})
+			ref.Insert(p, tag)
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Prefix < entries[j].Prefix })
+
+		bulk, err := TrieFromSorted(entries)
+		if err != nil {
+			t.Fatalf("seed %d: TrieFromSorted: %v", seed, err)
+		}
+		if bulk.Len() != ref.Len() {
+			t.Fatalf("seed %d: Len %d, want %d", seed, bulk.Len(), ref.Len())
+		}
+		var got, want []TagEntry
+		bulk.ForEach(func(p netaddr.Prefix, tag encoding.Tag) { got = append(got, TagEntry{p, tag}) })
+		ref.ForEach(func(p netaddr.Prefix, tag encoding.Tag) { want = append(want, TagEntry{p, tag}) })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: ForEach[%d] = %+v, want %+v", seed, i, got[i], want[i])
+			}
+		}
+
+		var pop Poptrie
+		if err := pop.RestoreSorted(entries); err != nil {
+			t.Fatalf("seed %d: RestoreSorted: %v", seed, err)
+		}
+		for i := 0; i < 2000; i++ {
+			addr := uint32(rng.Intn(1 << 28))
+			bt, bok := bulk.Lookup(addr)
+			rt, rok := ref.Lookup(addr)
+			pt, pok := pop.Lookup(addr)
+			if bt != rt || bok != rok || pt != rt || pok != rok {
+				t.Fatalf("seed %d: Lookup(%08x) bulk=%v,%v pop=%v,%v want %v,%v",
+					seed, addr, bt, bok, pt, pok, rt, rok)
+			}
+		}
+
+		// Mutations after a bulk build behave exactly like on the
+		// incrementally built structures.
+		for i := 0; i < 200; i++ {
+			e := entries[rng.Intn(len(entries))]
+			switch rng.Intn(3) {
+			case 0:
+				nt := encoding.Tag(1 + rng.Intn(1<<16))
+				bulk.Insert(e.Prefix, nt)
+				ref.Insert(e.Prefix, nt)
+				pop.Insert(e.Prefix, nt)
+			case 1:
+				bulk.Delete(e.Prefix)
+				ref.Delete(e.Prefix)
+				pop.Delete(e.Prefix)
+			case 2:
+				addr := e.Prefix.Addr() | uint32(rng.Intn(1<<12))
+				bt, bok := bulk.Lookup(addr)
+				rt, rok := ref.Lookup(addr)
+				pt, pok := pop.Lookup(addr)
+				if bt != rt || bok != rok || pt != rt || pok != rok {
+					t.Fatalf("seed %d: post-mutation Lookup(%08x) bulk=%v,%v pop=%v,%v want %v,%v",
+						seed, addr, bt, bok, pt, pok, rt, rok)
+				}
+			}
+		}
+	}
+
+	if _, err := TrieFromSorted([]TagEntry{
+		{Prefix: netaddr.MustParsePrefix("10.1.0.0/16"), Tag: 1},
+		{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Tag: 2},
+	}); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+	if _, err := TrieFromSorted([]TagEntry{
+		{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Tag: 1},
+		{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Tag: 2},
+	}); err == nil {
+		t.Fatal("duplicate input accepted")
+	}
+	if tr, err := TrieFromSorted(nil); err != nil || tr.Len() != 0 {
+		t.Fatalf("empty input: %v, len %d", err, tr.Len())
 	}
 }

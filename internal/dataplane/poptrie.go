@@ -145,6 +145,22 @@ func (p *Poptrie) Replace(m map[netaddr.Prefix]encoding.Tag) {
 	p.dirty = true
 }
 
+// RestoreSorted swaps in a table bulk-built from entries in ascending
+// prefix order, deferring the read path exactly like Replace: the next
+// lookup rebuilds it in one ordered pass. This is the warm-restart
+// entry point — a restored FIB serves Get/ForEach/Dump immediately and
+// pays for the read structure only if it is actually looked up.
+func (p *Poptrie) RestoreSorted(entries []TagEntry) error {
+	t, err := TrieFromSorted(entries)
+	if err != nil {
+		return err
+	}
+	p.trie = *t
+	p.rootLeaf, p.rootNode = nil, nil
+	p.dirty = true
+	return nil
+}
+
 // Lookup returns the tag of the longest tagged prefix containing addr.
 func (p *Poptrie) Lookup(addr uint32) (encoding.Tag, bool) {
 	if p.dirty {

@@ -106,27 +106,41 @@ func (m *Map[K, V]) Put(k K, v V) {
 		m.zeroSet, m.zeroVal = true, v
 		return
 	}
-	// Grow at 13/16 (~0.8) load; linear probing stays short well past
-	// that with a multiply hash, and the slab is half the footprint of
-	// a lower factor.
-	if len(m.keys) == 0 || m.n >= len(m.keys)-len(m.keys)>>2+len(m.keys)>>4 {
-		m.grow()
+	// Probe first: replacing an existing key must never rehash, both
+	// because it cannot raise the load factor and because callers hold
+	// Ptr references that a rehash would silently invalidate.
+	if len(m.keys) != 0 {
+		i := m.hash(k)
+		for {
+			kk := m.keys[i]
+			if kk == k {
+				m.vals[i] = v
+				return
+			}
+			if kk == 0 {
+				// Grow at 13/16 (~0.8) load; linear probing stays short
+				// well past that with a multiply hash, and the slab is
+				// half the footprint of a lower factor. Only a genuine
+				// insert moves the load, so only this path checks.
+				if m.n < len(m.keys)-len(m.keys)>>2+len(m.keys)>>4 {
+					m.keys[i] = k
+					m.vals[i] = v
+					m.n++
+					return
+				}
+				break
+			}
+			i = (i + 1) & m.mask
+		}
 	}
+	m.grow()
 	i := m.hash(k)
-	for {
-		kk := m.keys[i]
-		if kk == k {
-			m.vals[i] = v
-			return
-		}
-		if kk == 0 {
-			m.keys[i] = k
-			m.vals[i] = v
-			m.n++
-			return
-		}
+	for m.keys[i] != 0 {
 		i = (i + 1) & m.mask
 	}
+	m.keys[i] = k
+	m.vals[i] = v
+	m.n++
 }
 
 // Delete removes k, reporting whether it was present.

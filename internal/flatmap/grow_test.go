@@ -1,0 +1,153 @@
+package flatmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fillToThreshold puts keys until the map sits exactly at the 13/16
+// growth threshold — the next new-key insert must grow, a replace must
+// not — returning the keys stored.
+func fillToThreshold(m *Map[uint64, int]) []uint64 {
+	var keys []uint64
+	k := uint64(1)
+	for {
+		limit := len(m.keys) - len(m.keys)>>2 + len(m.keys)>>4
+		if len(m.keys) != 0 && m.n >= limit {
+			return keys
+		}
+		m.Put(k, int(k))
+		keys = append(keys, k)
+		k++
+	}
+}
+
+// TestPutReplaceNeverRehashes pins the replace-triggers-grow fix: a
+// same-key Put at the growth threshold must not rehash the slab —
+// replacing cannot raise the load factor, and a rehash silently
+// invalidates every outstanding Ptr.
+func TestPutReplaceNeverRehashes(t *testing.T) {
+	var m Map[uint64, int]
+	keys := fillToThreshold(&m)
+
+	slab := len(m.keys)
+	last := keys[len(keys)-1]
+	p := m.Ptr(last)
+	if p == nil {
+		t.Fatalf("Ptr(%d) = nil for stored key", last)
+	}
+
+	// Replace every stored key at the threshold: none may grow.
+	for _, k := range keys {
+		m.Put(k, int(k)*2)
+	}
+	if len(m.keys) != slab {
+		t.Fatalf("same-key Put rehashed the slab at threshold: %d → %d", slab, len(m.keys))
+	}
+	// The Ptr taken before the replaces must still point into the live
+	// slab — write through it and read back via Get.
+	*p = -7
+	if v, ok := m.Get(last); !ok || v != -7 {
+		t.Fatalf("Ptr invalidated by same-key Put: Get(%d) = %d,%v, want -7,true", last, v, ok)
+	}
+
+	// A genuinely new key at the threshold must still grow.
+	m.Put(1<<40, 1)
+	if len(m.keys) == slab {
+		t.Fatalf("insert at threshold did not grow the slab (n=%d, slab=%d)", m.n, slab)
+	}
+	for _, k := range keys {
+		want := int(k) * 2
+		if k == last {
+			want = -7
+		}
+		if v, ok := m.Get(k); !ok || v != want {
+			t.Fatalf("after grow: Get(%d) = %d,%v, want %d,true", k, v, ok, want)
+		}
+	}
+}
+
+// TestDeleteHeavyModel is a deletion-heavy property test biased to
+// exercise backward-shift compaction across the slab boundary
+// (wraparound clusters) and the out-of-line zero key. Keys are drawn
+// from bands that hash near the top of the table so clusters routinely
+// wrap past the last slot, and deletes outnumber inserts two to one
+// once the map is warm.
+func TestDeleteHeavyModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var m Map[uint64, int]
+	ref := make(map[uint64]int)
+
+	// Seed hot: fill well past one grow so the slab is sizable.
+	for i := 0; i < 600; i++ {
+		k := uint64(rng.Intn(1024))
+		m.Put(k, i)
+		ref[k] = i
+	}
+
+	keyFor := func() uint64 {
+		switch rng.Intn(4) {
+		case 0:
+			return 0 // out-of-line zero entry
+		case 1:
+			// Keys whose hash lands in the last few slots of the current
+			// slab, so their probe chains wrap around.
+			mask := m.mask
+			if mask == 0 {
+				return uint64(rng.Intn(64))
+			}
+			for {
+				k := uint64(rng.Int63())
+				if k != 0 && (k*0x9e3779b97f4a7c15)>>32&mask >= mask-3 {
+					return k
+				}
+			}
+		default:
+			return uint64(rng.Intn(1024))
+		}
+	}
+
+	for op := 0; op < 150000; op++ {
+		k := keyFor()
+		switch rng.Intn(5) {
+		case 0, 1: // one part insert...
+			v := rng.Int()
+			m.Put(k, v)
+			ref[k] = v
+		default: // ...two parts delete, one part probe
+			if rng.Intn(3) == 0 {
+				v, ok := m.Get(k)
+				rv, rok := ref[k]
+				if ok != rok || (ok && v != rv) {
+					t.Fatalf("op %d: Get(%d) = %d,%v, want %d,%v", op, k, v, ok, rv, rok)
+				}
+			} else {
+				got := m.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+				}
+				delete(ref, k)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len() = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+	// Full sweep: every surviving key readable, none extra.
+	for k, rv := range ref {
+		if v, ok := m.Get(k); !ok || v != rv {
+			t.Fatalf("sweep: Get(%d) = %d,%v, want %d,true", k, v, ok, rv)
+		}
+	}
+	n := 0
+	m.ForEach(func(k uint64, v int) {
+		if rv, ok := ref[k]; !ok || rv != v {
+			t.Fatalf("ForEach visited %d=%d, want %d,%v", k, v, rv, ok)
+		}
+		n++
+	})
+	if n != len(ref) {
+		t.Fatalf("ForEach visited %d entries, want %d", n, len(ref))
+	}
+}

@@ -1,0 +1,83 @@
+package reroute
+
+import (
+	"fmt"
+	"sort"
+
+	"swift/internal/netaddr"
+)
+
+// Warm-restart image for a computed backup plan, canonically ordered
+// (backup rows ascending by prefix, assignment counts ascending by
+// next-hop AS) so the same plan always serializes identically.
+
+// BackupRow is one prefix's backup next-hops, index d-1 protecting
+// depth d.
+type BackupRow struct {
+	Prefix netaddr.Prefix
+	Row    []uint32
+}
+
+// NHCount is one next-hop's assignment count.
+type NHCount struct {
+	NH    uint32
+	Count int
+}
+
+// PlanImage is a Plan in canonical order.
+type PlanImage struct {
+	LocalAS  int
+	Depth    int
+	Backups  []BackupRow
+	Assigned []NHCount
+}
+
+// Export captures the plan.
+func (pl *Plan) Export() PlanImage {
+	img := PlanImage{
+		LocalAS:  pl.LocalAS,
+		Depth:    pl.Depth,
+		Backups:  make([]BackupRow, 0, len(pl.Backups)),
+		Assigned: make([]NHCount, 0, len(pl.Assigned)),
+	}
+	for p, row := range pl.Backups {
+		img.Backups = append(img.Backups, BackupRow{Prefix: p, Row: append([]uint32(nil), row...)})
+	}
+	sort.Slice(img.Backups, func(i, j int) bool { return img.Backups[i].Prefix < img.Backups[j].Prefix })
+	for nh, n := range pl.Assigned {
+		img.Assigned = append(img.Assigned, NHCount{NH: nh, Count: n})
+	}
+	sort.Slice(img.Assigned, func(i, j int) bool { return img.Assigned[i].NH < img.Assigned[j].NH })
+	return img
+}
+
+// RestorePlan rebuilds a plan from its image. Backup rows share one
+// arena like Compute's output.
+func RestorePlan(img PlanImage) (*Plan, error) {
+	pl := &Plan{
+		LocalAS:  img.LocalAS,
+		Depth:    img.Depth,
+		Backups:  make(map[netaddr.Prefix][]uint32, len(img.Backups)),
+		Assigned: make(map[uint32]int, len(img.Assigned)),
+	}
+	total := 0
+	for _, r := range img.Backups {
+		total += len(r.Row)
+	}
+	arena := make([]uint32, 0, total)
+	for i, r := range img.Backups {
+		if i > 0 && r.Prefix <= img.Backups[i-1].Prefix {
+			return nil, fmt.Errorf("reroute: restore: backup rows not ascending at %v", r.Prefix)
+		}
+		start := len(arena)
+		arena = append(arena, r.Row...)
+		pl.Backups[r.Prefix] = arena[start : start+len(r.Row) : start+len(r.Row)]
+	}
+	for i, a := range img.Assigned {
+		if i > 0 && a.NH <= img.Assigned[i-1].NH {
+			return nil, fmt.Errorf("reroute: restore: assignments not ascending at %d", a.NH)
+		}
+		pl.Assigned[a.NH] = a.Count
+	}
+	return pl, nil
+}

@@ -176,6 +176,12 @@ type Pool struct {
 	linkIDs  map[topology.Link]LinkID
 	links    []topology.Link // append-only backing; linkSnap publishes it
 	linkSnap atomic.Pointer[[]topology.Link]
+
+	// restoreIdx maps dense ids to entries during a snapshot-restore
+	// window (Restore sets it, PruneUnreferenced clears it); tables
+	// rebuilt from images resolve their PathIDs through it. Single
+	// restoring goroutine only.
+	restoreIdx map[PathID]*pathEntry
 }
 
 // NewPool returns an empty pool.

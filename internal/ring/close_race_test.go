@@ -1,0 +1,140 @@
+package ring
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRingCloseDrainClaimedCell pins the close/drain race directly: a
+// producer that won the tail CAS in TryPush but has not yet published
+// the cell's seq is invisible to TryPop, so the old closed-path
+// re-drain ("one more TryPop, then give up") exited with the value
+// still in flight and its delivery lost. The fixed Pop spins while
+// head != tail, waiting the publication out.
+//
+// The test builds the exact interleaving by hand: it claims a cell the
+// way TryPush does (tail advance without the seq store), closes the
+// ring, lets the consumer reach the closed-path drain, and only then
+// publishes. On the old code Pop deterministically returns ok=false
+// and the value is stranded; on the fixed code Pop returns it.
+func TestRingCloseDrainClaimedCell(t *testing.T) {
+	r := New[int](4)
+
+	// Claim a cell exactly like TryPush's winning CAS, but stop before
+	// the publish — this is the producer frozen inside the race window.
+	pos := r.tail.Load()
+	if !r.tail.CompareAndSwap(pos, pos+1) {
+		t.Fatal("uncontested tail CAS failed")
+	}
+	c := &r.cells[pos&r.mask]
+
+	// The ring closes while the producer is still in the window.
+	r.Close()
+
+	type res struct {
+		v  int
+		ok bool
+	}
+	got := make(chan res, 1)
+	go func() {
+		v, ok := r.Pop()
+		got <- res{v, ok}
+	}()
+
+	// Give the consumer ample time to reach the closed-path drain and
+	// observe the claimed-but-unpublished cell, then publish.
+	time.Sleep(5 * time.Millisecond)
+	c.v = 42
+	c.seq.Store(pos + 1)
+
+	select {
+	case g := <-got:
+		if !g.ok || g.v != 42 {
+			t.Fatalf("Pop after Close = (%d, %v), want (42, true): claimed cell stranded", g.v, g.ok)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pop did not return after the claimed cell was published")
+	}
+
+	// The ring is now closed and empty; Pop must report drained.
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop on drained closed ring returned ok=true")
+	}
+}
+
+// TestRingCloseTryPushStress hammers Close against concurrent TryPush
+// producers and asserts conservation: every value whose TryPush
+// reported success is either handed to the consumer before Pop reports
+// drained, or still sits in the ring afterwards (a producer that
+// passed the closed check just before Close and landed after the
+// consumer left — the fleet's refuse-then-drain protocol rules that
+// case out by waiting for senders first). What may never happen is a
+// successfully pushed value vanishing.
+func TestRingCloseTryPushStress(t *testing.T) {
+	const (
+		iters     = 300
+		producers = 4
+	)
+	for it := 0; it < iters; it++ {
+		r := New[uint64](8)
+		var accepted atomic.Uint64 // bitmask-free: count + sum as checksum
+		var acceptedSum atomic.Uint64
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				<-start
+				v := uint64(p)*1_000_000 + 1
+				for !r.Closed() {
+					if r.TryPush(v) {
+						accepted.Add(1)
+						acceptedSum.Add(v)
+						v++
+					}
+				}
+			}(p)
+		}
+
+		var popped, poppedSum uint64
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			<-start
+			for {
+				v, ok := r.Pop()
+				if !ok {
+					return
+				}
+				popped++
+				poppedSum += v
+			}
+		}()
+
+		close(start)
+		time.Sleep(50 * time.Microsecond)
+		r.Close()
+		wg.Wait()
+		<-done
+
+		// Producers joined, consumer exited: whatever late pushes landed
+		// after the consumer left must still be in the ring.
+		var leftover, leftoverSum uint64
+		for {
+			v, ok := r.TryPop()
+			if !ok {
+				break
+			}
+			leftover++
+			leftoverSum += v
+		}
+		if popped+leftover != accepted.Load() || poppedSum+leftoverSum != acceptedSum.Load() {
+			t.Fatalf("iter %d: accepted %d values (sum %d) but popped %d (+%d leftover, sum %d): pushed batch dropped",
+				it, accepted.Load(), acceptedSum.Load(), popped, leftover, poppedSum+leftoverSum)
+		}
+	}
+}

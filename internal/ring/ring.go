@@ -20,6 +20,7 @@
 package ring
 
 import (
+	"runtime"
 	"sync/atomic"
 )
 
@@ -186,12 +187,22 @@ func (r *Ring[T]) Pop() (v T, ok bool) {
 			return v, true
 		}
 		if r.closed.Load() {
-			// Re-drain after observing closed: a producer may have landed
-			// a value between the failed TryPop and the flag read.
-			if v, ok = r.TryPop(); ok {
-				return v, true
+			// Drain after observing closed: a producer may have landed a
+			// value between the failed TryPop and the flag read — or worse,
+			// claimed a cell (won the tail CAS in TryPush) without having
+			// published its seq yet. TryPop reports empty for such a cell,
+			// so a single re-drain could exit with the value still in
+			// flight. head != tail is the authoritative occupancy signal:
+			// spin until every claimed cell is published and popped.
+			for {
+				if v, ok = r.TryPop(); ok {
+					return v, true
+				}
+				if r.head.Load() == r.tail.Load() {
+					return v, false
+				}
+				runtime.Gosched()
 			}
-			return v, false
 		}
 		r.popWait.Store(true)
 		if v, ok = r.TryPop(); ok {

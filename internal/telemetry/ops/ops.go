@@ -47,6 +47,14 @@ type Config struct {
 	PeerStatuses func() []controller.PeerStatus
 	// Healthy, when set, gates /healthz; nil means always healthy.
 	Healthy func() bool
+	// Snapshot, when set, backs POST /snapshot: it checkpoints the
+	// fleet to durable storage and returns when the snapshot is on
+	// disk (405 on GET, 404 when unset).
+	Snapshot func() error
+	// RestoreStatus, when set, reports how the process started (warm
+	// restore vs cold start); its line is appended to the /healthz
+	// body so orchestration can tell the difference.
+	RestoreStatus func() string
 }
 
 // NewHandler wires the configured sources into the registry and returns
@@ -76,7 +84,20 @@ func NewHandler(cfg Config) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
+		if cfg.RestoreStatus != nil {
+			w.Write([]byte(cfg.RestoreStatus() + "\n"))
+		}
 	})
+	if cfg.Snapshot != nil {
+		mux.HandleFunc("POST /snapshot", func(w http.ResponseWriter, r *http.Request) {
+			if err := cfg.Snapshot(); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte("snapshot written\n"))
+		})
+	}
 	if peers != nil {
 		list := peers
 		mux.HandleFunc("GET /peers", func(w http.ResponseWriter, r *http.Request) {
